@@ -1,0 +1,46 @@
+"""Ablation — what goes into the niceness metric?
+
+DESIGN.md §6: the paper defines niceness as b_i - r_i (BLP rank minus
+RBL rank).  This ablation compares the combined definition against the
+single-component variants (BLP-only / RBL-only) under forced insertion
+shuffling, where niceness fully determines the shuffle pattern.
+"""
+
+from conftest import emit
+
+from repro.config import TCMParams
+from repro.experiments import format_table, run_shared, score_run
+from repro.workloads import make_workload_suite
+
+
+def test_ablation_niceness_definition(benchmark, capsys, bench_config,
+                                      per_category, base_seed):
+    suite = make_workload_suite((0.75,), per_category, base_seed=base_seed)
+
+    def sweep():
+        rows = []
+        for mode in ("blp_minus_rbl", "blp_only", "rbl_only"):
+            ws = ms = 0.0
+            for i, workload in enumerate(suite):
+                params = TCMParams(shuffle_mode="insertion", niceness_mode=mode)
+                result = run_shared(
+                    workload, "tcm", bench_config, params, seed=base_seed + i
+                )
+                score = score_run(result, workload, bench_config,
+                                  seed=base_seed + i)
+                ws += score.weighted_speedup
+                ms += score.maximum_slowdown
+            rows.append([mode, ws / len(suite), ms / len(suite)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        capsys,
+        format_table(
+            ["niceness definition", "WS", "MS"],
+            rows,
+            title="Ablation: niceness = f(BLP, RBL) under insertion shuffle",
+        ),
+    )
+    assert len(rows) == 3
+    assert all(r[1] > 0 for r in rows)

@@ -1,0 +1,39 @@
+"""Simulator performance: events and requests per second.
+
+Not a paper experiment — tracks the event-driven engine's own speed
+(the practical limit on how closely the paper's 100M-cycle scale can
+be approached).  Uses multiple pytest-benchmark rounds, unlike the
+experiment benches which run their (multi-second) drivers once.
+"""
+
+from repro import SimConfig, System, make_scheduler
+from repro.workloads import make_intensity_workload
+
+CYCLES = 60_000
+
+
+def _run(scheduler_name):
+    cfg = SimConfig(run_cycles=CYCLES)
+    workload = make_intensity_workload(0.75, num_threads=24, seed=0)
+    system = System(workload, make_scheduler(scheduler_name), cfg, seed=0)
+    return system.run()
+
+
+def test_engine_speed_frfcfs(benchmark):
+    result = benchmark.pedantic(
+        lambda: _run("frfcfs"), rounds=3, iterations=1
+    )
+    assert result.total_requests > 500
+    benchmark.extra_info["requests"] = result.total_requests
+    benchmark.extra_info["cycles"] = CYCLES
+
+
+def test_engine_speed_tcm(benchmark):
+    result = benchmark.pedantic(lambda: _run("tcm"), rounds=3, iterations=1)
+    assert result.total_requests > 500
+    benchmark.extra_info["requests"] = result.total_requests
+
+
+def test_engine_speed_parbs(benchmark):
+    result = benchmark.pedantic(lambda: _run("parbs"), rounds=3, iterations=1)
+    assert result.total_requests > 500

@@ -1,0 +1,35 @@
+"""Figure 1 — motivation: fairness/throughput of four prior schedulers.
+
+Paper: FR-FCFS, STFM, PAR-BS and ATLAS averaged over 96 workloads; no
+prior scheduler reaches the lower-right (fair AND fast) corner — PAR-BS
+is fairest, ATLAS fastest, neither is both.
+"""
+
+from conftest import emit
+
+from repro.experiments import figure1, format_scatter
+
+
+def test_fig01_motivation(benchmark, capsys, bench_config, per_category, base_seed):
+    points = benchmark.pedantic(
+        lambda: figure1(per_category, bench_config, base_seed),
+        rounds=1, iterations=1,
+    )
+    emit(
+        capsys,
+        format_scatter(
+            [(p.scheduler, p.weighted_speedup, p.maximum_slowdown)
+             for p in points],
+            title=(
+                f"Figure 1: prior schedulers, {3 * per_category} workloads "
+                "(paper: 96)"
+            ),
+        ),
+    )
+    by_name = {p.scheduler: p for p in points}
+    # Expected shape: ATLAS fastest baseline; FR-FCFS no better than the
+    # thread-aware schedulers on fairness.
+    assert by_name["atlas"].weighted_speedup == max(
+        p.weighted_speedup for p in points
+    )
+    assert by_name["frfcfs"].maximum_slowdown >= by_name["stfm"].maximum_slowdown

@@ -1,0 +1,35 @@
+"""Figure 2 — susceptibility of bandwidth-sensitive threads.
+
+Paper: running the Table 1 microbenchmarks together under two static
+prioritisations, the deprioritised random-access thread slows >11x —
+far more than the deprioritised streaming thread — because one blocked
+miss serialises its entire miss window (loss of bank-level parallelism).
+"""
+
+from conftest import emit
+
+from repro.experiments import figure2, format_table
+
+
+def test_fig02_susceptibility(benchmark, capsys, bench_config, base_seed):
+    result = benchmark.pedantic(
+        lambda: figure2(bench_config, seed=base_seed), rounds=1, iterations=1
+    )
+    emit(
+        capsys,
+        format_table(
+            ["policy", "random-access slowdown", "streaming slowdown"],
+            [
+                ["prioritize random-access", *result.prioritize_random],
+                ["prioritize streaming", *result.prioritize_streaming],
+            ],
+            title="Figure 2: strict prioritisation between Table 1 threads",
+        ),
+    )
+    # The paper's asymmetry: deprioritised random-access suffers far
+    # more than deprioritised streaming.
+    assert (
+        result.deprioritized_random_slowdown
+        > 1.5 * result.deprioritized_streaming_slowdown
+    )
+    assert result.deprioritized_random_slowdown > 4.0

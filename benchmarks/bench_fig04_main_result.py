@@ -1,0 +1,47 @@
+"""Figure 4 — the main result: TCM vs all four baselines.
+
+Paper (96 workloads, 24 cores, 4 controllers): TCM achieves the best
+weighted speedup AND the best maximum slowdown simultaneously —
++4.6%/-38.6% vs ATLAS, +7.6%/-4.6% vs PAR-BS.
+"""
+
+from conftest import emit
+
+from repro.experiments import figure4, format_scatter
+from repro.experiments.reporting import plot_scatter
+
+
+def test_fig04_main_result(benchmark, capsys, bench_config, per_category, base_seed):
+    points = benchmark.pedantic(
+        lambda: figure4(per_category, bench_config, base_seed=base_seed),
+        rounds=1, iterations=1,
+    )
+    labelled = [
+        (p.scheduler, p.weighted_speedup, p.maximum_slowdown) for p in points
+    ]
+    emit(
+        capsys,
+        format_scatter(
+            labelled,
+            title=(
+                f"Figure 4: all five schedulers, {3 * per_category} workloads "
+                "(paper: 96)"
+            ),
+        )
+        + "\n\n"
+        + plot_scatter(labelled),
+    )
+    by_name = {p.scheduler: p for p in points}
+    tcm = by_name["tcm"]
+    # Shape: much fairer than ATLAS at comparable throughput; faster
+    # than PAR-BS; no baseline dominates TCM on both axes.
+    assert tcm.maximum_slowdown < 0.85 * by_name["atlas"].maximum_slowdown
+    assert tcm.weighted_speedup > 0.93 * by_name["atlas"].weighted_speedup
+    assert tcm.weighted_speedup > by_name["parbs"].weighted_speedup
+    for name, point in by_name.items():
+        if name == "tcm":
+            continue
+        assert not (
+            point.weighted_speedup > tcm.weighted_speedup
+            and point.maximum_slowdown < tcm.maximum_slowdown
+        ), f"{name} dominates TCM"

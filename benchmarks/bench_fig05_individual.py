@@ -1,0 +1,43 @@
+"""Figure 5 — individual workloads A-D (Table 5) plus suite average.
+
+Paper: WS and MS for four representative 50%-intensity workloads and
+the 32-workload average; TCM's improvements are consistent across
+workloads.
+"""
+
+from conftest import emit
+
+from repro.experiments import figure5, format_table
+from repro.experiments.figures import ALL_SCHEDULERS
+
+
+def test_fig05_individual_workloads(benchmark, capsys, bench_config,
+                                    per_category, base_seed):
+    results = benchmark.pedantic(
+        lambda: figure5(
+            bench_config, avg_workloads=per_category, base_seed=base_seed
+        ),
+        rounds=1, iterations=1,
+    )
+    for metric, attr in (
+        ("Weighted speedup", "weighted_speedup"),
+        ("Maximum slowdown", "maximum_slowdown"),
+    ):
+        rows = []
+        for workload in ("A", "B", "C", "D", "AVG"):
+            rows.append(
+                [workload]
+                + [getattr(results[workload][s], attr) for s in ALL_SCHEDULERS]
+            )
+        emit(
+            capsys,
+            format_table(
+                ["workload"] + list(ALL_SCHEDULERS),
+                rows,
+                title=f"Figure 5: {metric} per workload",
+            ),
+        )
+    # Shape: on average TCM is fairer than ATLAS and faster than STFM.
+    avg = results["AVG"]
+    assert avg["tcm"].maximum_slowdown < avg["atlas"].maximum_slowdown
+    assert avg["tcm"].weighted_speedup > avg["stfm"].weighted_speedup

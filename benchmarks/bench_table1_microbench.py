@@ -1,0 +1,38 @@
+"""Table 1 — the random-access and streaming microbenchmarks.
+
+Paper: two specially constructed threads with equal memory intensity
+(100 MPKI) but opposite structure — random-access: BLP 72.7% of max,
+RBL 0.1%; streaming: BLP 0.3% of max, RBL 99%.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table, table1
+
+
+def test_table1_microbenchmarks(benchmark, capsys, bench_config, base_seed):
+    stationary = bench_config.with_(phase_mean_cycles=0)
+    rows = benchmark.pedantic(
+        lambda: table1(stationary, seed=base_seed), rounds=1, iterations=1
+    )
+    emit(
+        capsys,
+        format_table(
+            ["thread", "MPKI (paper/measured)", "RBL", "BLP", "alone IPC"],
+            [
+                [
+                    r.benchmark,
+                    f"{r.target_mpki:.0f}/{r.measured_mpki:.1f}",
+                    f"{r.target_rbl:.3f}/{r.measured_rbl:.3f}",
+                    f"{r.target_blp:.2f}/{r.measured_blp:.2f}",
+                    r.alone_ipc,
+                ]
+                for r in rows
+            ],
+            title="Table 1: microbenchmark characteristics",
+        ),
+    )
+    random_access, streaming = rows
+    assert random_access.measured_blp > 5 * streaming.measured_blp
+    assert streaming.measured_rbl > 0.95
+    assert random_access.measured_rbl < 0.05

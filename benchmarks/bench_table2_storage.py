@@ -1,0 +1,33 @@
+"""Table 2 — hardware storage cost of TCM's monitors.
+
+Paper: under 4 Kbits per controller for the 24-thread, 4-bank baseline
+(and under 0.5 Kbits if pure random shuffling removes the BLP/RBL
+monitors).
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table, table2
+
+
+def test_table2_storage_cost(benchmark, capsys):
+    cost = benchmark.pedantic(table2, rounds=1, iterations=1)
+    emit(
+        capsys,
+        format_table(
+            ["monitor", "bits"],
+            [
+                ["MPKI counters", cost.mpki_counter],
+                ["Load counters", cost.load_counter],
+                ["BLP counters", cost.blp_counter],
+                ["BLP averages", cost.blp_average],
+                ["Shadow row-buffer index", cost.shadow_row_index],
+                ["Shadow row-buffer hits", cost.shadow_row_hits],
+                ["TOTAL", cost.total_bits],
+                ["(random shuffling only)", cost.random_shuffle_bits],
+            ],
+            title="Table 2: per-controller monitoring storage",
+        ),
+    )
+    assert cost.total_bits == 3792      # < 4 Kbits, exactly the paper's sum
+    assert cost.random_shuffle_bits == 240

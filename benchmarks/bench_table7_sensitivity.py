@@ -1,0 +1,30 @@
+"""Table 7 — sensitivity of TCM to its algorithmic parameters.
+
+Paper: TCM is robust to ShuffleAlgoThresh (0.05-0.10) and
+ShuffleInterval (500-800); WS stays within ~14.2-14.7 and MS within
+~5.4-6.0.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table, table7
+
+
+def test_table7_parameter_sensitivity(benchmark, capsys, bench_config,
+                                      per_category, base_seed):
+    points = benchmark.pedantic(
+        lambda: table7(per_category, bench_config, base_seed=base_seed),
+        rounds=1, iterations=1,
+    )
+    emit(
+        capsys,
+        format_table(
+            ["parameter", "value", "WS", "MS"],
+            [[p.parameter, p.value, p.weighted_speedup, p.maximum_slowdown]
+             for p in points],
+            title="Table 7: TCM sensitivity to algorithmic parameters",
+        ),
+    )
+    # Robustness: WS varies by less than ~15% across the whole grid.
+    ws = [p.weighted_speedup for p in points]
+    assert (max(ws) - min(ws)) / max(ws) < 0.15

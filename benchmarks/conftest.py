@@ -1,0 +1,46 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the corresponding rows/series.  Scale knobs (environment
+variables) let the same harness run anywhere from a quick smoke pass to
+the paper's full 96-workload suite:
+
+* ``REPRO_BENCH_WORKLOADS`` — workloads per intensity category
+  (default 2; the paper uses 32).
+* ``REPRO_BENCH_CYCLES``    — simulated cycles per run (default
+  300_000; the paper runs 100M on its native-speed simulator).
+* ``REPRO_BENCH_SEED``      — base seed for workload construction.
+"""
+
+import os
+
+import pytest
+
+from repro import SimConfig
+
+PER_CATEGORY = int(os.environ.get("REPRO_BENCH_WORKLOADS", "2"))
+RUN_CYCLES = int(os.environ.get("REPRO_BENCH_CYCLES", "300000"))
+BASE_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> SimConfig:
+    """The scaled Table 3 system configuration used by every bench."""
+    return SimConfig(run_cycles=RUN_CYCLES)
+
+
+@pytest.fixture(scope="session")
+def per_category() -> int:
+    return PER_CATEGORY
+
+
+@pytest.fixture(scope="session")
+def base_seed() -> int:
+    return BASE_SEED
+
+
+def emit(capsys, text: str) -> None:
+    """Print a regenerated table/series to the real terminal."""
+    with capsys.disabled():
+        print()
+        print(text)

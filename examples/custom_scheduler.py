@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Writing your own memory scheduler against the repro substrate.
+
+The scheduler interface is small: implement ``priority`` (and
+optionally the quantum/timer hooks) and the simulator does the rest.
+This example builds a naive "bank fair-share" scheduler — each bank
+round-robins across threads with queued requests — and benchmarks it
+against FR-FCFS and TCM.
+
+Run:  python examples/custom_scheduler.py
+"""
+
+from typing import Tuple
+
+from repro import SimConfig
+from repro.dram.request import MemoryRequest
+from repro.experiments import evaluate_workload, format_table, score_run
+from repro.schedulers.base import Scheduler
+from repro.sim import System
+from repro.workloads import make_intensity_workload
+
+
+class BankFairShareScheduler(Scheduler):
+    """Round-robins service across threads at each bank.
+
+    Per bank, the thread serviced least recently wins; row-buffer hits
+    and age only break ties.  Fair-ish, but thread-oblivious about
+    intensity — no latency-sensitive prioritisation, so expect poor
+    system throughput compared to TCM.
+    """
+
+    name = "bank-fair"
+
+    def on_attach(self) -> None:
+        nch = self.system.config.num_channels
+        nbk = self.system.config.banks_per_channel
+        n = self.system.workload.num_threads
+        # last service time per (channel, bank, thread)
+        self._last_service = [
+            [[0] * n for _ in range(nbk)] for _ in range(nch)
+        ]
+
+    def on_request_scheduled(self, request, waiting, busy_cycles, now):
+        self._last_service[request.channel_id][request.bank_id][
+            request.thread_id
+        ] = now
+
+    def priority(
+        self, request: MemoryRequest, row_hit: bool, now: int
+    ) -> Tuple:
+        last = self._last_service[request.channel_id][request.bank_id][
+            request.thread_id
+        ]
+        return (-last, row_hit, -request.arrival)
+
+
+def main() -> None:
+    config = SimConfig(run_cycles=300_000)
+    workload = make_intensity_workload(0.75, num_threads=24, seed=1)
+
+    scores = evaluate_workload(workload, ("frfcfs", "tcm"), config, seed=1)
+    custom_result = System(
+        workload, BankFairShareScheduler(), config, seed=1
+    ).run()
+    scores["bank-fair"] = score_run(custom_result, workload, config, seed=1)
+
+    rows = [
+        [name, s.weighted_speedup, s.maximum_slowdown, s.harmonic_speedup]
+        for name, s in scores.items()
+    ]
+    print(
+        format_table(
+            ["scheduler", "weighted speedup", "max slowdown",
+             "harmonic speedup"],
+            rows,
+            title="A custom scheduler vs FR-FCFS and TCM:",
+        )
+    )
+    print()
+    print("bank-fair equalises per-bank shares, which helps fairness over")
+    print("FR-FCFS, but without thread clustering it leaves the latency-")
+    print("sensitive threads waiting behind heavy ones — TCM wins on both.")
+
+
+if __name__ == "__main__":
+    main()

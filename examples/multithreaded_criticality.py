@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Multithreaded workloads and thread criticality (paper §3.7).
+
+The paper envisions extending TCM to multithreaded applications whose
+execution time is set by slow *critical* threads: identify them and
+prioritise them through the thread-weight mechanism.  This example
+models a synchronising multithreaded application as four identical
+worker threads of which one (the critical thread, e.g. the lock holder)
+must not fall behind, co-running with a memory-hogging batch workload.
+
+The critical thread gates the application (the others wait for it at
+synchronisation points), so its speedup is the application's effective
+speedup; the example shows how boosting its weight accelerates it
+without collapsing the co-running batch threads.
+"""
+
+from repro import SimConfig, System, make_scheduler
+from repro.experiments import alone_ipcs, format_table
+from repro.workloads import Workload
+
+WORKERS = 4
+APP_BENCH = "omnetpp"        # memory-intensive, high-BLP parallel worker
+BATCH = ("mcf", "lbm", "libquantum", "leslie3d", "soplex", "sphinx3")
+
+
+def build_workload(critical_weight: int) -> Workload:
+    names = tuple([APP_BENCH] * WORKERS) + BATCH
+    weights = tuple(
+        [critical_weight] + [1] * (WORKERS - 1) + [1] * len(BATCH)
+    )
+    return Workload(
+        name=f"mt-critical-w{critical_weight}",
+        benchmark_names=names,
+        weights=weights,
+    )
+
+
+def run(critical_weight: int, config: SimConfig):
+    workload = build_workload(critical_weight)
+    result = System(workload, make_scheduler("tcm"), config, seed=0).run()
+    alones = alone_ipcs(workload, config, seed=0)
+    speedups = [result.ipcs[i] / alones[i] for i in range(workload.num_threads)]
+    worker_speedups = speedups[:WORKERS]
+    return worker_speedups, speedups[WORKERS:]
+
+
+def main() -> None:
+    config = SimConfig(run_cycles=400_000)
+    rows = []
+    for weight in (1, 4, 8):
+        workers, batch = run(weight, config)
+        rows.append(
+            [
+                f"critical weight {weight}",
+                workers[0],
+                sum(workers[1:]) / (len(workers) - 1),
+                sum(batch) / len(batch),
+            ]
+        )
+    print(
+        format_table(
+            ["configuration", "critical (gating) speedup",
+             "mean other workers", "mean batch speedup"],
+            rows,
+            title="Thread criticality via TCM weights (paper §3.7):",
+        )
+    )
+    print()
+    print("Boosting the critical worker raises the application's gating")
+    print("speedup while TCM's clustering keeps the batch threads from")
+    print("being starved (weights act within, not across, clusters).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Record a workload's miss streams and replay them under TCM.
+
+The paper drives its simulator with Pin traces; this repository's
+equivalent is the trace package: any simulated run can record every
+thread's miss stream (positioned on contention-free program time), and
+recorded traces replay under any scheduler with the memory system
+simulated live.
+
+This script records a 6-thread mix under FR-FCFS, saves the traces,
+replays them under FR-FCFS (validating fidelity) and then under TCM
+(showing the scheduler change on identical traces).
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import SimConfig, System, make_scheduler
+from repro.experiments import format_table
+from repro.trace import TraceRecorder, replay_workload
+from repro.workloads import Workload
+
+
+def main() -> None:
+    config = SimConfig(run_cycles=300_000)
+    workload = Workload(
+        name="source",
+        benchmark_names=("mcf", "libquantum", "lbm", "omnetpp",
+                         "h264ref", "povray"),
+    )
+
+    recorder = TraceRecorder()
+    source = System(
+        workload, make_scheduler("frfcfs"), config, seed=0,
+        trace_recorder=recorder,
+    ).run()
+    tracedir = Path(tempfile.mkdtemp(prefix="repro-traces-"))
+    paths = recorder.save_all(tracedir)
+    print(f"Recorded {sum(len(e) for e in recorder.events.values())} misses "
+          f"into {tracedir}")
+
+    replays = {}
+    for sched in ("frfcfs", "tcm"):
+        system = replay_workload(
+            [paths[tid] for tid in sorted(paths)],
+            make_scheduler(sched), config, seed=0,
+        )
+        replays[sched] = system.run()
+
+    rows = []
+    for tid, bench in enumerate(workload.benchmark_names):
+        rows.append(
+            [
+                bench,
+                source.threads[tid].ipc,
+                replays["frfcfs"].threads[tid].ipc,
+                replays["tcm"].threads[tid].ipc,
+            ]
+        )
+    print(
+        format_table(
+            ["benchmark", "source IPC (FR-FCFS)",
+             "replay IPC (FR-FCFS)", "replay IPC (TCM)"],
+            rows,
+            precision=3,
+            title="Trace record -> replay fidelity and scheduler swap:",
+        )
+    )
+    print()
+    print("The FR-FCFS replay approximately tracks the source run (exact")
+    print("addresses and compute gaps; remaining differences come from the")
+    print("changed contention interleaving).  Replaying the same traces")
+    print("under TCM shows the scheduling difference directly.")
+
+
+if __name__ == "__main__":
+    main()

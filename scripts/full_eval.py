@@ -1,0 +1,43 @@
+"""Generate the paper-vs-measured numbers recorded in EXPERIMENTS.md."""
+import json, time
+from repro import SimConfig
+from repro.experiments import figure2, figure4, figure7, figure8, table6
+
+t0 = time.time()
+cfg = SimConfig(run_cycles=500_000)
+out = {}
+
+points = figure4(per_category=8, config=cfg)   # 24 workloads
+out["figure4"] = {
+    p.scheduler: dict(ws=p.weighted_speedup, ms=p.maximum_slowdown,
+                      hs=p.harmonic_speedup)
+    for p in points
+}
+print("fig4 done", time.time()-t0, flush=True)
+
+f7 = figure7(per_category=4, config=cfg)
+out["figure7"] = {
+    str(intensity): {p.scheduler: dict(ws=p.weighted_speedup, ms=p.maximum_slowdown)
+                     for p in pts}
+    for intensity, pts in f7.items()
+}
+print("fig7 done", time.time()-t0, flush=True)
+
+f2 = figure2(cfg)
+out["figure2"] = dict(
+    prioritize_random=list(f2.prioritize_random),
+    prioritize_streaming=list(f2.prioritize_streaming),
+)
+
+rows = table6(per_category=8, config=cfg)
+out["table6"] = {r.algorithm: dict(avg=r.ms_average, var=r.ms_variance) for r in rows}
+print("table6 done", time.time()-t0, flush=True)
+
+f8 = figure8(cfg, instances=4)
+out["figure8"] = dict(ws=f8.weighted_speedup, ms=f8.maximum_slowdown,
+                      speedups=f8.speedups)
+
+out["elapsed_sec"] = time.time() - t0
+with open("full_eval_results.json", "w") as f:
+    json.dump(out, f, indent=2)
+print("ALL DONE", out["elapsed_sec"], flush=True)

@@ -1,0 +1,52 @@
+"""repro — a reproduction of Thread Cluster Memory Scheduling (MICRO 2010).
+
+Public API quick tour::
+
+    from repro import SimConfig, System, make_scheduler
+    from repro.workloads import make_intensity_workload
+
+    workload = make_intensity_workload(0.5, num_threads=24, seed=0)
+    system = System(workload, make_scheduler("tcm"), SimConfig())
+    result = system.run()
+
+    from repro.experiments import evaluate_workload
+    scores = evaluate_workload(workload)   # WS / MS / HS for all schedulers
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.config import (
+    ATLASParams,
+    DramTimings,
+    PARBSParams,
+    STFMParams,
+    SimConfig,
+    TCMParams,
+)
+from repro.core.tcm import TCMScheduler
+from repro.metrics import harmonic_speedup, maximum_slowdown, weighted_speedup
+from repro.schedulers import make_scheduler
+from repro.sim import RunResult, System, ThreadResult
+from repro.workloads import Workload, make_intensity_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ATLASParams",
+    "DramTimings",
+    "PARBSParams",
+    "RunResult",
+    "STFMParams",
+    "SimConfig",
+    "System",
+    "TCMParams",
+    "TCMScheduler",
+    "ThreadResult",
+    "Workload",
+    "harmonic_speedup",
+    "make_intensity_workload",
+    "make_scheduler",
+    "maximum_slowdown",
+    "weighted_speedup",
+]

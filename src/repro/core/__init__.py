@@ -1,0 +1,42 @@
+"""TCM — the paper's primary contribution.
+
+Subpackage contents:
+
+* :mod:`repro.core.monitor` — hardware monitors for memory intensity,
+  bank-level parallelism and row-buffer locality (paper §3.4, Table 2).
+* :mod:`repro.core.meta` — the centralised meta-controller aggregating
+  per-controller statistics every quantum.
+* :mod:`repro.core.clustering` — Algorithm 1 (ClusterThresh grouping).
+* :mod:`repro.core.niceness` — the niceness metric.
+* :mod:`repro.core.shuffle` — insertion / random / round-robin shuffles
+  (Algorithm 2, Figure 3).
+* :mod:`repro.core.tcm` — the TCM scheduler (Algorithm 3).
+* :mod:`repro.core.hardware_cost` — Table 2 storage-cost model.
+"""
+
+from repro.core.clustering import ClusteringResult, cluster_threads
+from repro.core.meta import MetaController
+from repro.core.monitor import BehaviorMonitor, QuantumSnapshot, ThreadMetrics
+from repro.core.niceness import compute_niceness
+from repro.core.shuffle import (
+    InsertionShuffler,
+    RandomShuffler,
+    RoundRobinShuffler,
+    WeightedRandomShuffler,
+)
+from repro.core.tcm import TCMScheduler
+
+__all__ = [
+    "BehaviorMonitor",
+    "ClusteringResult",
+    "InsertionShuffler",
+    "MetaController",
+    "QuantumSnapshot",
+    "RandomShuffler",
+    "RoundRobinShuffler",
+    "TCMScheduler",
+    "ThreadMetrics",
+    "WeightedRandomShuffler",
+    "cluster_threads",
+    "compute_niceness",
+]

@@ -1,0 +1,41 @@
+"""Centralised meta-controller (paper §3.4, §4).
+
+At the end of every quantum each memory controller sends its monitored
+per-thread statistics (service cycles, shadow row-buffer hits, BLP
+samples — 4 bytes per hardware context per controller in the paper) to
+a central meta-controller.  The meta-controller aggregates them into a
+:class:`~repro.core.monitor.QuantumSnapshot`, from which scheduling
+policy (clustering, niceness, ranking) is derived and broadcast back so
+all controllers agree on one global thread priority order.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.monitor import BehaviorMonitor, QuantumSnapshot
+
+
+class MetaController:
+    """Aggregates per-controller monitors into per-quantum snapshots."""
+
+    def __init__(self, monitor: BehaviorMonitor):
+        self.monitor = monitor
+        self.quantum_index = 0
+        self.history: List[QuantumSnapshot] = []
+        #: bytes exchanged per quantum: 4 bytes/context/controller (paper §4)
+        self.bytes_exchanged = 0
+
+    def end_quantum(self, thread_mpki: List[float], now: int) -> QuantumSnapshot:
+        """Collect, aggregate and reset all controllers' quantum stats."""
+        metrics = self.monitor.quantum_metrics(thread_mpki, now)
+        snapshot = QuantumSnapshot(
+            quantum_index=self.quantum_index, metrics=tuple(metrics)
+        )
+        self.quantum_index += 1
+        self.history.append(snapshot)
+        self.bytes_exchanged += (
+            4 * self.monitor.num_threads * self.monitor.config.num_channels
+        )
+        self.monitor.reset_quantum()
+        return snapshot

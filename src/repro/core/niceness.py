@@ -1,0 +1,53 @@
+"""The niceness metric (paper §3.3).
+
+A thread with high bank-level parallelism is *fragile* (a single bank
+conflict serialises its otherwise-parallel requests), while a thread
+with high row-buffer locality is *hostile* (it streams into few banks
+and congests them).  Niceness increases with relative fragility and
+decreases with relative hostility:
+
+    ``Niceness_i = b_i - r_i``
+
+where ``b_i`` is thread *i*'s ascending rank by BLP (1 = lowest BLP,
+N = highest) and ``r_i`` its ascending rank by RBL.  The nicest thread
+therefore combines the highest BLP with the lowest RBL.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.monitor import QuantumSnapshot
+
+
+def _ascending_ranks(values: Dict[int, float]) -> Dict[int, int]:
+    """Rank thread ids by value, ascending; ranks are 1..N.
+
+    Ties are broken by thread id for determinism.
+    """
+    ordered = sorted(values, key=lambda tid: (values[tid], tid))
+    return {tid: pos + 1 for pos, tid in enumerate(ordered)}
+
+
+def compute_niceness(
+    snapshot: QuantumSnapshot,
+    thread_ids: Sequence[int],
+    mode: str = "blp_minus_rbl",
+) -> Dict[int, int]:
+    """Niceness of each thread in ``thread_ids`` (the bandwidth cluster).
+
+    Returns a mapping thread id -> niceness; larger is nicer.  ``mode``
+    selects the definition — the paper's ``blp_minus_rbl`` or the
+    single-component ablations ``blp_only`` / ``rbl_only``.
+    """
+    blp = {tid: snapshot.metrics[tid].blp for tid in thread_ids}
+    rbl = {tid: snapshot.metrics[tid].rbl for tid in thread_ids}
+    b_rank = _ascending_ranks(blp)
+    r_rank = _ascending_ranks(rbl)
+    if mode == "blp_minus_rbl":
+        return {tid: b_rank[tid] - r_rank[tid] for tid in thread_ids}
+    if mode == "blp_only":
+        return {tid: b_rank[tid] for tid in thread_ids}
+    if mode == "rbl_only":
+        return {tid: -r_rank[tid] for tid in thread_ids}
+    raise ValueError(f"unknown niceness mode {mode!r}")

@@ -1,0 +1,186 @@
+"""Shuffling algorithms for the bandwidth-sensitive cluster (paper §3.3).
+
+All shufflers maintain a *priority array* of thread ids where the last
+position is the highest-ranked (paper Algorithm 2: "Nth position
+occupied by highest ranked thread").  ``advance()`` moves to the next
+permutation; the system calls it every ``ShuffleInterval`` cycles,
+synchronised across all banks and controllers.
+
+Four algorithms are provided:
+
+* :class:`RoundRobinShuffler` — rotate by one (paper's strawman; unfair
+  because relative order is preserved, so a thread stuck behind a
+  non-leaky thread stays stuck).
+* :class:`RandomShuffler` — fresh random permutation per interval.
+* :class:`WeightedRandomShuffler` — random permutation where time at
+  the top is proportional to OS-assigned weights (paper §3.6).
+* :class:`InsertionShuffler` — Algorithm 2: a deterministic
+  2N-step cycle of permutations (the intermediate states of an
+  insertion sort) in which nicer threads occupy high ranks most of the
+  time and the least nice thread only briefly reaches the top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+class Shuffler:
+    """Base class: holds the priority array and common accessors."""
+
+    name = "base"
+
+    def __init__(self, thread_ids: Sequence[int]):
+        if not thread_ids:
+            raise ValueError("shuffler needs at least one thread")
+        if len(set(thread_ids)) != len(thread_ids):
+            raise ValueError("duplicate thread ids")
+        self._array: List[int] = list(thread_ids)
+
+    def order(self) -> List[int]:
+        """Current priority array; last element = highest priority."""
+        return list(self._array)
+
+    def rank_of(self) -> Dict[int, int]:
+        """Map thread id -> rank (0 = lowest priority)."""
+        return {tid: pos for pos, tid in enumerate(self._array)}
+
+    def advance(self) -> None:
+        """Move to the next permutation (no-op in the base class)."""
+
+
+class RoundRobinShuffler(Shuffler):
+    """Rotate the priority array by one position per interval."""
+
+    name = "round_robin"
+
+    def advance(self) -> None:
+        self._array = self._array[1:] + self._array[:1]
+
+
+class RandomShuffler(Shuffler):
+    """A fresh uniformly random permutation per interval."""
+
+    name = "random"
+
+    def __init__(self, thread_ids: Sequence[int], rng: np.random.Generator):
+        super().__init__(thread_ids)
+        self._rng = rng
+
+    def advance(self) -> None:
+        self._rng.shuffle(self._array)
+
+
+class WeightedRandomShuffler(Shuffler):
+    """Random permutation with weight-proportional time at the top.
+
+    Ranks are drawn from highest to lowest; each draw picks among the
+    remaining threads with probability proportional to weight, so the
+    expected fraction of intervals a thread spends at the highest
+    priority equals its weight share (paper §3.6, weighted shuffling).
+    """
+
+    name = "weighted_random"
+
+    def __init__(
+        self,
+        thread_ids: Sequence[int],
+        weights: Sequence[float],
+        rng: np.random.Generator,
+    ):
+        super().__init__(thread_ids)
+        if len(weights) != len(thread_ids):
+            raise ValueError("one weight per thread required")
+        if any(w <= 0 for w in weights):
+            raise ValueError("weights must be positive")
+        self._weights = {tid: float(w) for tid, w in zip(thread_ids, weights)}
+        self._rng = rng
+
+    def advance(self) -> None:
+        remaining = list(self._array)
+        top_to_bottom: List[int] = []
+        while remaining:
+            w = np.array([self._weights[t] for t in remaining])
+            pick = int(self._rng.choice(len(remaining), p=w / w.sum()))
+            top_to_bottom.append(remaining.pop(pick))
+        self._array = top_to_bottom[::-1]
+
+
+class InsertionShuffler(Shuffler):
+    """Insertion shuffle — Algorithm 2 of the paper.
+
+    The array starts sorted by increasing niceness (nicest thread at
+    the highest rank).  Every interval, one step of the following cycle
+    is applied, producing the permutation sequence of Figure 3(b):
+
+    * for ``i = N .. 1``: ``decSort(i, N)`` — sort positions i..N by
+      decreasing niceness;
+    * for ``i = 1 .. N``: ``incSort(1, i)`` — sort positions 1..i by
+      increasing niceness.
+    """
+
+    name = "insertion"
+
+    def __init__(self, thread_ids: Sequence[int], niceness: Dict[int, int]):
+        super().__init__(thread_ids)
+        missing = [t for t in thread_ids if t not in niceness]
+        if missing:
+            raise ValueError(f"no niceness for threads {missing}")
+        self._nice = dict(niceness)
+        # Initialization: incSort(1, N) — ascending niceness.
+        self._array.sort(key=self._key)
+        n = len(self._array)
+        # Upcoming steps, regenerated each cycle: ('dec', i) then ('inc', i).
+        self._steps = [("dec", i) for i in range(n, 0, -1)] + [
+            ("inc", i) for i in range(1, n + 1)
+        ]
+        self._step_idx = 0
+
+    def _key(self, tid: int):
+        # Deterministic tie-break on thread id.
+        return (self._nice[tid], tid)
+
+    def advance(self) -> None:
+        kind, i = self._steps[self._step_idx]
+        self._step_idx = (self._step_idx + 1) % len(self._steps)
+        if kind == "dec":
+            # decSort(i, N): positions i..N (1-based) by decreasing niceness
+            head = self._array[: i - 1]
+            tail = sorted(self._array[i - 1 :], key=self._key, reverse=True)
+            self._array = head + tail
+        else:
+            # incSort(1, i): positions 1..i by increasing niceness
+            head = sorted(self._array[:i], key=self._key)
+            self._array = head + self._array[i:]
+
+    @property
+    def cycle_length(self) -> int:
+        """Number of intervals before the permutation sequence repeats."""
+        return len(self._steps)
+
+
+def should_use_insertion(
+    blp_values: Sequence[float],
+    rbl_values: Sequence[float],
+    num_banks: int,
+    shuffle_algo_thresh: float,
+) -> bool:
+    """Dynamic shuffle selection (paper §3.3, 'Handling Similar Threads').
+
+    Insertion shuffle is used only when threads are sufficiently
+    heterogeneous: the largest pairwise BLP difference must exceed
+    ``shuffle_algo_thresh * num_banks`` **and** the largest pairwise RBL
+    difference must exceed ``shuffle_algo_thresh``; otherwise TCM falls
+    back to random shuffling.  Setting the threshold to 1.0 forces
+    random shuffling.
+    """
+    if not blp_values or len(blp_values) < 2:
+        return False
+    max_d_blp = max(blp_values) - min(blp_values)
+    max_d_rbl = max(rbl_values) - min(rbl_values)
+    return (
+        max_d_blp > shuffle_algo_thresh * num_banks
+        and max_d_rbl > shuffle_algo_thresh
+    )

@@ -1,0 +1,6 @@
+"""CPU substrate: episodic thread models standing in for traced cores."""
+
+from repro.cpu.stats import ThreadStats
+from repro.cpu.thread import MAX_OUTSTANDING_MISSES, ThreadModel
+
+__all__ = ["MAX_OUTSTANDING_MISSES", "ThreadModel", "ThreadStats"]

@@ -1,0 +1,55 @@
+"""Per-thread architectural statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ThreadStats:
+    """Counters a core exposes to the memory-scheduling machinery.
+
+    ``quantum_*`` fields are reset at every quantum boundary; lifetime
+    fields accumulate for the whole run.  MPKI here is the L2 MPKI the
+    paper's monitors compute at the cache controller.
+    """
+
+    instructions: int = 0
+    misses: int = 0
+    stall_cycles: int = 0
+    compute_cycles: int = 0
+    episodes: int = 0
+
+    quantum_instructions: int = 0
+    quantum_misses: int = 0
+
+    def retire(self, instructions: int, misses: int) -> None:
+        """Account one completed episode's instructions and misses."""
+        self.instructions += instructions
+        self.misses += misses
+        self.quantum_instructions += instructions
+        self.quantum_misses += misses
+        self.episodes += 1
+
+    def quantum_mpki(self) -> float:
+        """Misses per kilo-instruction over the current quantum."""
+        if self.quantum_instructions == 0:
+            return 0.0
+        return 1000.0 * self.quantum_misses / self.quantum_instructions
+
+    def lifetime_mpki(self) -> float:
+        """Misses per kilo-instruction over the whole run."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.misses / self.instructions
+
+    def ipc(self, elapsed_cycles: int) -> float:
+        """Retired instructions per cycle over ``elapsed_cycles``."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return self.instructions / elapsed_cycles
+
+    def reset_quantum(self) -> None:
+        """Start a fresh quantum accounting window."""
+        self.quantum_instructions = 0
+        self.quantum_misses = 0

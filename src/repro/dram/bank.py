@@ -1,0 +1,148 @@
+"""DRAM bank: a row-buffer state machine."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import DramTimings
+
+
+class Bank:
+    """One DRAM bank with an open-row (row-buffer) policy.
+
+    The bank tracks which row is currently latched in its row-buffer and
+    until when it is busy servicing a burst.  Access classification
+    follows the paper's three cases:
+
+    * row-buffer **hit** — the addressed row is already open;
+    * **closed** — no row is open (first access after reset);
+    * **conflict** — a different row is open and must be precharged.
+    """
+
+    def __init__(self, channel_id: int, bank_id: int, timings: DramTimings):
+        self.channel_id = channel_id
+        self.bank_id = bank_id
+        self.timings = timings
+        self.open_row: Optional[int] = None
+        self.busy_until: int = 0
+        self.last_activate: int = -(10 ** 9)   # effectively "long ago"
+        # statistics
+        self.row_hits = 0
+        self.row_conflicts = 0
+        self.row_closed = 0
+        self.busy_cycles = 0
+
+    def is_idle(self, now: int) -> bool:
+        """True if the bank can begin a new access at ``now``."""
+        return now >= self.busy_until
+
+    def classify(self, row: int) -> str:
+        """Classify an access to ``row`` as 'hit', 'closed' or 'conflict'."""
+        if self.open_row is None:
+            return "closed"
+        if self.open_row == row:
+            return "hit"
+        return "conflict"
+
+    def occupancy_for(self, row: int) -> int:
+        """Bank-busy cycles an access to ``row`` would take right now."""
+        kind = self.classify(row)
+        return self.timings.occupancy(
+            row_hit=(kind == "hit"), row_open=(self.open_row is not None)
+        )
+
+    def begin_access(
+        self,
+        row: int,
+        now: int,
+        bus_free_until: int,
+        activate_not_before: int = 0,
+    ) -> "BankAccess":
+        """Start servicing an access; returns the timing breakdown.
+
+        The precharge/activate portion proceeds on the bank alone; the
+        burst must additionally wait for the channel data bus.  The bank
+        is busy until the burst completes.
+
+        With detailed timings enabled, activates additionally honour
+        tRAS (precharge no earlier than tRAS after the previous
+        activate), tRC (same-bank activate spacing) and any
+        channel-level bound passed via ``activate_not_before``
+        (tRRD/tFAW/refresh).
+        """
+        if not self.is_idle(now):
+            raise RuntimeError(
+                f"bank ch{self.channel_id}/b{self.bank_id} busy until "
+                f"{self.busy_until}, access attempted at {now}"
+            )
+        t = self.timings
+        kind = self.classify(row)
+        activate_time = None
+        if kind == "hit":
+            prep_done = now
+        else:
+            if kind == "conflict":
+                precharge_start = now
+                if t.detailed:
+                    precharge_start = max(
+                        precharge_start, self.last_activate + t.t_ras
+                    )
+                ready_for_activate = precharge_start + t.t_rp
+            else:
+                ready_for_activate = now
+            activate_time = max(ready_for_activate, activate_not_before)
+            if t.detailed:
+                activate_time = max(
+                    activate_time, self.last_activate + t.t_rc
+                )
+            self.last_activate = activate_time
+            prep_done = activate_time + t.t_rcd
+        data_start = max(prep_done, bus_free_until)
+        data_end = data_start + t.burst
+        # closed-page policy auto-precharges: nothing stays latched, so
+        # the next access is always a "closed" activate (never a
+        # conflict, never a hit)
+        self.open_row = None if t.page_policy == "closed" else row
+        self.busy_until = data_end
+        self.busy_cycles += data_end - now
+        if kind == "hit":
+            self.row_hits += 1
+        elif kind == "conflict":
+            self.row_conflicts += 1
+        else:
+            self.row_closed += 1
+        return BankAccess(
+            kind=kind,
+            data_start=data_start,
+            data_end=data_end,
+            activate_time=activate_time,
+        )
+
+    def reset_stats(self) -> None:
+        """Clear accumulated access statistics (row state is kept)."""
+        self.row_hits = 0
+        self.row_conflicts = 0
+        self.row_closed = 0
+        self.busy_cycles = 0
+
+
+class BankAccess:
+    """Timing outcome of a single bank access."""
+
+    __slots__ = ("kind", "data_start", "data_end", "activate_time")
+
+    def __init__(
+        self,
+        kind: str,
+        data_start: int,
+        data_end: int,
+        activate_time: Optional[int] = None,
+    ):
+        self.kind = kind
+        self.data_start = data_start
+        self.data_end = data_end
+        self.activate_time = activate_time
+
+    @property
+    def is_row_hit(self) -> bool:
+        return self.kind == "hit"

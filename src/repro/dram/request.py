@@ -1,0 +1,60 @@
+"""Memory request representation."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class MemoryRequest:
+    """A single read request from a thread to a DRAM bank.
+
+    The paper's controllers prioritise reads over writes and buffer
+    writes separately; following common practice in scheduler studies,
+    we model the read stream (writes are off the critical path and do
+    not influence any of the algorithms under study).
+
+    Attributes:
+        thread_id: issuing hardware context.
+        channel_id: DRAM controller servicing this request.
+        bank_id: bank within the channel.
+        row: DRAM row (page) addressed.
+        arrival: cycle at which the request entered the controller queue.
+        episode_id: thread-local episode counter (for thread bookkeeping).
+        marked: PAR-BS batch-mark flag.
+        start_service: cycle at which the bank began servicing, if started.
+        completion: cycle at which data was returned to the core, if done.
+        interference: cycles of queueing delay attributed to other
+            threads (used by STFM's slowdown estimation).
+    """
+
+    thread_id: int
+    channel_id: int
+    bank_id: int
+    row: int
+    arrival: int
+    episode_id: int = 0
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    is_write: bool = False
+    is_prefetch: bool = False
+    marked: bool = False
+    start_service: Optional[int] = None
+    completion: Optional[int] = None
+    interference: int = 0
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Round-trip latency in cycles, or None if not yet complete."""
+        if self.completion is None:
+            return None
+        return self.completion - self.arrival
+
+    def __repr__(self) -> str:  # compact — requests appear in debug dumps
+        return (
+            f"MemoryRequest(t{self.thread_id} ch{self.channel_id} "
+            f"b{self.bank_id} r{self.row} @{self.arrival})"
+        )

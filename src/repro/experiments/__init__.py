@@ -1,0 +1,94 @@
+"""Experiment harness: per-figure/table drivers, sweeps, reporting."""
+
+from repro.experiments.figures import (
+    ALL_SCHEDULERS,
+    BASELINES,
+    ScatterPoint,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure7,
+    figure8,
+    figure8_workload,
+    scheduler_scatter,
+)
+from repro.experiments.leakage import LeakageResult, measure_leakage
+from repro.experiments.presets import (
+    default_config,
+    paper_scale_config,
+    quick_config,
+)
+from repro.experiments.reporting import format_scatter, format_table, plot_scatter
+from repro.experiments.stats import Summary, geometric_mean, summarize
+from repro.experiments.runner import (
+    SchedulerScore,
+    alone_ipc,
+    alone_ipcs,
+    clear_alone_cache,
+    evaluate_workload,
+    run_shared,
+    score_run,
+)
+from repro.experiments.sweeps import (
+    ConfigComparison,
+    SweepPoint,
+    figure6,
+    scale_mpki,
+    table7,
+    table8,
+)
+from repro.experiments.tables import (
+    CharacteristicsRow,
+    ShufflingRow,
+    table1,
+    table2,
+    table4,
+    table6,
+)
+
+__all__ = [
+    "ALL_SCHEDULERS",
+    "BASELINES",
+    "CharacteristicsRow",
+    "ConfigComparison",
+    "LeakageResult",
+    "ScatterPoint",
+    "SchedulerScore",
+    "ShufflingRow",
+    "Summary",
+    "SweepPoint",
+    "default_config",
+    "geometric_mean",
+    "measure_leakage",
+    "paper_scale_config",
+    "plot_scatter",
+    "quick_config",
+    "summarize",
+    "alone_ipc",
+    "alone_ipcs",
+    "clear_alone_cache",
+    "evaluate_workload",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure8_workload",
+    "format_scatter",
+    "format_table",
+    "run_shared",
+    "scale_mpki",
+    "scheduler_scatter",
+    "score_run",
+    "table1",
+    "table2",
+    "table4",
+    "table6",
+    "table7",
+    "table8",
+]

@@ -1,0 +1,310 @@
+"""Command-line driver for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments.cli fig4 --per-category 4
+    python -m repro.experiments.cli fig2
+    python -m repro.experiments.cli table6 --per-category 8
+    python -m repro.experiments.cli run --intensity 0.75 --seed 3
+
+Every sub-command prints the regenerated table/series as aligned text;
+``--cycles`` scales the run length (default 400k).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import SimConfig
+from repro.experiments import (
+    evaluate_workload,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure6,
+    figure7,
+    figure8,
+    format_scatter,
+    format_table,
+    table1,
+    table2,
+    table4,
+    table6,
+    table7,
+    table8,
+)
+from repro.experiments.figures import ALL_SCHEDULERS, FIGURE8_BENCHMARKS
+from repro.workloads import make_intensity_workload
+
+
+def _scatter(points, title):
+    print(
+        format_scatter(
+            [(p.scheduler, p.weighted_speedup, p.maximum_slowdown)
+             for p in points],
+            title=title,
+        )
+    )
+
+
+def _cmd_run(args, config):
+    if args.workload_file:
+        from repro.workloads import load_workload
+
+        workload = load_workload(args.workload_file)
+    else:
+        workload = make_intensity_workload(
+            args.intensity, num_threads=config.num_threads, seed=args.seed
+        )
+    names = (
+        tuple(args.schedulers.split(","))
+        if args.schedulers
+        else ("frfcfs", "stfm", "parbs", "atlas", "tcm")
+    )
+    scores = evaluate_workload(workload, names, config=config, seed=args.seed)
+    rows = [
+        [name, s.weighted_speedup, s.maximum_slowdown, s.harmonic_speedup]
+        for name, s in scores.items()
+    ]
+    print(
+        format_table(
+            ["scheduler", "WS", "MS", "HS"], rows,
+            title=f"workload {workload.name}",
+        )
+    )
+
+
+def _cmd_fig1(args, config):
+    _scatter(figure1(args.per_category, config, args.seed), "Figure 1")
+
+
+def _cmd_fig2(args, config):
+    result = figure2(config, seed=args.seed)
+    print(
+        format_table(
+            ["policy", "random-access slowdown", "streaming slowdown"],
+            [
+                ["prioritize random-access", *result.prioritize_random],
+                ["prioritize streaming", *result.prioritize_streaming],
+            ],
+            title="Figure 2",
+        )
+    )
+
+
+def _cmd_fig3(args, config):
+    sequences = figure3(num_threads=4)
+    rows = [
+        [i, str(rr), str(ins)]
+        for i, (rr, ins) in enumerate(
+            zip(sequences["round_robin"], sequences["insertion"])
+        )
+    ]
+    print(format_table(["interval", "round-robin", "insertion"], rows,
+                       title="Figure 3"))
+
+
+def _cmd_fig4(args, config):
+    _scatter(figure4(args.per_category, config, base_seed=args.seed),
+             "Figure 4")
+
+
+def _cmd_fig5(args, config):
+    from repro.experiments import figure5
+    from repro.experiments.figures import ALL_SCHEDULERS
+
+    results = figure5(config, avg_workloads=args.per_category,
+                      base_seed=args.seed)
+    rows = []
+    for workload in ("A", "B", "C", "D", "AVG"):
+        rows.append(
+            [workload]
+            + [f"{results[workload][s].weighted_speedup:.2f}/"
+               f"{results[workload][s].maximum_slowdown:.2f}"
+               for s in ALL_SCHEDULERS]
+        )
+    print(format_table(["workload"] + [f"{s} WS/MS" for s in ALL_SCHEDULERS],
+                       rows, title="Figure 5"))
+
+
+def _cmd_leakage(args, config):
+    from repro.experiments.leakage import measure_leakage
+    from repro.workloads import make_intensity_workload
+
+    workload = make_intensity_workload(
+        1.0, num_threads=config.num_threads, seed=args.seed
+    )
+    result = measure_leakage(workload, config, seed=args.seed)
+    rows = [
+        [pos, f"{share:.1%}"]
+        for pos, share in enumerate(result.shares, start=1)
+        if share >= 0.005
+    ]
+    print(format_table(["rank position", "service share"], rows,
+                       title="Memory service leakage (paper 3.3)"))
+
+
+def _cmd_fig6(args, config):
+    curves = figure6(args.per_category, config, base_seed=args.seed)
+    rows = [
+        [name, f"{p.parameter}={p.value}", p.weighted_speedup,
+         p.maximum_slowdown]
+        for name, points in curves.items()
+        for p in points
+    ]
+    print(format_table(["scheduler", "point", "WS", "MS"], rows,
+                       title="Figure 6"))
+
+
+def _cmd_fig7(args, config):
+    results = figure7(args.per_category, config=config, base_seed=args.seed)
+    rows = []
+    for intensity, points in sorted(results.items()):
+        by_name = {p.scheduler: p for p in points}
+        rows.append(
+            [f"{intensity:.0%}"]
+            + [f"{by_name[s].weighted_speedup:.2f}/"
+               f"{by_name[s].maximum_slowdown:.2f}" for s in ALL_SCHEDULERS]
+        )
+    print(format_table(["intensity"] + [f"{s} WS/MS" for s in ALL_SCHEDULERS],
+                       rows, title="Figure 7"))
+
+
+def _cmd_fig8(args, config):
+    result = figure8(config, seed=args.seed)
+    rows = [
+        [f"{name} (w={w})", result.speedups["atlas"][name],
+         result.speedups["tcm"][name]]
+        for name, w in FIGURE8_BENCHMARKS
+    ]
+    print(format_table(["benchmark", "ATLAS", "TCM"], rows, title="Figure 8"))
+
+
+def _cmd_table1(args, config):
+    rows = table1(config.with_(phase_mean_cycles=0), seed=args.seed)
+    _print_characteristics(rows, "Table 1")
+
+
+def _cmd_table2(args, config):
+    cost = table2()
+    print(
+        format_table(
+            ["monitor", "bits"],
+            [["MPKI", cost.mpki_counter], ["load", cost.load_counter],
+             ["BLP", cost.blp_counter + cost.blp_average],
+             ["shadow index", cost.shadow_row_index],
+             ["shadow hits", cost.shadow_row_hits],
+             ["TOTAL", cost.total_bits]],
+            title="Table 2",
+        )
+    )
+
+
+def _cmd_table4(args, config):
+    rows = table4(config.with_(phase_mean_cycles=0), seed=args.seed)
+    _print_characteristics(rows, "Table 4")
+
+
+def _print_characteristics(rows, title):
+    print(
+        format_table(
+            ["benchmark", "MPKI tgt", "MPKI", "RBL tgt", "RBL",
+             "BLP tgt", "BLP", "IPC"],
+            [
+                [r.benchmark, r.target_mpki, r.measured_mpki, r.target_rbl,
+                 r.measured_rbl, r.target_blp, r.measured_blp, r.alone_ipc]
+                for r in rows
+            ],
+            title=title,
+        )
+    )
+
+
+def _cmd_table6(args, config):
+    rows = table6(args.per_category, config, base_seed=args.seed)
+    print(
+        format_table(
+            ["algorithm", "MS avg", "MS var"],
+            [[r.algorithm, r.ms_average, r.ms_variance] for r in rows],
+            title="Table 6",
+        )
+    )
+
+
+def _cmd_table7(args, config):
+    points = table7(args.per_category, config, base_seed=args.seed)
+    print(
+        format_table(
+            ["parameter", "value", "WS", "MS"],
+            [[p.parameter, p.value, p.weighted_speedup, p.maximum_slowdown]
+             for p in points],
+            title="Table 7",
+        )
+    )
+
+
+def _cmd_table8(args, config):
+    rows = table8(per_category=1, config=config, base_seed=args.seed)
+    print(
+        format_table(
+            ["dimension", "value", "TCM WS", "ATLAS WS", "TCM MS", "ATLAS MS"],
+            [[r.dimension, r.value, r.tcm_ws, r.atlas_ws, r.tcm_ms, r.atlas_ms]
+             for r in rows],
+            title="Table 8",
+        )
+    )
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "fig1": _cmd_fig1,
+    "fig2": _cmd_fig2,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "leakage": _cmd_leakage,
+    "fig7": _cmd_fig7,
+    "fig8": _cmd_fig8,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table4": _cmd_table4,
+    "table6": _cmd_table6,
+    "table7": _cmd_table7,
+    "table8": _cmd_table8,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.cli",
+        description="Regenerate the TCM paper's tables and figures.",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS))
+    parser.add_argument("--cycles", type=int, default=400_000,
+                        help="simulated cycles per run")
+    parser.add_argument("--per-category", type=int, default=2,
+                        help="workloads per intensity category")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--intensity", type=float, default=0.5,
+                        help="memory-intensive fraction (run command)")
+    parser.add_argument("--workload-file", default=None,
+                        help="JSON workload definition (run command; see "
+                             "repro.workloads.save_workload)")
+    parser.add_argument("--schedulers", default=None,
+                        help="comma-separated scheduler list (run command)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = SimConfig(run_cycles=args.cycles)
+    _COMMANDS[args.command](args, config)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,313 @@
+"""Per-figure experiment drivers.
+
+Each ``figureN`` function regenerates the data behind the paper's
+figure N, at a configurable scale (number of workloads per intensity
+category, run length).  Figures 1 and 4 share the scatter machinery;
+Figure 3 is purely algorithmic (shuffle permutation patterns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SimConfig, TCMParams
+from repro.core.shuffle import InsertionShuffler, RoundRobinShuffler
+from repro.experiments.runner import (
+    SchedulerScore,
+    alone_ipcs,
+    evaluate_workload,
+    score_run,
+)
+from repro.metrics import maximum_slowdown, weighted_speedup
+from repro.schedulers.static import StaticPriorityScheduler
+from repro.sim import System
+from repro.workloads.microbench import RANDOM_ACCESS, STREAMING
+from repro.workloads.mixes import (
+    TABLE5_WORKLOADS,
+    Workload,
+    make_workload_suite,
+    workload_from_specs,
+)
+
+#: Schedulers in the paper's motivation figure (Figure 1).
+BASELINES = ("frfcfs", "stfm", "parbs", "atlas")
+#: Schedulers in the paper's main result figure (Figure 4).
+ALL_SCHEDULERS = BASELINES + ("tcm",)
+
+
+@dataclass(frozen=True)
+class ScatterPoint:
+    """One scheduler's position in performance/fairness space."""
+
+    scheduler: str
+    weighted_speedup: float
+    maximum_slowdown: float
+    harmonic_speedup: float
+
+
+def scheduler_scatter(
+    scheduler_names: Sequence[str],
+    per_category: int = 4,
+    intensities: Sequence[float] = (0.5, 0.75, 1.0),
+    config: Optional[SimConfig] = None,
+    params: Optional[Dict[str, object]] = None,
+    base_seed: int = 0,
+) -> List[ScatterPoint]:
+    """Average WS/MS/HS of each scheduler over a workload suite.
+
+    The paper's full suite is 32 workloads per category over the 50%,
+    75% and 100% intensity categories (96 total); ``per_category``
+    scales that down for quick runs.
+    """
+    config = config or SimConfig()
+    suite = make_workload_suite(
+        intensities, per_category, num_threads=config.num_threads,
+        base_seed=base_seed,
+    )
+    sums = {name: [0.0, 0.0, 0.0] for name in scheduler_names}
+    for i, workload in enumerate(suite):
+        scores = evaluate_workload(
+            workload, scheduler_names, config, params, seed=base_seed + i
+        )
+        for name, score in scores.items():
+            sums[name][0] += score.weighted_speedup
+            sums[name][1] += score.maximum_slowdown
+            sums[name][2] += score.harmonic_speedup
+    n = len(suite)
+    return [
+        ScatterPoint(name, s[0] / n, s[1] / n, s[2] / n)
+        for name, s in sums.items()
+    ]
+
+
+def figure1(
+    per_category: int = 4,
+    config: Optional[SimConfig] = None,
+    base_seed: int = 0,
+) -> List[ScatterPoint]:
+    """Figure 1: fairness/throughput of the four prior schedulers."""
+    return scheduler_scatter(BASELINES, per_category, config=config,
+                             base_seed=base_seed)
+
+
+def figure4(
+    per_category: int = 4,
+    config: Optional[SimConfig] = None,
+    params: Optional[Dict[str, object]] = None,
+    base_seed: int = 0,
+) -> List[ScatterPoint]:
+    """Figure 4: the main result — TCM vs all four baselines."""
+    return scheduler_scatter(ALL_SCHEDULERS, per_category, config=config,
+                             params=params, base_seed=base_seed)
+
+
+# ----------------------------------------------------------------------
+# Figure 2: susceptibility of the two microbenchmarks
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    """Slowdowns under the two static prioritisation choices."""
+
+    prioritize_random: Tuple[float, float]   # (random-access, streaming)
+    prioritize_streaming: Tuple[float, float]
+
+    @property
+    def deprioritized_random_slowdown(self) -> float:
+        return self.prioritize_streaming[0]
+
+    @property
+    def deprioritized_streaming_slowdown(self) -> float:
+        return self.prioritize_random[1]
+
+
+def figure2(config: Optional[SimConfig] = None, seed: int = 0) -> Figure2Result:
+    """Figure 2: strict prioritisation between the Table 1 threads.
+
+    Runs the random-access and streaming microbenchmarks together
+    twice — once with each strictly prioritised — and reports both
+    threads' slowdowns for each policy.  The paper's point: the
+    deprioritised random-access thread slows down far more (>11x) than
+    the deprioritised streaming thread.
+    """
+    config = config or SimConfig()
+    workload = workload_from_specs("microbench", (RANDOM_ACCESS, STREAMING))
+    alones = alone_ipcs(workload, config, seed)
+
+    def run_with_order(order: Tuple[int, int]) -> Tuple[float, float]:
+        system = System(
+            workload, StaticPriorityScheduler(order), config, seed=seed
+        )
+        result = system.run()
+        return tuple(
+            alone / shared if shared > 0 else float("inf")
+            for alone, shared in zip(alones, result.ipcs)
+        )
+
+    return Figure2Result(
+        prioritize_random=run_with_order((0, 1)),
+        prioritize_streaming=run_with_order((1, 0)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3: shuffle permutation patterns
+# ----------------------------------------------------------------------
+
+
+def figure3(num_threads: int = 4, steps: Optional[int] = None) -> Dict[str, List[List[int]]]:
+    """Figure 3: successive priority permutations of both shuffles.
+
+    Threads are labelled 0..N-1 in increasing niceness; each entry of a
+    sequence is the priority array after one interval (last position =
+    highest priority).
+    """
+    if steps is None:
+        steps = 2 * num_threads
+    thread_ids = list(range(num_threads))
+    niceness = {tid: tid for tid in thread_ids}
+    rr = RoundRobinShuffler(thread_ids)
+    ins = InsertionShuffler(thread_ids, niceness)
+    sequences = {"round_robin": [rr.order()], "insertion": [ins.order()]}
+    for _ in range(steps):
+        rr.advance()
+        ins.advance()
+        sequences["round_robin"].append(rr.order())
+        sequences["insertion"].append(ins.order())
+    return sequences
+
+
+# ----------------------------------------------------------------------
+# Figure 5: individual workloads A-D
+# ----------------------------------------------------------------------
+
+
+def figure5(
+    config: Optional[SimConfig] = None,
+    scheduler_names: Sequence[str] = ALL_SCHEDULERS,
+    avg_workloads: int = 4,
+    base_seed: int = 0,
+) -> Dict[str, Dict[str, SchedulerScore]]:
+    """Figure 5: WS and MS for the Table 5 workloads plus an average.
+
+    Returns {workload_name: {scheduler: score}}; the ``AVG`` entry
+    averages ``avg_workloads`` random 50%-intensity mixes (the paper
+    uses 32).
+    """
+    config = config or SimConfig()
+    out: Dict[str, Dict[str, SchedulerScore]] = {}
+    for name, workload in TABLE5_WORKLOADS.items():
+        out[name] = evaluate_workload(
+            workload, scheduler_names, config, seed=base_seed
+        )
+    if avg_workloads > 0:
+        points = scheduler_scatter(
+            scheduler_names, avg_workloads, (0.5,), config,
+            base_seed=base_seed,
+        )
+        out["AVG"] = {
+            p.scheduler: SchedulerScore(
+                scheduler=p.scheduler,
+                workload="AVG",
+                weighted_speedup=p.weighted_speedup,
+                maximum_slowdown=p.maximum_slowdown,
+                harmonic_speedup=p.harmonic_speedup,
+                result=None,
+            )
+            for p in points
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 7: effect of workload memory intensity
+# ----------------------------------------------------------------------
+
+
+def figure7(
+    per_category: int = 4,
+    intensities: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+    config: Optional[SimConfig] = None,
+    base_seed: int = 0,
+) -> Dict[float, List[ScatterPoint]]:
+    """Figure 7: WS and MS per scheduler at each intensity category."""
+    return {
+        intensity: scheduler_scatter(
+            ALL_SCHEDULERS, per_category, (intensity,), config,
+            base_seed=base_seed,
+        )
+        for intensity in intensities
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 8: OS thread weights
+# ----------------------------------------------------------------------
+
+#: The paper's weighted mix: weights assigned in the worst possible
+#: manner for throughput (heavier threads get larger weights).
+FIGURE8_BENCHMARKS: Tuple[Tuple[str, int], ...] = (
+    ("gcc", 1),
+    ("wrf", 2),
+    ("GemsFDTD", 4),
+    ("lbm", 8),
+    ("libquantum", 16),
+    ("mcf", 32),
+)
+
+
+def figure8_workload(instances: int = 4) -> Workload:
+    """The Figure 8 weighted workload (instances x 6 benchmarks)."""
+    names: List[str] = []
+    weights: List[int] = []
+    for name, weight in FIGURE8_BENCHMARKS:
+        names.extend([name] * instances)
+        weights.extend([weight] * instances)
+    return Workload(
+        name="fig8-weighted",
+        benchmark_names=tuple(names),
+        weights=tuple(weights),
+    )
+
+
+@dataclass(frozen=True)
+class Figure8Result:
+    """Per-benchmark speedups under ATLAS and TCM with OS weights."""
+
+    speedups: Dict[str, Dict[str, float]]   # scheduler -> benchmark -> speedup
+    weighted_speedup: Dict[str, float]
+    maximum_slowdown: Dict[str, float]
+
+
+def figure8(
+    config: Optional[SimConfig] = None,
+    instances: int = 4,
+    seed: int = 0,
+) -> Figure8Result:
+    """Figure 8: enforcing thread weights without destroying the rest.
+
+    ATLAS blindly honours weights (scaling attained service), crushing
+    the light threads; TCM honours them within clusters, keeping the
+    latency-sensitive threads fast.
+    """
+    config = config or SimConfig()
+    workload = figure8_workload(instances)
+    scores = evaluate_workload(workload, ("atlas", "tcm"), config, seed=seed)
+    alones = alone_ipcs(workload, config, seed)
+    speedups: Dict[str, Dict[str, float]] = {}
+    for sched, score in scores.items():
+        per_bench: Dict[str, List[float]] = {}
+        for tid, thread in enumerate(score.result.threads):
+            per_bench.setdefault(thread.benchmark, []).append(
+                thread.ipc / alones[tid]
+            )
+        speedups[sched] = {
+            bench: sum(vals) / len(vals) for bench, vals in per_bench.items()
+        }
+    return Figure8Result(
+        speedups=speedups,
+        weighted_speedup={s: sc.weighted_speedup for s, sc in scores.items()},
+        maximum_slowdown={s: sc.maximum_slowdown for s, sc in scores.items()},
+    )

@@ -1,0 +1,100 @@
+"""Memory service "leakage" measurement (paper §3.3).
+
+The paper observes that with strict thread ranking, service *leaks*
+below the top priority level: a bank serves the highest-ranked thread
+with a request **at that bank**, so lower-ranked threads still receive
+service wherever higher-ranked ones are absent — "we often encountered
+cases where memory service was leaked all the way to the fifth or
+sixth highest priority thread in a 24-thread system."
+
+This experiment wraps TCM with an instrument that, at every scheduling
+decision, records the *rank position* (1 = highest current rank) of the
+thread being serviced, yielding the service-by-rank histogram behind
+that observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import SimConfig, TCMParams
+from repro.core.tcm import TCMScheduler
+from repro.dram.request import MemoryRequest
+from repro.sim import System
+from repro.workloads.mixes import Workload, make_intensity_workload
+
+
+class InstrumentedTCM(TCMScheduler):
+    """TCM that histograms service by current rank position."""
+
+    name = "TCM-instrumented"
+
+    def __init__(self, params: Optional[TCMParams] = None):
+        super().__init__(params)
+        #: service cycles received at each rank position (1 = top)
+        self.service_by_position: Dict[int, int] = {}
+
+    def _position_of(self, thread_id: int, channel_id: int) -> int:
+        """1-based position of the thread in the current rank order."""
+        ranks = self._ranks[channel_id] if self._ranks else {}
+        if not ranks:
+            return 1
+        ordered = sorted(ranks, key=lambda t: -ranks[t])
+        try:
+            return ordered.index(thread_id) + 1
+        except ValueError:
+            return len(ordered)
+
+    def on_request_scheduled(
+        self,
+        request: MemoryRequest,
+        waiting: List[MemoryRequest],
+        busy_cycles: int,
+        now: int,
+    ) -> None:
+        super().on_request_scheduled(request, waiting, busy_cycles, now)
+        position = self._position_of(request.thread_id, request.channel_id)
+        self.service_by_position[position] = (
+            self.service_by_position.get(position, 0) + busy_cycles
+        )
+
+
+@dataclass(frozen=True)
+class LeakageResult:
+    """Service share by rank position."""
+
+    shares: Tuple[float, ...]   # index 0 = top position
+
+    @property
+    def top_share(self) -> float:
+        return self.shares[0] if self.shares else 0.0
+
+    def depth(self, threshold: float = 0.01) -> int:
+        """Deepest position receiving at least ``threshold`` of service."""
+        deepest = 0
+        for position, share in enumerate(self.shares, start=1):
+            if share >= threshold:
+                deepest = position
+        return deepest
+
+
+def measure_leakage(
+    workload: Optional[Workload] = None,
+    config: Optional[SimConfig] = None,
+    params: Optional[TCMParams] = None,
+    seed: int = 0,
+) -> LeakageResult:
+    """Run TCM instrumented and return service shares by rank position."""
+    config = config or SimConfig()
+    workload = workload or make_intensity_workload(
+        1.0, num_threads=config.num_threads, seed=seed
+    )
+    scheduler = InstrumentedTCM(params or TCMParams())
+    System(workload, scheduler, config, seed=seed).run()
+    n = workload.num_threads
+    totals = [
+        scheduler.service_by_position.get(pos, 0) for pos in range(1, n + 1)
+    ]
+    grand = sum(totals) or 1
+    return LeakageResult(shares=tuple(t / grand for t in totals))

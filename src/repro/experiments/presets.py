@@ -1,0 +1,39 @@
+"""Canonical simulation configurations.
+
+Three scales of the same Table 3 system:
+
+* :func:`quick_config` — CI-speed smoke runs (sub-second per run).
+* :func:`default_config` — the calibrated configuration all recorded
+  results use (see EXPERIMENTS.md).
+* :func:`paper_scale_config` — the paper's native scale (1M-cycle
+  quanta, 100M-cycle runs).  Hours per workload in pure Python; use
+  only for spot checks.
+"""
+
+from __future__ import annotations
+
+from repro.config import PAPER_QUANTUM_CYCLES, PAPER_RUN_CYCLES, SimConfig
+
+
+def quick_config(**overrides) -> SimConfig:
+    """Small runs for smoke tests: 100k cycles, 25k quanta."""
+    base = SimConfig(quantum_cycles=25_000, run_cycles=100_000)
+    return base.with_(**overrides) if overrides else base
+
+
+def default_config(**overrides) -> SimConfig:
+    """The calibrated 1/20-scale configuration (50k quanta, 600k runs)."""
+    base = SimConfig()
+    return base.with_(**overrides) if overrides else base
+
+
+def paper_scale_config(**overrides) -> SimConfig:
+    """The paper's native scale: 1M-cycle quanta, 100M-cycle runs."""
+    base = SimConfig(
+        quantum_cycles=PAPER_QUANTUM_CYCLES,
+        run_cycles=PAPER_RUN_CYCLES,
+        # phases scale with the quantum so there are still several
+        # per quantum at native scale
+        phase_mean_cycles=800_000,
+    )
+    return base.with_(**overrides) if overrides else base

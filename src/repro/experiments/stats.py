@@ -1,0 +1,64 @@
+"""Small statistics helpers for suite-level results.
+
+The paper reports suite means; at reduced workload counts the
+reproduction also wants dispersion, so sweeps and reports can attach
+a normal-approximation confidence interval to every mean.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+#: two-sided 95% normal quantile
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, sample standard deviation and a 95% CI half-width."""
+
+    n: int
+    mean: float
+    stddev: float
+    ci95: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.ci95
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.ci95
+
+    def overlaps(self, other: "Summary") -> bool:
+        """True if the two 95% intervals overlap (difference not
+        resolvable at this sample size)."""
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} +/- {self.ci95:.2f} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarise a sample of suite metrics."""
+    if not values:
+        raise ValueError("cannot summarise an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return Summary(n=1, mean=mean, stddev=0.0, ci95=0.0)
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    stddev = math.sqrt(var)
+    ci95 = _Z95 * stddev / math.sqrt(n)
+    return Summary(n=n, mean=mean, stddev=stddev, ci95=ci95)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (speedup ratios compose multiplicatively)."""
+    if not values:
+        raise ValueError("cannot average an empty sample")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,240 @@
+"""Parameter and configuration sweeps (Figure 6, Tables 7 and 8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import (
+    ATLASParams,
+    PARBSParams,
+    STFMParams,
+    SimConfig,
+    TCMParams,
+)
+from repro.experiments.runner import run_shared, score_run
+from repro.workloads.mixes import Workload, make_workload_suite
+from repro.workloads.spec import BenchmarkSpec
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (scheduler, parameter value) operating point, suite-averaged."""
+
+    scheduler: str
+    parameter: str
+    value: object
+    weighted_speedup: float
+    maximum_slowdown: float
+    harmonic_speedup: float
+
+
+def _suite(per_category: int, config: SimConfig, base_seed: int,
+           intensities: Sequence[float] = (0.5,)) -> List[Workload]:
+    return make_workload_suite(
+        intensities, per_category, num_threads=config.num_threads,
+        base_seed=base_seed,
+    )
+
+
+def _average_point(
+    scheduler: str,
+    parameter: str,
+    value: object,
+    params: Optional[object],
+    suite: Sequence[Workload],
+    config: SimConfig,
+    base_seed: int,
+) -> SweepPoint:
+    ws = ms = hs = 0.0
+    for i, workload in enumerate(suite):
+        result = run_shared(workload, scheduler, config, params, seed=base_seed + i)
+        score = score_run(result, workload, config, seed=base_seed + i)
+        ws += score.weighted_speedup
+        ms += score.maximum_slowdown
+        hs += score.harmonic_speedup
+    n = len(suite)
+    return SweepPoint(scheduler, parameter, value, ws / n, ms / n, hs / n)
+
+
+# ----------------------------------------------------------------------
+# Figure 6: the performance/fairness trade-off continuum
+# ----------------------------------------------------------------------
+
+#: Default parameter ranges swept in Figure 6 (paper §7.1): TCM's
+#: ClusterThresh from 2/24 to 6/24; conservative-to-aggressive ranges
+#: for each baseline's salient parameter.
+FIGURE6_RANGES: Dict[str, Tuple[str, Tuple]] = {
+    "tcm": ("cluster_thresh", (2 / 24, 3 / 24, 4 / 24, 5 / 24, 6 / 24)),
+    "atlas": ("quantum_cycles", (25_000, 50_000, 100_000, 200_000, 400_000)),
+    "parbs": ("batch_cap", (1, 3, 5, 8, 10)),
+    "stfm": ("fairness_threshold", (1.0, 1.1, 1.5, 2.0, 5.0)),
+    "frfcfs": ("none", (None,)),
+}
+
+_PARAM_FACTORY = {
+    "tcm": lambda value: TCMParams(cluster_thresh=value),
+    "atlas": lambda value: ATLASParams(quantum_cycles=value),
+    "parbs": lambda value: PARBSParams(batch_cap=value),
+    "stfm": lambda value: STFMParams(fairness_threshold=value),
+    "frfcfs": lambda value: None,
+}
+
+
+def figure6(
+    per_category: int = 4,
+    config: Optional[SimConfig] = None,
+    schedulers: Sequence[str] = ("tcm", "atlas", "parbs", "stfm", "frfcfs"),
+    base_seed: int = 0,
+) -> Dict[str, List[SweepPoint]]:
+    """Figure 6: sweep each scheduler's salient parameter.
+
+    TCM should trace a smooth WS/MS trade-off curve; the baselines
+    should barely move along their non-favoured axis.
+    """
+    config = config or SimConfig()
+    suite = _suite(per_category, config, base_seed)
+    curves: Dict[str, List[SweepPoint]] = {}
+    for name in schedulers:
+        parameter, values = FIGURE6_RANGES[name]
+        factory = _PARAM_FACTORY[name]
+        curves[name] = [
+            _average_point(
+                name, parameter, value, factory(value), suite, config, base_seed
+            )
+            for value in values
+        ]
+    return curves
+
+
+# ----------------------------------------------------------------------
+# Table 7: TCM sensitivity to its algorithmic parameters
+# ----------------------------------------------------------------------
+
+
+def table7(
+    per_category: int = 4,
+    config: Optional[SimConfig] = None,
+    algo_thresholds: Sequence[float] = (0.05, 0.07, 0.10),
+    shuffle_intervals: Sequence[int] = (500, 600, 700, 800),
+    base_seed: int = 0,
+) -> List[SweepPoint]:
+    """Table 7: vary ShuffleAlgoThresh and ShuffleInterval."""
+    config = config or SimConfig()
+    suite = _suite(per_category, config, base_seed)
+    points = [
+        _average_point(
+            "tcm", "shuffle_algo_thresh", value,
+            TCMParams(shuffle_algo_thresh=value), suite, config, base_seed,
+        )
+        for value in algo_thresholds
+    ]
+    points += [
+        _average_point(
+            "tcm", "shuffle_interval", value,
+            TCMParams(shuffle_interval=value), suite, config, base_seed,
+        )
+        for value in shuffle_intervals
+    ]
+    return points
+
+
+# ----------------------------------------------------------------------
+# Table 8: sensitivity to system configuration
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConfigComparison:
+    """TCM-vs-ATLAS deltas under one system configuration."""
+
+    dimension: str
+    value: object
+    tcm_ws: float
+    atlas_ws: float
+    tcm_ms: float
+    atlas_ms: float
+
+    @property
+    def ws_delta(self) -> float:
+        """Relative WS change of TCM vs ATLAS (positive = TCM better)."""
+        return (self.tcm_ws - self.atlas_ws) / self.atlas_ws
+
+    @property
+    def ms_delta(self) -> float:
+        """Relative MS change of TCM vs ATLAS (negative = TCM fairer)."""
+        return (self.tcm_ms - self.atlas_ms) / self.atlas_ms
+
+
+def scale_mpki(workload: Workload, factor: float) -> Workload:
+    """Model a different cache size by scaling every benchmark's MPKI.
+
+    A larger last-level cache absorbs more misses; the paper's 1MB and
+    2MB configurations are modelled as uniform MPKI reductions.
+    """
+    specs = tuple(
+        BenchmarkSpec(
+            name=s.name, mpki=max(0.005, s.mpki * factor), rbl=s.rbl, blp=s.blp
+        )
+        for s in workload.specs
+    )
+    return Workload(
+        name=f"{workload.name}-mpki{factor}",
+        benchmark_names=workload.benchmark_names,
+        weights=workload.weights,
+        custom_specs=specs,
+    )
+
+
+#: Cache sizes of Table 8, as MPKI scaling factors relative to the
+#: 512KB-per-core baseline.
+CACHE_MPKI_FACTORS: Dict[str, float] = {"512KB": 1.0, "1MB": 0.7, "2MB": 0.5}
+
+
+def table8(
+    per_category: int = 2,
+    config: Optional[SimConfig] = None,
+    controllers: Sequence[int] = (1, 2, 4, 8),
+    cores: Sequence[int] = (4, 8, 16, 24, 32),
+    caches: Sequence[str] = ("512KB", "1MB", "2MB"),
+    base_seed: int = 0,
+) -> List[ConfigComparison]:
+    """Table 8: TCM vs ATLAS across system configurations."""
+    base = config or SimConfig()
+    comparisons: List[ConfigComparison] = []
+
+    def compare(dimension: str, value: object, cfg: SimConfig,
+                transform=None) -> ConfigComparison:
+        suite = _suite(per_category, cfg, base_seed)
+        if transform is not None:
+            suite = [transform(w) for w in suite]
+        ws = {"tcm": 0.0, "atlas": 0.0}
+        ms = {"tcm": 0.0, "atlas": 0.0}
+        for i, workload in enumerate(suite):
+            for sched in ("tcm", "atlas"):
+                result = run_shared(workload, sched, cfg, seed=base_seed + i)
+                score = score_run(result, workload, cfg, seed=base_seed + i)
+                ws[sched] += score.weighted_speedup
+                ms[sched] += score.maximum_slowdown
+        n = len(suite)
+        return ConfigComparison(
+            dimension, value,
+            tcm_ws=ws["tcm"] / n, atlas_ws=ws["atlas"] / n,
+            tcm_ms=ms["tcm"] / n, atlas_ms=ms["atlas"] / n,
+        )
+
+    for nch in controllers:
+        cfg = base.with_(num_channels=nch)
+        comparisons.append(compare("controllers", nch, cfg))
+    for ncores in cores:
+        cfg = base.with_(num_threads=ncores)
+        comparisons.append(compare("cores", ncores, cfg))
+    for cache in caches:
+        factor = CACHE_MPKI_FACTORS[cache]
+        comparisons.append(
+            compare(
+                "cache", cache, base,
+                transform=lambda w, f=factor: scale_mpki(w, f),
+            )
+        )
+    return comparisons

@@ -1,0 +1,15 @@
+"""Evaluation metrics (paper §6)."""
+
+from repro.metrics.speedup import (
+    harmonic_speedup,
+    maximum_slowdown,
+    slowdowns,
+    weighted_speedup,
+)
+
+__all__ = [
+    "harmonic_speedup",
+    "maximum_slowdown",
+    "slowdowns",
+    "weighted_speedup",
+]

@@ -1,0 +1,61 @@
+"""System throughput and fairness metrics (paper §6).
+
+* Weighted speedup (system throughput):  WS = Σ_i IPC_shared_i / IPC_alone_i
+* Maximum slowdown (unfairness):         MS = max_i IPC_alone_i / IPC_shared_i
+* Harmonic speedup (balance):            HS = N / Σ_i IPC_alone_i / IPC_shared_i
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def _validate(alone_ipcs: Sequence[float], shared_ipcs: Sequence[float]) -> None:
+    if len(alone_ipcs) != len(shared_ipcs):
+        raise ValueError(
+            f"{len(alone_ipcs)} alone IPCs vs {len(shared_ipcs)} shared IPCs"
+        )
+    if not alone_ipcs:
+        raise ValueError("need at least one thread")
+    if any(ipc <= 0 for ipc in alone_ipcs):
+        raise ValueError("alone IPCs must be positive")
+    if any(ipc < 0 for ipc in shared_ipcs):
+        raise ValueError("shared IPCs must be non-negative")
+
+
+def slowdowns(
+    alone_ipcs: Sequence[float], shared_ipcs: Sequence[float]
+) -> List[float]:
+    """Per-thread slowdowns IPC_alone / IPC_shared (inf if starved)."""
+    _validate(alone_ipcs, shared_ipcs)
+    return [
+        float("inf") if shared == 0 else alone / shared
+        for alone, shared in zip(alone_ipcs, shared_ipcs)
+    ]
+
+
+def weighted_speedup(
+    alone_ipcs: Sequence[float], shared_ipcs: Sequence[float]
+) -> float:
+    """System throughput: sum of per-thread speedups vs running alone."""
+    _validate(alone_ipcs, shared_ipcs)
+    return sum(
+        shared / alone for alone, shared in zip(alone_ipcs, shared_ipcs)
+    )
+
+
+def maximum_slowdown(
+    alone_ipcs: Sequence[float], shared_ipcs: Sequence[float]
+) -> float:
+    """Unfairness: the largest per-thread slowdown."""
+    return max(slowdowns(alone_ipcs, shared_ipcs))
+
+
+def harmonic_speedup(
+    alone_ipcs: Sequence[float], shared_ipcs: Sequence[float]
+) -> float:
+    """Harmonic mean of speedups: balances throughput and fairness."""
+    downs = slowdowns(alone_ipcs, shared_ipcs)
+    if any(d == float("inf") for d in downs):
+        return 0.0
+    return len(downs) / sum(downs)

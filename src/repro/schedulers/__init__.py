@@ -1,0 +1,29 @@
+"""Memory-request schedulers: the four baselines and shared machinery.
+
+TCM itself lives in :mod:`repro.core.tcm`; it is re-exported from the
+registry here so callers can treat all five schedulers uniformly.
+"""
+
+from repro.schedulers.atlas import ATLASScheduler
+from repro.schedulers.base import Scheduler
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.schedulers.fqm import FQMParams, FQMScheduler
+from repro.schedulers.frfcfs import FRFCFSScheduler
+from repro.schedulers.parbs import PARBSScheduler
+from repro.schedulers.registry import SCHEDULERS, make_scheduler
+from repro.schedulers.static import StaticPriorityScheduler
+from repro.schedulers.stfm import STFMScheduler
+
+__all__ = [
+    "ATLASScheduler",
+    "FCFSScheduler",
+    "FQMParams",
+    "FQMScheduler",
+    "FRFCFSScheduler",
+    "PARBSScheduler",
+    "SCHEDULERS",
+    "STFMScheduler",
+    "Scheduler",
+    "StaticPriorityScheduler",
+    "make_scheduler",
+]

@@ -1,0 +1,88 @@
+"""ATLAS — Adaptive per-Thread Least-Attained-Service scheduling [5].
+
+ATLAS divides time into long quanta; at each boundary a meta-controller
+aggregates every thread's *attained service* (memory service cycles,
+exponentially averaged over past quanta with ``HistoryWeight``) and
+ranks threads so that the thread with the **least** attained service
+has the highest priority for the whole next quantum.  Least-attained-
+service prioritisation maximises system throughput (light threads fly)
+but strictly deprioritises the most memory-intensive threads, which is
+exactly the unfairness TCM's shuffling repairs.
+
+A starvation threshold ``T`` bounds the damage: requests older than
+``T`` cycles are serviced first regardless of thread rank.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import ATLASParams
+from repro.core.monitor import QuantumSnapshot
+from repro.dram.request import MemoryRequest
+from repro.schedulers.base import Scheduler
+
+
+class ATLASScheduler(Scheduler):
+    """Least-attained-service scheduler with its own quantum length."""
+
+    name = "ATLAS"
+
+    def __init__(self, params: Optional[ATLASParams] = None):
+        super().__init__()
+        self.params = params or ATLASParams()
+        self._attained: List[float] = []
+        self._quantum_service: List[int] = []
+        self._rank: Dict[int, int] = {}
+        self._weights: Tuple[int, ...] = ()
+
+    def on_attach(self) -> None:
+        n = self.system.workload.num_threads
+        self._attained = [0.0] * n
+        self._quantum_service = [0] * n
+        self._weights = self.system.workload.weights or tuple([1] * n)
+        self._rank = {}
+        self.system.schedule_timer(self.params.quantum_cycles, "atlas-quantum")
+
+    # ------------------------------------------------------------------
+
+    def on_request_scheduled(
+        self,
+        request: MemoryRequest,
+        waiting: List[MemoryRequest],
+        busy_cycles: int,
+        now: int,
+    ) -> None:
+        self._quantum_service[request.thread_id] += busy_cycles
+
+    def on_timer(self, now: int, key: str) -> None:
+        if key != "atlas-quantum":
+            return
+        alpha = self.params.history_weight
+        n = len(self._attained)
+        for tid in range(n):
+            self._attained[tid] = (
+                alpha * self._attained[tid]
+                + (1.0 - alpha) * self._quantum_service[tid]
+            )
+            self._quantum_service[tid] = 0
+        # Least attained service (weight-scaled) -> highest rank.
+        order = sorted(
+            range(n),
+            key=lambda tid: (self._attained[tid] / self._weights[tid], tid),
+        )
+        self._rank = {tid: n - pos for pos, tid in enumerate(order)}
+        self.system.schedule_timer(now + self.params.quantum_cycles, "atlas-quantum")
+
+    # ------------------------------------------------------------------
+
+    def priority(
+        self, request: MemoryRequest, row_hit: bool, now: int
+    ) -> Tuple:
+        starving = (now - request.arrival) > self.params.starvation_threshold
+        return (
+            starving,
+            self._rank.get(request.thread_id, 0),
+            row_hit,
+            -request.arrival,
+        )

@@ -1,0 +1,108 @@
+"""Scheduler interface.
+
+A scheduler is one global object (conceptually: the policy logic
+replicated in every controller plus the meta-controller that keeps them
+consistent).  The simulation system calls its hooks:
+
+* ``on_request_arrival`` / ``on_request_scheduled`` /
+  ``on_request_complete`` — per-request lifecycle events;
+* ``on_quantum`` — end-of-quantum statistics from the meta-controller;
+* ``on_timer`` — self-scheduled periodic callbacks (e.g. shuffling);
+* ``select`` — pick the next request to service at a free bank.
+
+``select``'s default implementation maximises the tuple returned by
+:meth:`Scheduler.priority`, so most algorithms only implement
+``priority`` (larger tuples win; ties broken by request age is the
+usual last component).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.core.monitor import QuantumSnapshot
+from repro.dram.channel import Channel
+from repro.dram.request import MemoryRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.system import System
+
+
+class Scheduler:
+    """Base memory scheduler; concrete policies override ``priority``."""
+
+    #: short identifier used in registries and reports
+    name = "base"
+
+    def __init__(self):
+        self.system: Optional["System"] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def attach(self, system: "System") -> None:
+        """Bind the scheduler to a simulation system before the run."""
+        self.system = system
+        self.on_attach()
+
+    def on_attach(self) -> None:
+        """Hook for subclass initialisation after ``system`` is set."""
+
+    # ------------------------------------------------------------------
+    # event hooks
+    # ------------------------------------------------------------------
+
+    def on_quantum(self, snapshot: QuantumSnapshot, now: int) -> None:
+        """End-of-quantum statistics are available; recompute policy."""
+
+    def on_timer(self, now: int, key: str) -> None:
+        """A self-scheduled timer (see ``System.schedule_timer``) fired."""
+
+    def on_request_arrival(self, request: MemoryRequest, now: int) -> None:
+        """A request entered a controller queue."""
+
+    def on_request_scheduled(
+        self,
+        request: MemoryRequest,
+        waiting: List[MemoryRequest],
+        busy_cycles: int,
+        now: int,
+    ) -> None:
+        """``request`` began service; ``waiting`` still queue at its bank."""
+
+    def on_request_complete(self, request: MemoryRequest, now: int) -> None:
+        """``request`` returned data to the core."""
+
+    # ------------------------------------------------------------------
+    # the scheduling decision
+    # ------------------------------------------------------------------
+
+    def priority(
+        self, request: MemoryRequest, row_hit: bool, now: int
+    ) -> Tuple:
+        """Priority tuple for ``request``; larger wins."""
+        raise NotImplementedError
+
+    def select(
+        self, channel: Channel, bank_id: int, now: int
+    ) -> MemoryRequest:
+        """Choose the next request to service at a free bank.
+
+        Demand requests are always preferred over prefetches (the
+        baseline prefetch policy of [6]); within each class the
+        scheduler's ``priority`` tuple decides.
+        """
+        queue = channel.queues[bank_id]
+        if not queue:
+            raise RuntimeError(
+                f"select() on empty queue ch{channel.channel_id}/b{bank_id}"
+            )
+        open_row = channel.banks[bank_id].open_row
+        return max(
+            queue,
+            key=lambda r: (
+                (not r.is_prefetch,)
+                + self.priority(r, r.row == open_row, now)
+            ),
+        )

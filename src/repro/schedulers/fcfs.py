@@ -1,0 +1,24 @@
+"""FCFS — plain oldest-first scheduling.
+
+Not evaluated in the paper's figures but the classical strawman FR-FCFS
+improves upon; included for completeness and as a sanity baseline in
+tests (FR-FCFS must beat FCFS on row-hit rate).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.dram.request import MemoryRequest
+from repro.schedulers.base import Scheduler
+
+
+class FCFSScheduler(Scheduler):
+    """Oldest-first, oblivious to row-buffer state and threads."""
+
+    name = "FCFS"
+
+    def priority(
+        self, request: MemoryRequest, row_hit: bool, now: int
+    ) -> Tuple:
+        return (-request.arrival,)

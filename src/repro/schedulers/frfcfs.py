@@ -1,0 +1,24 @@
+"""FR-FCFS — First-Ready, First-Come-First-Served (Rixner et al. [19]).
+
+The thread-unaware baseline commonly employed in real controllers:
+row-buffer-hit requests first, then oldest first.  Maximises DRAM
+throughput but is prone to starving threads with poor locality.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.dram.request import MemoryRequest
+from repro.schedulers.base import Scheduler
+
+
+class FRFCFSScheduler(Scheduler):
+    """Row-hit-first, then oldest-first. No parameters."""
+
+    name = "FR-FCFS"
+
+    def priority(
+        self, request: MemoryRequest, row_hit: bool, now: int
+    ) -> Tuple:
+        return (row_hit, -request.arrival)

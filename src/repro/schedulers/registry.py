@@ -1,0 +1,76 @@
+"""Scheduler registry: build any evaluated scheduler by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.config import ATLASParams, PARBSParams, STFMParams, TCMParams
+from repro.schedulers.atlas import ATLASScheduler
+from repro.schedulers.base import Scheduler
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.schedulers.fqm import FQMParams, FQMScheduler
+from repro.schedulers.frfcfs import FRFCFSScheduler
+from repro.schedulers.parbs import PARBSScheduler
+from repro.schedulers.stfm import STFMScheduler
+
+
+def _tcm_factory(*args, **kwargs) -> Scheduler:
+    # Imported lazily: repro.core.tcm itself depends on the scheduler
+    # base class, so a module-level import here would be circular.
+    from repro.core.tcm import TCMScheduler
+
+    return TCMScheduler(*args, **kwargs)
+
+
+#: Factories for all schedulers, keyed by canonical name.
+SCHEDULERS: Dict[str, Callable[..., Scheduler]] = {
+    "fcfs": FCFSScheduler,
+    "fqm": FQMScheduler,
+    "frfcfs": FRFCFSScheduler,
+    "stfm": STFMScheduler,
+    "parbs": PARBSScheduler,
+    "atlas": ATLASScheduler,
+    "tcm": _tcm_factory,
+}
+
+#: The five schedulers evaluated head-to-head in the paper's figures.
+EVALUATED = ("frfcfs", "stfm", "parbs", "atlas", "tcm")
+
+
+def make_scheduler(name: str, params: Optional[object] = None) -> Scheduler:
+    """Instantiate a scheduler by name with optional parameter object.
+
+    ``params`` must match the scheduler's parameter dataclass
+    (:class:`~repro.config.TCMParams` for ``tcm``, etc.); schedulers
+    without parameters (fcfs, frfcfs) accept only ``None``.
+    """
+    key = name.lower().replace("-", "").replace("_", "")
+    aliases = {
+        "fcfs": "fcfs",
+        "fqm": "fqm",
+        "frfcfs": "frfcfs",
+        "stfm": "stfm",
+        "parbs": "parbs",
+        "atlas": "atlas",
+        "tcm": "tcm",
+    }
+    if key not in aliases:
+        raise KeyError(f"unknown scheduler {name!r}; options: {sorted(SCHEDULERS)}")
+    factory = SCHEDULERS[aliases[key]]
+    if params is None:
+        return factory()
+    expected = {
+        "fqm": FQMParams,
+        "stfm": STFMParams,
+        "parbs": PARBSParams,
+        "atlas": ATLASParams,
+        "tcm": TCMParams,
+    }.get(aliases[key])
+    if expected is None:
+        raise ValueError(f"scheduler {name!r} takes no parameters")
+    if not isinstance(params, expected):
+        raise TypeError(
+            f"scheduler {name!r} expects {expected.__name__}, "
+            f"got {type(params).__name__}"
+        )
+    return factory(params)

@@ -1,0 +1,99 @@
+"""STFM — Stall-Time Fair Memory scheduling (Mutlu & Moscibroda [13]).
+
+STFM estimates each thread's memory slowdown — the ratio of its memory
+stall time when sharing the system to an estimate of its stall time had
+it run alone — and, whenever the ratio between the most- and
+least-slowed threads exceeds ``FairnessThreshold``, prioritises the
+most-slowed thread; otherwise it behaves like FR-FCFS.
+
+Alone stall time is estimated by interference accounting: whenever a
+request is serviced, every other thread's requests waiting at that bank
+are being delayed by the service duration; those cycles are what the
+thread would *not* have waited alone and are subtracted from its shared
+memory time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.config import STFMParams
+from repro.dram.request import MemoryRequest
+from repro.schedulers.base import Scheduler
+
+#: Minimum accumulated shared memory cycles before a thread's slowdown
+#: estimate is considered meaningful.
+_MIN_SHARED_CYCLES = 1000
+
+
+class STFMScheduler(Scheduler):
+    """Stall-time fair scheduler with heuristic slowdown estimation."""
+
+    name = "STFM"
+
+    def __init__(self, params: Optional[STFMParams] = None):
+        super().__init__()
+        self.params = params or STFMParams()
+        self._t_shared: List[int] = []
+        self._t_interference: List[int] = []
+        self._victim: Optional[int] = None
+        self._next_eval = 0
+
+    def on_attach(self) -> None:
+        n = self.system.workload.num_threads
+        self._t_shared = [0] * n
+        self._t_interference = [0] * n
+        self._victim = None
+        self._next_eval = self.params.interval_length
+
+    # ------------------------------------------------------------------
+    # interference accounting
+    # ------------------------------------------------------------------
+
+    def on_request_scheduled(
+        self,
+        request: MemoryRequest,
+        waiting: List[MemoryRequest],
+        busy_cycles: int,
+        now: int,
+    ) -> None:
+        for other in waiting:
+            if other.thread_id != request.thread_id:
+                other.interference += busy_cycles
+                self._t_interference[other.thread_id] += busy_cycles
+
+    def on_request_complete(self, request: MemoryRequest, now: int) -> None:
+        self._t_shared[request.thread_id] += now - request.arrival
+        if now >= self._next_eval:
+            self._reevaluate()
+            self._next_eval = now + self.params.interval_length
+
+    # ------------------------------------------------------------------
+    # slowdown estimation
+    # ------------------------------------------------------------------
+
+    def slowdown_estimate(self, tid: int) -> float:
+        """Estimated memory slowdown of thread ``tid`` (>= 1.0)."""
+        shared = self._t_shared[tid]
+        if shared < _MIN_SHARED_CYCLES:
+            return 1.0
+        alone = max(1, shared - self._t_interference[tid])
+        return shared / alone
+
+    def _reevaluate(self) -> None:
+        n = len(self._t_shared)
+        slowdowns = [self.slowdown_estimate(t) for t in range(n)]
+        s_max = max(slowdowns)
+        s_min = min(s for s in slowdowns if s >= 1.0)
+        if s_min > 0 and s_max / s_min > self.params.fairness_threshold:
+            self._victim = slowdowns.index(s_max)
+        else:
+            self._victim = None
+
+    # ------------------------------------------------------------------
+
+    def priority(
+        self, request: MemoryRequest, row_hit: bool, now: int
+    ) -> Tuple:
+        is_victim = self._victim is not None and request.thread_id == self._victim
+        return (is_victim, row_hit, -request.arrival)

@@ -1,0 +1,6 @@
+"""Event-driven simulation engine and system composition."""
+
+from repro.sim.results import RunResult, ThreadResult
+from repro.sim.system import System
+
+__all__ = ["RunResult", "System", "ThreadResult"]

@@ -1,0 +1,105 @@
+"""Post-run introspection of a simulated system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim.system import System
+
+
+@dataclass(frozen=True)
+class BankReport:
+    """Utilisation and access mix of one bank."""
+
+    channel: int
+    bank: int
+    utilisation: float
+    row_hits: int
+    row_conflicts: int
+    row_closed: int
+    queued: int
+
+    @property
+    def accesses(self) -> int:
+        return self.row_hits + self.row_conflicts + self.row_closed
+
+    @property
+    def hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass(frozen=True)
+class SystemReport:
+    """Whole-system utilisation breakdown after a run."""
+
+    cycles: int
+    banks: List[BankReport]
+    bus_utilisation: List[float]
+    writes_serviced: int
+    writes_dropped: int
+
+    @property
+    def mean_bank_utilisation(self) -> float:
+        return sum(b.utilisation for b in self.banks) / len(self.banks)
+
+    @property
+    def hottest_bank(self) -> BankReport:
+        return max(self.banks, key=lambda b: b.utilisation)
+
+
+def system_report(system: System) -> SystemReport:
+    """Summarise bank/bus utilisation of a finished run."""
+    cycles = max(1, system.now)
+    banks = [
+        BankReport(
+            channel=channel.channel_id,
+            bank=bank.bank_id,
+            utilisation=min(1.0, bank.busy_cycles / cycles),
+            row_hits=bank.row_hits,
+            row_conflicts=bank.row_conflicts,
+            row_closed=bank.row_closed,
+            queued=len(channel.queues[bank.bank_id]),
+        )
+        for channel in system.channels
+        for bank in channel.banks
+    ]
+    # the data bus is occupied `burst` cycles per serviced access
+    burst = system.config.timings.burst
+    bus = [
+        min(
+            1.0,
+            sum(b.row_hits + b.row_conflicts + b.row_closed for b in ch.banks)
+            * burst
+            / cycles,
+        )
+        for ch in system.channels
+    ]
+    return SystemReport(
+        cycles=cycles,
+        banks=banks,
+        bus_utilisation=bus,
+        writes_serviced=sum(ch.serviced_writes for ch in system.channels),
+        writes_dropped=sum(ch.dropped_writes for ch in system.channels),
+    )
+
+
+def format_report(report: SystemReport) -> str:
+    """Render a system report as text."""
+    lines = [
+        f"cycles simulated: {report.cycles}",
+        f"mean bank utilisation: {report.mean_bank_utilisation:.1%}",
+        "per-channel bus utilisation: "
+        + ", ".join(f"{u:.1%}" for u in report.bus_utilisation),
+    ]
+    hot = report.hottest_bank
+    lines.append(
+        f"hottest bank: ch{hot.channel}/b{hot.bank} at {hot.utilisation:.1%} "
+        f"(hit rate {hot.hit_rate:.1%})"
+    )
+    if report.writes_serviced or report.writes_dropped:
+        lines.append(
+            f"writes serviced/dropped: {report.writes_serviced}/"
+            f"{report.writes_dropped}"
+        )
+    return "\n".join(lines)

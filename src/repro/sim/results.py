@@ -1,0 +1,65 @@
+"""Simulation run results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ThreadResult:
+    """End-of-run outcome for one thread."""
+
+    thread_id: int
+    benchmark: str
+    instructions: int
+    misses: int
+    ipc: float
+    mpki: float
+    blp: float
+    rbl: float
+    service_cycles: int
+    avg_latency: float
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """End-of-run outcome for a whole simulated system."""
+
+    scheduler: str
+    workload: str
+    cycles: int
+    threads: Tuple[ThreadResult, ...]
+    total_requests: int
+    row_hits: int
+    row_conflicts: int
+    row_closed: int
+    quantum_count: int
+    #: per-quantum IPC of every thread; one inner tuple per quantum
+    ipc_timeline: Tuple[Tuple[float, ...], ...] = ()
+
+    @property
+    def ipcs(self) -> List[float]:
+        return [t.ipc for t in self.threads]
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of serviced accesses that were row-buffer hits."""
+        total = self.row_hits + self.row_conflicts + self.row_closed
+        return self.row_hits / total if total else 0.0
+
+    def thread_by_id(self, thread_id: int) -> ThreadResult:
+        return self.threads[thread_id]
+
+    def thread_timeline(self, thread_id: int) -> List[float]:
+        """One thread's per-quantum IPC series."""
+        return [quantum[thread_id] for quantum in self.ipc_timeline]
+
+    def summary(self) -> Dict[str, float]:
+        """A compact numeric summary useful for logging."""
+        return {
+            "cycles": float(self.cycles),
+            "requests": float(self.total_requests),
+            "row_hit_rate": self.row_hit_rate,
+            "mean_ipc": sum(self.ipcs) / len(self.threads) if self.threads else 0.0,
+        }

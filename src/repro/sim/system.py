@@ -1,0 +1,332 @@
+"""The simulated system: cores + controllers + scheduler + meta-controller.
+
+An event-driven executor advances the system from memory event to
+memory event (episode issues, bank-service completions, request
+completions, quantum boundaries, scheduler timers).  Between events,
+cores compute and banks service requests; nothing else can change
+scheduling state, so the event granularity loses no accuracy relative
+to a per-cycle loop while running orders of magnitude faster.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import SimConfig
+from repro.core.meta import MetaController
+from repro.core.monitor import BehaviorMonitor
+from repro.cpu.thread import ThreadModel
+from repro.dram.channel import Channel
+from repro.dram.request import MemoryRequest
+from repro.schedulers.base import Scheduler
+from repro.workloads.mixes import Workload
+
+def _benchmark_streams(workload: Workload) -> List[int]:
+    """Per-thread rng stream ids: (benchmark identity, occurrence index).
+
+    A benchmark instance behaves identically whichever core it lands
+    on; duplicated instances of the same benchmark within a workload
+    get distinct streams so they decorrelate.
+    """
+    import zlib
+
+    seen: Dict[str, int] = {}
+    streams = []
+    for name in workload.benchmark_names:
+        occurrence = seen.get(name, 0)
+        seen[name] = occurrence + 1
+        streams.append((zlib.crc32(name.encode()) << 4) + occurrence)
+    return streams
+
+
+# event kinds
+_EV_ISSUE = 0        # a thread's next miss reached its compute gate
+_EV_BANK_FREE = 1    # a bank finished its burst; schedule next request
+_EV_DONE = 2         # a request's data arrived at the core
+_EV_QUANTUM = 3      # quantum boundary
+_EV_TIMER = 4        # scheduler-requested timer
+_EV_PHIT = 5         # a demand miss hit the prefetch buffer
+
+
+class System:
+    """One simulated CMP + memory subsystem executing one workload."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        scheduler: Scheduler,
+        config: Optional[SimConfig] = None,
+        seed: Optional[int] = None,
+        trace_recorder=None,
+    ):
+        self.config = config or SimConfig()
+        self.workload = workload
+        self.seed = self.config.seed if seed is None else seed
+        weights = workload.weights or tuple([1] * workload.num_threads)
+        self.threads: List[ThreadModel] = [
+            ThreadModel(
+                tid,
+                spec,
+                self.config,
+                self.seed,
+                weight=weights[tid],
+                stream=stream,
+            )
+            for tid, (spec, stream) in enumerate(
+                zip(workload.specs, _benchmark_streams(workload))
+            )
+        ]
+        self.channels: List[Channel] = [
+            Channel(ch, self.config) for ch in range(self.config.num_channels)
+        ]
+        self.monitor = BehaviorMonitor(self.config, workload.num_threads)
+        self.meta = MetaController(self.monitor)
+        self.scheduler = scheduler
+        self.now = 0
+        self._events: List[Tuple[int, int, int, object, int]] = []
+        self._seq = 0
+        self._latency_sum: List[int] = [0] * workload.num_threads
+        self._latency_count: List[int] = [0] * workload.num_threads
+        self.quantum_count = 0
+        #: per-quantum IPC of every thread (one tuple per quantum)
+        self.ipc_timeline: List[Tuple[float, ...]] = []
+        self.trace_recorder = trace_recorder
+        self._wb_rng = np.random.default_rng((self.seed, 0x3B))
+        if self.config.prefetch_degree > 0:
+            from repro.cpu.prefetch import StreamPrefetcher
+
+            self.prefetchers: Optional[List[StreamPrefetcher]] = [
+                StreamPrefetcher(self.config.prefetch_degree)
+                for _ in range(workload.num_threads)
+            ]
+        else:
+            self.prefetchers = None
+        scheduler.attach(self)
+
+    # ------------------------------------------------------------------
+    # event plumbing
+    # ------------------------------------------------------------------
+
+    def _push(self, time: int, kind: int, payload: object = None, aux: int = 0):
+        self._seq += 1
+        heapq.heappush(self._events, (time, self._seq, kind, payload, aux))
+
+    def schedule_timer(self, time: int, key: str) -> None:
+        """Schedulers use this to receive ``on_timer`` callbacks."""
+        self._push(time, _EV_TIMER, key)
+
+    # ------------------------------------------------------------------
+    # simulation actions
+    # ------------------------------------------------------------------
+
+    def _issue_miss(self, tid: int) -> None:
+        """The thread's compute gate fired: issue its next miss if possible."""
+        thread = self.threads[tid]
+        location = thread.try_issue(self.now)
+        if location is None:
+            # Window full: the retry happens at the next completion.
+            return
+        channel_id, bank_id, row = location
+        if self.prefetchers is not None:
+            prefetcher = self.prefetchers[tid]
+            # keep the prefetcher topped up whichever path the miss takes
+            self._inject_prefetches(tid, prefetcher.observe(location))
+            if prefetcher.consume(location):
+                # the block was prefetched: completes at on-chip latency
+                from repro.cpu.prefetch import PREFETCH_HIT_LATENCY
+
+                self._push(
+                    self.now + PREFETCH_HIT_LATENCY, _EV_PHIT, tid,
+                    thread.issued,
+                )
+                self._push(self.now + thread.issue_gap(), _EV_ISSUE, tid)
+                return
+            if prefetcher.try_merge(location, thread.issued):
+                # merged into an in-flight prefetch (MSHR merge): no new
+                # DRAM request; completes when the prefetch fills
+                self._push(self.now + thread.issue_gap(), _EV_ISSUE, tid)
+                return
+        if self.trace_recorder is not None:
+            # misses are positioned on the thread's virtual program
+            # time, so recorded traces are free of contention stalls
+            self.trace_recorder.record(
+                tid, thread.spec.name, thread.program_time,
+                channel_id, bank_id, row,
+            )
+        request = MemoryRequest(
+            thread_id=tid,
+            channel_id=channel_id,
+            bank_id=bank_id,
+            row=row,
+            arrival=self.now,
+            episode_id=thread.issued,
+        )
+        self.channels[channel_id].enqueue(request)
+        self.monitor.on_request_arrival(request, self.now)
+        self.scheduler.on_request_arrival(request, self.now)
+        if (
+            self.config.model_writes
+            and self._wb_rng.random() < self.config.writeback_ratio
+        ):
+            # the miss evicts a dirty line: buffer its writeback (same
+            # bank as the fill; the evicted line's row is unrelated)
+            writeback = MemoryRequest(
+                thread_id=tid,
+                channel_id=channel_id,
+                bank_id=bank_id,
+                row=int(self._wb_rng.integers(self.config.num_rows)),
+                arrival=self.now,
+                is_write=True,
+            )
+            self.channels[channel_id].enqueue_write(writeback)
+        self._try_schedule(channel_id, bank_id)
+        self._push(self.now + thread.issue_gap(), _EV_ISSUE, tid)
+
+    def _inject_prefetches(self, tid: int, locations) -> None:
+        """Enqueue prefetch requests emitted by a thread's prefetcher."""
+        for p_channel, p_bank, p_row in locations:
+            prefetch = MemoryRequest(
+                thread_id=tid,
+                channel_id=p_channel,
+                bank_id=p_bank,
+                row=p_row,
+                arrival=self.now,
+                is_prefetch=True,
+            )
+            self.channels[p_channel].enqueue(prefetch)
+            self.scheduler.on_request_arrival(prefetch, self.now)
+            self._try_schedule(p_channel, p_bank)
+
+    def _try_schedule(self, channel_id: int, bank_id: int) -> None:
+        channel = self.channels[channel_id]
+        bank = channel.banks[bank_id]
+        if not bank.is_idle(self.now):
+            return
+        if not channel.queues[bank_id]:
+            # reads first (paper Table 3); drain a write when the bank
+            # would otherwise idle
+            if self.config.model_writes:
+                write = channel.next_write_for(bank_id)
+                if write is not None:
+                    busy_until = channel.start_write_service(write, self.now)
+                    self._push(busy_until, _EV_BANK_FREE, channel_id, bank_id)
+            return
+        request = self.scheduler.select(channel, bank_id, self.now)
+        access, completion = channel.start_service(request, self.now)
+        busy_cycles = access.data_end - self.now
+        self.monitor.on_request_service(request, busy_cycles)
+        self.scheduler.on_request_scheduled(
+            request, channel.queues[bank_id], busy_cycles, self.now
+        )
+        self._push(access.data_end, _EV_BANK_FREE, channel_id, bank_id)
+        self._push(completion, _EV_DONE, request)
+
+    def _complete_request(self, request: MemoryRequest) -> None:
+        tid = request.thread_id
+        if request.is_prefetch:
+            # prefetch fills go to the prefetch buffer, waking any
+            # demand misses that merged with this prefetch
+            self.scheduler.on_request_complete(request, self.now)
+            if self.prefetchers is not None:
+                woken = self.prefetchers[tid].fill(
+                    (request.channel_id, request.bank_id, request.row)
+                )
+                for issue_id in woken:
+                    if self.threads[tid].on_request_completed(issue_id):
+                        self._issue_miss(tid)
+            return
+        self.monitor.on_request_complete(request, self.now)
+        self.scheduler.on_request_complete(request, self.now)
+        self._latency_sum[tid] += self.now - request.arrival
+        self._latency_count[tid] += 1
+        if self.threads[tid].on_request_completed(request.episode_id):
+            # The window was stalled on this completion; the next miss's
+            # compute is already done, so it issues immediately.
+            self._issue_miss(tid)
+
+    def _quantum_boundary(self) -> None:
+        mpki = [t.stats.quantum_mpki() for t in self.threads]
+        self.ipc_timeline.append(
+            tuple(
+                t.stats.quantum_instructions / self.config.quantum_cycles
+                for t in self.threads
+            )
+        )
+        snapshot = self.meta.end_quantum(mpki, self.now)
+        for thread in self.threads:
+            thread.stats.reset_quantum()
+        self.quantum_count += 1
+        self.scheduler.on_quantum(snapshot, self.now)
+        self._push(self.now + self.config.quantum_cycles, _EV_QUANTUM)
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
+
+    def run(self, cycles: Optional[int] = None):
+        """Simulate for ``cycles`` (default: config.run_cycles)."""
+        from repro.sim.results import RunResult, ThreadResult
+
+        horizon = cycles if cycles is not None else self.config.run_cycles
+        for tid, thread in enumerate(self.threads):
+            self._push(thread.issue_gap(), _EV_ISSUE, tid)
+        self._push(self.config.quantum_cycles, _EV_QUANTUM)
+
+        events = self._events
+        while events and events[0][0] <= horizon:
+            time, _seq, kind, payload, aux = heapq.heappop(events)
+            self.now = time
+            if kind == _EV_ISSUE:
+                self._issue_miss(payload)
+            elif kind == _EV_BANK_FREE:
+                self._try_schedule(payload, aux)
+            elif kind == _EV_DONE:
+                self._complete_request(payload)
+            elif kind == _EV_QUANTUM:
+                self._quantum_boundary()
+            elif kind == _EV_TIMER:
+                self.scheduler.on_timer(self.now, payload)
+            elif kind == _EV_PHIT:
+                if self.threads[payload].on_request_completed(aux):
+                    self._issue_miss(payload)
+        self.now = horizon
+        for thread in self.threads:
+            thread.finalize(horizon)
+
+        threads = tuple(
+            ThreadResult(
+                thread_id=tid,
+                benchmark=thread.spec.name,
+                instructions=thread.stats.instructions,
+                misses=thread.stats.misses,
+                ipc=thread.stats.ipc(horizon),
+                mpki=thread.stats.lifetime_mpki(),
+                blp=self.monitor.lifetime_blp(tid),
+                rbl=self.monitor.lifetime_rbl(tid),
+                service_cycles=self.monitor.lifetime_service_cycles[tid],
+                avg_latency=(
+                    self._latency_sum[tid] / self._latency_count[tid]
+                    if self._latency_count[tid]
+                    else 0.0
+                ),
+            )
+            for tid, thread in enumerate(self.threads)
+        )
+        row_hits = sum(b.row_hits for ch in self.channels for b in ch.banks)
+        conflicts = sum(b.row_conflicts for ch in self.channels for b in ch.banks)
+        closed = sum(b.row_closed for ch in self.channels for b in ch.banks)
+        return RunResult(
+            scheduler=self.scheduler.name,
+            workload=self.workload.name,
+            cycles=horizon,
+            threads=threads,
+            total_requests=sum(ch.serviced_requests for ch in self.channels),
+            row_hits=row_hits,
+            row_conflicts=conflicts,
+            row_closed=closed,
+            quantum_count=self.quantum_count,
+            ipc_timeline=tuple(self.ipc_timeline),
+        )

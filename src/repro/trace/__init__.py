@@ -1,0 +1,22 @@
+"""Trace recording and replay.
+
+The paper drives its simulator with Pin-captured traces; this package
+provides the equivalent bring-your-own-trace path for the reproduction:
+record the miss stream of any simulated thread to a file, and replay
+recorded streams as workload threads — bit-exact, scheduler-agnostic.
+"""
+
+from repro.trace.format import TraceEvent, TraceReader, TraceWriter, read_trace, write_trace
+from repro.trace.record import TraceRecorder
+from repro.trace.replay import TraceSpec, replay_workload
+
+__all__ = [
+    "TraceEvent",
+    "TraceReader",
+    "TraceRecorder",
+    "TraceSpec",
+    "TraceWriter",
+    "read_trace",
+    "replay_workload",
+    "write_trace",
+]

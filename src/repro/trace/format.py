@@ -1,0 +1,110 @@
+"""On-disk trace format.
+
+A trace is the miss stream of ONE thread: for each last-level-cache
+miss, the issue cycle and the DRAM coordinate it addresses.  The file
+format is line-oriented text, one event per line::
+
+    # repro-trace v1 <benchmark-name>
+    <issue_cycle> <channel> <bank> <row>
+
+Text keeps traces greppable and diffable; they compress well and a
+100M-cycle intensive thread is only a few hundred thousand lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+MAGIC = "# repro-trace v1"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded cache miss."""
+
+    cycle: int
+    channel: int
+    bank: int
+    row: int
+
+    def __post_init__(self):
+        if self.cycle < 0:
+            raise ValueError("cycle must be non-negative")
+        if min(self.channel, self.bank, self.row) < 0:
+            raise ValueError("coordinates must be non-negative")
+
+
+class TraceWriter:
+    """Streams trace events to an open text file."""
+
+    def __init__(self, path: Union[str, Path], benchmark: str = "unknown"):
+        self.path = Path(path)
+        self.benchmark = benchmark
+        self._file = None
+        self.events_written = 0
+
+    def __enter__(self) -> "TraceWriter":
+        self._file = self.path.open("w")
+        self._file.write(f"{MAGIC} {self.benchmark}\n")
+        return self
+
+    def write(self, event: TraceEvent) -> None:
+        if self._file is None:
+            raise RuntimeError("TraceWriter must be used as a context manager")
+        self._file.write(
+            f"{event.cycle} {event.channel} {event.bank} {event.row}\n"
+        )
+        self.events_written += 1
+
+    def __exit__(self, *exc) -> None:
+        self._file.close()
+        self._file = None
+
+
+class TraceReader:
+    """Iterates trace events from a file."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.benchmark = "unknown"
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        with self.path.open() as f:
+            header = f.readline().rstrip("\n")
+            if not header.startswith(MAGIC):
+                raise ValueError(
+                    f"{self.path}: not a repro trace (bad header {header!r})"
+                )
+            self.benchmark = header[len(MAGIC):].strip() or "unknown"
+            last_cycle = -1
+            for lineno, line in enumerate(f, start=2):
+                parts = line.split()
+                if len(parts) != 4:
+                    raise ValueError(
+                        f"{self.path}:{lineno}: expected 4 fields, got "
+                        f"{len(parts)}"
+                    )
+                event = TraceEvent(*(int(p) for p in parts))
+                if event.cycle < last_cycle:
+                    raise ValueError(
+                        f"{self.path}:{lineno}: cycles must be non-decreasing"
+                    )
+                last_cycle = event.cycle
+                yield event
+
+
+def write_trace(
+    path: Union[str, Path], events: Iterable[TraceEvent], benchmark: str = "unknown"
+) -> int:
+    """Write all events to ``path``; returns the event count."""
+    with TraceWriter(path, benchmark) as writer:
+        for event in events:
+            writer.write(event)
+        return writer.events_written
+
+
+def read_trace(path: Union[str, Path]) -> List[TraceEvent]:
+    """Read a whole trace into memory."""
+    return list(TraceReader(path))

@@ -1,0 +1,59 @@
+"""Recording the miss streams of a simulated system."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.trace.format import TraceEvent, write_trace
+
+
+class TraceRecorder:
+    """Collects every thread's miss stream during a simulation run.
+
+    Pass an instance as ``System(..., trace_recorder=...)``; after the
+    run, ``save_all`` writes one trace file per thread.
+    """
+
+    def __init__(self):
+        self.events: Dict[int, List[TraceEvent]] = {}
+        self.benchmarks: Dict[int, str] = {}
+
+    def record(
+        self,
+        thread_id: int,
+        benchmark: str,
+        cycle: int,
+        channel: int,
+        bank: int,
+        row: int,
+    ) -> None:
+        """Record one miss (called by the simulation system)."""
+        self.events.setdefault(thread_id, []).append(
+            TraceEvent(cycle=cycle, channel=channel, bank=bank, row=row)
+        )
+        self.benchmarks.setdefault(thread_id, benchmark)
+
+    def save(self, thread_id: int, path: Union[str, Path]) -> int:
+        """Write one thread's trace; returns the event count."""
+        return write_trace(
+            path,
+            self.events.get(thread_id, []),
+            benchmark=self.benchmarks.get(thread_id, "unknown"),
+        )
+
+    def save_all(self, directory: Union[str, Path]) -> Dict[int, Path]:
+        """Write every thread's trace into ``directory``.
+
+        Files are named ``t<NN>-<benchmark>.trace``; returns the path
+        per thread id.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = {}
+        for thread_id in sorted(self.events):
+            benchmark = self.benchmarks.get(thread_id, "unknown")
+            path = directory / f"t{thread_id:02d}-{benchmark}.trace"
+            self.save(thread_id, path)
+            paths[thread_id] = path
+        return paths

@@ -1,0 +1,42 @@
+"""Workload substrate: benchmark specs, trace synthesis, and mixes."""
+
+from repro.workloads.microbench import RANDOM_ACCESS, STREAMING
+from repro.workloads.mixes import (
+    TABLE5_WORKLOADS,
+    Workload,
+    load_workload,
+    make_intensity_workload,
+    make_workload_suite,
+    save_workload,
+    workload_from_dict,
+    workload_from_specs,
+    workload_to_dict,
+)
+from repro.workloads.spec import (
+    BENCHMARKS,
+    MEMORY_INTENSIVE,
+    MEMORY_NON_INTENSIVE,
+    BenchmarkSpec,
+    benchmark,
+)
+from repro.workloads.synthetic import AddressStream
+
+__all__ = [
+    "AddressStream",
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "MEMORY_INTENSIVE",
+    "MEMORY_NON_INTENSIVE",
+    "RANDOM_ACCESS",
+    "STREAMING",
+    "TABLE5_WORKLOADS",
+    "Workload",
+    "benchmark",
+    "load_workload",
+    "make_intensity_workload",
+    "make_workload_suite",
+    "save_workload",
+    "workload_from_dict",
+    "workload_from_specs",
+    "workload_to_dict",
+]

@@ -1,0 +1,21 @@
+"""Microbenchmarks of paper Table 1 / Figure 2.
+
+Two specifically constructed bandwidth-sensitive threads with equal
+memory intensity but opposite locality structure:
+
+* ``random-access`` — high bank-level parallelism (72.7% of the 16-bank
+  maximum = 11.6 banks), essentially no row-buffer locality.
+* ``streaming`` — almost pure row-buffer hits (99%), essentially no
+  bank-level parallelism (1.05 banks).
+
+The paper uses these to show that the random-access thread is far more
+susceptible to interference (Figure 2), motivating the niceness metric.
+"""
+
+from repro.workloads.spec import BenchmarkSpec
+
+#: Random-access microbenchmark (Table 1, first row).
+RANDOM_ACCESS = BenchmarkSpec(name="random-access", mpki=100.0, rbl=0.001, blp=11.6)
+
+#: Streaming microbenchmark (Table 1, second row).
+STREAMING = BenchmarkSpec(name="streaming", mpki=100.0, rbl=0.99, blp=1.05)

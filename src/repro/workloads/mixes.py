@@ -1,0 +1,252 @@
+"""Multiprogrammed workload construction.
+
+Provides the four representative workloads of paper Table 5 and the
+random workload suites the evaluation uses: for each memory-intensity
+category (fraction of memory-intensive benchmarks: 25%, 50%, 75%,
+100%), the paper simulates 32 randomly composed 24-thread workloads,
+96 total across the 50/75/100% categories used in Figures 1 and 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.workloads.spec import (
+    BENCHMARKS,
+    MEMORY_INTENSIVE,
+    MEMORY_NON_INTENSIVE,
+    BenchmarkSpec,
+    benchmark,
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A multiprogrammed mix: one benchmark per hardware context.
+
+    Benchmarks are usually named Table 4 entries; ``custom_specs``
+    allows mixes of ad-hoc :class:`BenchmarkSpec` objects (e.g. the
+    Table 1 microbenchmarks) that are not in the registry.
+    """
+
+    name: str
+    benchmark_names: Tuple[str, ...]
+    weights: Optional[Tuple[int, ...]] = None
+    custom_specs: Optional[Tuple[BenchmarkSpec, ...]] = None
+
+    def __post_init__(self):
+        if self.custom_specs is not None:
+            if tuple(s.name for s in self.custom_specs) != self.benchmark_names:
+                raise ValueError(
+                    f"workload {self.name}: custom_specs names must match "
+                    "benchmark_names"
+                )
+        else:
+            for bname in self.benchmark_names:
+                if bname not in BENCHMARKS:
+                    raise ValueError(
+                        f"workload {self.name}: unknown benchmark {bname}"
+                    )
+        if self.weights is not None and len(self.weights) != len(
+            self.benchmark_names
+        ):
+            raise ValueError(
+                f"workload {self.name}: {len(self.weights)} weights for "
+                f"{len(self.benchmark_names)} threads"
+            )
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.benchmark_names)
+
+    @property
+    def specs(self) -> Tuple[BenchmarkSpec, ...]:
+        if self.custom_specs is not None:
+            return self.custom_specs
+        return tuple(benchmark(n) for n in self.benchmark_names)
+
+    @property
+    def intensity(self) -> float:
+        """Fraction of memory-intensive benchmarks in the mix."""
+        intensive = sum(1 for s in self.specs if s.memory_intensive)
+        return intensive / self.num_threads
+
+
+def workload_from_specs(
+    name: str,
+    specs: Sequence[BenchmarkSpec],
+    weights: Optional[Sequence[int]] = None,
+) -> Workload:
+    """Build a workload directly from spec objects (registry bypass)."""
+    return Workload(
+        name=name,
+        benchmark_names=tuple(s.name for s in specs),
+        weights=tuple(weights) if weights is not None else None,
+        custom_specs=tuple(specs),
+    )
+
+    @property
+    def intensity(self) -> float:
+        """Fraction of memory-intensive benchmarks in the mix."""
+        intensive = sum(1 for s in self.specs if s.memory_intensive)
+        return intensive / self.num_threads
+
+
+def _expand(counts: Sequence[Tuple[str, int]]) -> List[str]:
+    names: List[str] = []
+    for name, count in counts:
+        names.extend([name] * count)
+    return names
+
+
+def _table5(name: str, non_intensive, intensive) -> Workload:
+    names = _expand(non_intensive) + _expand(intensive)
+    if len(names) != 24:
+        raise AssertionError(f"workload {name} has {len(names)} threads, want 24")
+    return Workload(name=name, benchmark_names=tuple(names))
+
+
+#: The four representative 24-thread workloads of paper Table 5
+#: (all are 50%-memory-intensive mixes).
+TABLE5_WORKLOADS: Dict[str, Workload] = {
+    "A": _table5(
+        "A",
+        [("calculix", 3), ("dealII", 1), ("gcc", 1), ("gromacs", 2),
+         ("namd", 1), ("perlbench", 1), ("povray", 1), ("sjeng", 1),
+         ("tonto", 1)],
+        [("mcf", 1), ("soplex", 2), ("lbm", 2), ("leslie3d", 1),
+         ("sphinx3", 1), ("xalancbmk", 1), ("omnetpp", 1), ("astar", 1),
+         ("hmmer", 2)],
+    ),
+    "B": _table5(
+        "B",
+        [("gcc", 2), ("gobmk", 3), ("namd", 2), ("perlbench", 3),
+         ("sjeng", 1), ("wrf", 1)],
+        [("bzip2", 2), ("cactusADM", 3), ("GemsFDTD", 1), ("h264ref", 2),
+         ("hmmer", 1), ("libquantum", 2), ("sphinx3", 1)],
+    ),
+    "C": _table5(
+        "C",
+        [("calculix", 2), ("dealII", 2), ("gromacs", 2), ("namd", 1),
+         ("perlbench", 2), ("povray", 1), ("tonto", 1), ("wrf", 1)],
+        [("GemsFDTD", 2), ("libquantum", 3), ("cactusADM", 1), ("astar", 1),
+         ("omnetpp", 1), ("bzip2", 1), ("soplex", 3)],
+    ),
+    "D": _table5(
+        "D",
+        [("calculix", 1), ("dealII", 1), ("gcc", 1), ("gromacs", 1),
+         ("perlbench", 1), ("povray", 2), ("sjeng", 2), ("tonto", 3)],
+        [("omnetpp", 1), ("bzip2", 2), ("h264ref", 1), ("cactusADM", 1),
+         ("astar", 1), ("soplex", 1), ("lbm", 2), ("leslie3d", 1),
+         ("xalancbmk", 2)],
+    ),
+}
+
+
+def workload_to_dict(workload: Workload) -> Dict:
+    """JSON-serialisable representation of a workload."""
+    data: Dict = {
+        "name": workload.name,
+        "benchmarks": list(workload.benchmark_names),
+    }
+    if workload.weights is not None:
+        data["weights"] = list(workload.weights)
+    if workload.custom_specs is not None:
+        data["custom_specs"] = [
+            {"name": s.name, "mpki": s.mpki, "rbl": s.rbl, "blp": s.blp}
+            for s in workload.custom_specs
+        ]
+    return data
+
+
+def workload_from_dict(data: Dict) -> Workload:
+    """Rebuild a workload from :func:`workload_to_dict` output."""
+    custom = None
+    if "custom_specs" in data:
+        custom = tuple(
+            BenchmarkSpec(
+                name=s["name"], mpki=s["mpki"], rbl=s["rbl"], blp=s["blp"]
+            )
+            for s in data["custom_specs"]
+        )
+    weights = tuple(data["weights"]) if "weights" in data else None
+    return Workload(
+        name=data["name"],
+        benchmark_names=tuple(data["benchmarks"]),
+        weights=weights,
+        custom_specs=custom,
+    )
+
+
+def save_workload(workload: Workload, path) -> None:
+    """Write a workload definition to a JSON file."""
+    import json
+    from pathlib import Path
+
+    Path(path).write_text(json.dumps(workload_to_dict(workload), indent=2))
+
+
+def load_workload(path) -> Workload:
+    """Read a workload definition from a JSON file."""
+    import json
+    from pathlib import Path
+
+    return workload_from_dict(json.loads(Path(path).read_text()))
+
+
+def make_intensity_workload(
+    intensity: float,
+    num_threads: int = 24,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Workload:
+    """Randomly compose a mix with the given memory-intensive fraction.
+
+    Benchmarks are drawn with replacement from the intensive and
+    non-intensive pools, mirroring the paper's random workload
+    construction (Table 5 shows several duplicated instances).
+    """
+    if not 0.0 <= intensity <= 1.0:
+        raise ValueError("intensity must be in [0, 1]")
+    rng = np.random.default_rng((seed, int(intensity * 100), num_threads))
+    n_intensive = round(intensity * num_threads)
+    n_light = num_threads - n_intensive
+    picks = [
+        MEMORY_INTENSIVE[int(i)]
+        for i in rng.integers(len(MEMORY_INTENSIVE), size=n_intensive)
+    ]
+    picks += [
+        MEMORY_NON_INTENSIVE[int(i)]
+        for i in rng.integers(len(MEMORY_NON_INTENSIVE), size=n_light)
+    ]
+    rng.shuffle(picks)
+    label = name or f"mix-{int(intensity * 100)}pct-s{seed}"
+    return Workload(name=label, benchmark_names=tuple(picks))
+
+
+def make_workload_suite(
+    intensities: Sequence[float] = (0.5, 0.75, 1.0),
+    per_category: int = 32,
+    num_threads: int = 24,
+    base_seed: int = 0,
+) -> List[Workload]:
+    """Build the paper's evaluation suite.
+
+    Defaults give the 96 workloads of Figures 1 and 4: 32 mixes at each
+    of 50%, 75% and 100% memory intensity.
+    """
+    suite: List[Workload] = []
+    for intensity in intensities:
+        for i in range(per_category):
+            suite.append(
+                make_intensity_workload(
+                    intensity,
+                    num_threads=num_threads,
+                    seed=base_seed + i,
+                    name=f"mix-{int(intensity * 100)}pct-{i:02d}",
+                )
+            )
+    return suite

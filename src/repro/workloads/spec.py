@@ -1,0 +1,109 @@
+"""SPEC CPU2006 benchmark characteristics (paper Table 4).
+
+The paper drives its simulator with Pin traces of 25 SPEC CPU2006
+benchmarks and reports, for each, the three statistics that fully
+determine scheduler behaviour: memory intensity (L2 MPKI), row-buffer
+locality (RBL, shadow row-buffer hit rate) and bank-level parallelism
+(BLP, average banks with outstanding requests).  We reproduce each
+benchmark as a synthetic trace generator targeting exactly that triple.
+
+Benchmarks with MPKI > 1 are classified memory-intensive (paper §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """The scheduler-relevant behavioural signature of one benchmark.
+
+    Attributes:
+        name: benchmark name (SPEC id dropped for brevity).
+        mpki: last-level-cache misses per kilo-instruction.
+        rbl: row-buffer locality in [0, 1] — inherent (alone-run,
+            shadow row-buffer) hit rate.
+        blp: bank-level parallelism — average number of banks with at
+            least one outstanding request while the thread has any.
+    """
+
+    name: str
+    mpki: float
+    rbl: float
+    blp: float
+
+    def __post_init__(self):
+        if self.mpki <= 0:
+            raise ValueError(f"{self.name}: MPKI must be positive")
+        if not 0.0 <= self.rbl <= 1.0:
+            raise ValueError(f"{self.name}: RBL must be in [0, 1]")
+        if self.blp < 1.0:
+            raise ValueError(f"{self.name}: BLP must be >= 1")
+
+    @property
+    def memory_intensive(self) -> bool:
+        """Paper classification: MPKI > 1 is memory-intensive."""
+        return self.mpki > 1.0
+
+
+def _spec(name: str, mpki: float, rbl_pct: float, blp: float) -> BenchmarkSpec:
+    return BenchmarkSpec(name=name, mpki=mpki, rbl=rbl_pct / 100.0, blp=blp)
+
+
+#: Table 4 of the paper, verbatim (RBL given there in percent).
+BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    s.name: s
+    for s in [
+        _spec("mcf", 97.38, 42.41, 6.20),
+        _spec("libquantum", 50.00, 99.22, 1.05),
+        _spec("leslie3d", 49.35, 91.18, 1.51),
+        _spec("soplex", 46.70, 88.84, 1.79),
+        _spec("lbm", 43.52, 95.17, 2.82),
+        _spec("GemsFDTD", 31.79, 56.22, 3.15),
+        _spec("sphinx3", 24.94, 84.78, 2.24),
+        _spec("xalancbmk", 22.95, 72.01, 2.35),
+        _spec("omnetpp", 21.63, 45.71, 4.37),
+        _spec("cactusADM", 12.01, 19.05, 1.43),
+        _spec("astar", 9.26, 75.24, 1.61),
+        _spec("hmmer", 5.66, 34.42, 1.25),
+        _spec("bzip2", 3.98, 71.44, 1.87),
+        _spec("h264ref", 2.30, 90.34, 1.19),
+        _spec("gromacs", 0.98, 89.25, 1.54),
+        _spec("gobmk", 0.77, 65.76, 1.52),
+        _spec("sjeng", 0.39, 12.47, 1.57),
+        _spec("gcc", 0.34, 70.92, 1.96),
+        _spec("dealII", 0.21, 86.83, 1.22),
+        _spec("wrf", 0.21, 92.34, 1.23),
+        _spec("namd", 0.19, 93.05, 1.16),
+        _spec("perlbench", 0.12, 81.59, 1.66),
+        _spec("calculix", 0.10, 88.71, 1.20),
+        _spec("tonto", 0.03, 88.60, 1.81),
+        _spec("povray", 0.01, 87.22, 1.43),
+    ]
+}
+
+#: Benchmarks with MPKI > 1 (14 of 25), in descending intensity.
+MEMORY_INTENSIVE: Tuple[str, ...] = tuple(
+    s.name
+    for s in sorted(BENCHMARKS.values(), key=lambda s: -s.mpki)
+    if s.memory_intensive
+)
+
+#: Benchmarks with MPKI <= 1 (11 of 25), in descending intensity.
+MEMORY_NON_INTENSIVE: Tuple[str, ...] = tuple(
+    s.name
+    for s in sorted(BENCHMARKS.values(), key=lambda s: -s.mpki)
+    if not s.memory_intensive
+)
+
+
+def benchmark(name: str) -> BenchmarkSpec:
+    """Look up a benchmark spec by name (raises KeyError with options)."""
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(BENCHMARKS)}"
+        ) from None

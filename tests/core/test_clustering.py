@@ -1,0 +1,142 @@
+"""Tests for repro.core.clustering — Algorithm 1."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.clustering import cluster_threads
+from repro.core.monitor import QuantumSnapshot, ThreadMetrics
+
+
+def snapshot(mpki_bw_pairs):
+    """Build a snapshot from (mpki, bw_usage) pairs."""
+    return QuantumSnapshot(
+        quantum_index=0,
+        metrics=tuple(
+            ThreadMetrics(mpki=m, bw_usage=b, blp=1.0, rbl=0.5)
+            for m, b in mpki_bw_pairs
+        ),
+    )
+
+
+class TestAlgorithm1:
+    def test_light_threads_join_latency_cluster(self):
+        snap = snapshot([(0.1, 10), (0.2, 10), (50.0, 480), (60.0, 500)])
+        result = cluster_threads(snap, cluster_thresh=4 / 24)
+        assert set(result.latency_cluster) == {0, 1}
+        assert set(result.bandwidth_cluster) == {2, 3}
+
+    def test_latency_cluster_ordered_by_ascending_mpki(self):
+        snap = snapshot([(0.5, 10), (0.1, 10), (0.3, 10), (90.0, 10_000)])
+        result = cluster_threads(snap, cluster_thresh=0.5)
+        assert result.latency_cluster == (1, 2, 0)
+
+    def test_budget_cuts_admission(self):
+        # total 1000, thresh 0.1 -> budget 100; first thread uses 80,
+        # second would push the running sum to 160 > 100.
+        snap = snapshot([(1.0, 80), (2.0, 80), (50.0, 840)])
+        result = cluster_threads(snap, cluster_thresh=0.1)
+        assert result.latency_cluster == (0,)
+
+    def test_admission_is_cumulative_not_individual(self):
+        # each thread alone fits the budget; cumulatively they do not
+        snap = snapshot([(1.0, 60), (2.0, 60), (3.0, 60), (50.0, 820)])
+        result = cluster_threads(snap, cluster_thresh=0.1)  # budget 100
+        assert result.latency_cluster == (0,)
+
+    def test_walk_stops_at_first_overflow(self):
+        """Algorithm 1 breaks at the first over-budget thread even if a
+        later (more intensive) one would fit."""
+        snap = snapshot([(1.0, 50), (2.0, 200), (3.0, 0), (50.0, 750)])
+        result = cluster_threads(snap, cluster_thresh=0.1)  # budget 100
+        assert result.latency_cluster == (0,)
+        assert 2 in result.bandwidth_cluster
+
+    def test_zero_total_bw_admits_all(self):
+        """First quantum: nothing measured yet, everyone fits a zero
+        budget with zero usage."""
+        snap = snapshot([(0.0, 0), (0.0, 0)])
+        result = cluster_threads(snap, cluster_thresh=4 / 24)
+        assert result.latency_cluster == (0, 1)
+
+    def test_thresh_one_admits_everyone(self):
+        snap = snapshot([(1.0, 100), (2.0, 100), (3.0, 100)])
+        result = cluster_threads(snap, cluster_thresh=1.0)
+        assert len(result.latency_cluster) == 3
+        assert result.bandwidth_cluster == ()
+
+    def test_thresh_zero_admits_only_zero_usage(self):
+        snap = snapshot([(1.0, 0), (2.0, 100)])
+        result = cluster_threads(snap, cluster_thresh=0.0)
+        assert result.latency_cluster == (0,)
+
+    def test_invalid_thresh_rejected(self):
+        snap = snapshot([(1.0, 1)])
+        with pytest.raises(ValueError):
+            cluster_threads(snap, cluster_thresh=1.5)
+
+
+class TestWeights:
+    def test_weight_scales_mpki_for_ordering(self):
+        # thread 1 is heavier but weight 10 scales its MPKI below t0's
+        snap = snapshot([(2.0, 40), (10.0, 40), (50.0, 920)])
+        result = cluster_threads(snap, cluster_thresh=0.1, weights=(1, 10, 1))
+        assert result.latency_cluster[0] == 1
+
+    def test_wrong_weight_count_rejected(self):
+        snap = snapshot([(1.0, 1), (2.0, 1)])
+        with pytest.raises(ValueError):
+            cluster_threads(snap, 0.5, weights=(1,))
+
+
+class TestContains:
+    def test_contains(self):
+        snap = snapshot([(0.1, 0), (50.0, 100)])
+        result = cluster_threads(snap, cluster_thresh=0.5)
+        assert result.contains(0) == "latency"
+        assert result.contains(1) == "bandwidth"
+
+    def test_contains_unknown_raises(self):
+        snap = snapshot([(0.1, 0)])
+        result = cluster_threads(snap, cluster_thresh=0.5)
+        with pytest.raises(KeyError):
+            result.contains(99)
+
+
+class TestInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        usages=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=200),
+                st.integers(min_value=0, max_value=10_000),
+            ),
+            min_size=1,
+            max_size=32,
+        ),
+        thresh=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_partition_is_total_and_disjoint(self, usages, thresh):
+        snap = snapshot(usages)
+        result = cluster_threads(snap, thresh)
+        latency = set(result.latency_cluster)
+        bandwidth = set(result.bandwidth_cluster)
+        assert latency | bandwidth == set(range(len(usages)))
+        assert latency & bandwidth == set()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        usages=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=200),
+                st.integers(min_value=1, max_value=10_000),
+            ),
+            min_size=2,
+            max_size=32,
+        ),
+        thresh=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_latency_cluster_bw_within_budget(self, usages, thresh):
+        snap = snapshot(usages)
+        result = cluster_threads(snap, thresh)
+        used = sum(snap.metrics[t].bw_usage for t in result.latency_cluster)
+        assert used <= thresh * snap.total_bw_usage + 1e-9

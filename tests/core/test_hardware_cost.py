@@ -1,0 +1,67 @@
+"""Tests for repro.core.hardware_cost — Table 2 numbers."""
+
+import pytest
+
+from repro.core.hardware_cost import storage_cost
+
+
+class TestTable2:
+    def test_mpki_counter_bits(self):
+        assert storage_cost().mpki_counter == 240
+
+    def test_load_counter_bits(self):
+        assert storage_cost().load_counter == 576
+
+    def test_blp_counter_bits(self):
+        assert storage_cost().blp_counter == 48
+
+    def test_blp_average_bits(self):
+        assert storage_cost().blp_average == 48
+
+    def test_shadow_row_index_bits(self):
+        assert storage_cost().shadow_row_index == 1344
+
+    def test_shadow_row_hits_bits(self):
+        assert storage_cost().shadow_row_hits == 1536
+
+    def test_total_under_4_kbits(self):
+        """Paper §4: less than 4 Kbits per controller."""
+        cost = storage_cost()
+        assert cost.total_bits == 3792
+        assert cost.total_bits < 4096
+
+    def test_random_shuffle_under_half_kbit(self):
+        """Paper §4: under 0.5 Kbits with pure random shuffling."""
+        cost = storage_cost()
+        assert cost.random_shuffle_bits == 240
+        assert cost.random_shuffle_bits < 512
+
+    def test_category_sums(self):
+        cost = storage_cost()
+        assert cost.intensity_bits == 240
+        assert cost.blp_bits == 576 + 48 + 48
+        assert cost.rbl_bits == 1344 + 1536
+        assert (
+            cost.total_bits
+            == cost.intensity_bits + cost.blp_bits + cost.rbl_bits
+        )
+
+
+class TestScaling:
+    def test_cost_scales_with_threads(self):
+        small = storage_cost(num_threads=8)
+        large = storage_cost(num_threads=32)
+        assert large.total_bits > small.total_bits
+        assert large.mpki_counter == 4 * small.mpki_counter
+
+    def test_cost_scales_with_banks(self):
+        assert (
+            storage_cost(num_banks=8).shadow_row_index
+            == 2 * storage_cost(num_banks=4).shadow_row_index
+        )
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            storage_cost(num_threads=0)
+        with pytest.raises(ValueError):
+            storage_cost(num_banks=0)

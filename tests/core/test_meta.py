@@ -1,0 +1,44 @@
+"""Tests for repro.core.meta — meta-controller aggregation."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.meta import MetaController
+from repro.core.monitor import BehaviorMonitor
+from repro.dram.request import MemoryRequest
+
+
+@pytest.fixture
+def meta():
+    monitor = BehaviorMonitor(SimConfig(), num_threads=3)
+    return MetaController(monitor)
+
+
+class TestEndQuantum:
+    def test_snapshot_carries_mpki(self, meta):
+        snap = meta.end_quantum([1.0, 2.0, 3.0], now=1_000)
+        assert [m.mpki for m in snap.metrics] == [1.0, 2.0, 3.0]
+
+    def test_quantum_index_increments(self, meta):
+        assert meta.end_quantum([0, 0, 0], now=1_000).quantum_index == 0
+        assert meta.end_quantum([0, 0, 0], now=2_000).quantum_index == 1
+
+    def test_history_recorded(self, meta):
+        meta.end_quantum([0, 0, 0], now=1_000)
+        meta.end_quantum([0, 0, 0], now=2_000)
+        assert len(meta.history) == 2
+
+    def test_monitor_reset_between_quanta(self, meta):
+        request = MemoryRequest(
+            thread_id=0, channel_id=0, bank_id=0, row=1, arrival=0
+        )
+        meta.monitor.on_request_service(request, busy_cycles=500)
+        snap1 = meta.end_quantum([0, 0, 0], now=1_000)
+        snap2 = meta.end_quantum([0, 0, 0], now=2_000)
+        assert snap1.metrics[0].bw_usage == 500
+        assert snap2.metrics[0].bw_usage == 0
+
+    def test_communication_cost_model(self, meta):
+        """4 bytes per context per controller per quantum (paper §4)."""
+        meta.end_quantum([0, 0, 0], now=1_000)
+        assert meta.bytes_exchanged == 4 * 3 * 4

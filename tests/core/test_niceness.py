@@ -1,0 +1,88 @@
+"""Tests for repro.core.niceness."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.monitor import QuantumSnapshot, ThreadMetrics
+from repro.core.niceness import compute_niceness
+
+
+def snapshot(blp_rbl_pairs):
+    return QuantumSnapshot(
+        quantum_index=0,
+        metrics=tuple(
+            ThreadMetrics(mpki=10.0, bw_usage=100, blp=blp, rbl=rbl)
+            for blp, rbl in blp_rbl_pairs
+        ),
+    )
+
+
+class TestNiceness:
+    def test_high_blp_low_rbl_is_nicest(self):
+        # thread 0: fragile (high BLP, low RBL); thread 1: hostile
+        snap = snapshot([(8.0, 0.1), (1.0, 0.95)])
+        nice = compute_niceness(snap, (0, 1))
+        assert nice[0] > nice[1]
+
+    def test_definition_b_minus_r(self):
+        # ascending ranks: blp: t1=1, t0=2; rbl: t0=1, t1=2
+        snap = snapshot([(8.0, 0.1), (1.0, 0.95)])
+        nice = compute_niceness(snap, (0, 1))
+        assert nice[0] == 2 - 1
+        assert nice[1] == 1 - 2
+
+    def test_identical_threads_tie_at_different_values(self):
+        # ties broken deterministically by thread id in both ranks, so
+        # identical threads get identical niceness
+        snap = snapshot([(2.0, 0.5), (2.0, 0.5), (2.0, 0.5)])
+        nice = compute_niceness(snap, (0, 1, 2))
+        assert set(nice.values()) == {0}
+
+    def test_subset_of_threads_only(self):
+        snap = snapshot([(8.0, 0.1), (1.0, 0.95), (4.0, 0.5)])
+        nice = compute_niceness(snap, (0, 2))
+        assert set(nice) == {0, 2}
+
+    def test_paper_example_ordering(self):
+        """mcf-like (high BLP, low RBL) is nicer than libquantum-like."""
+        mcf = (6.2, 0.42)
+        libquantum = (1.05, 0.99)
+        lbm = (2.8, 0.95)
+        snap = snapshot([mcf, libquantum, lbm])
+        nice = compute_niceness(snap, (0, 1, 2))
+        assert nice[0] > nice[2] > nice[1]
+
+
+class TestNicenessProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=16.0),
+                st.floats(min_value=0.0, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=24,
+        )
+    )
+    def test_niceness_sums_to_zero(self, pairs):
+        """b and r are both permutations of 1..N, so sum(b-r) = 0."""
+        snap = snapshot(pairs)
+        nice = compute_niceness(snap, tuple(range(len(pairs))))
+        assert sum(nice.values()) == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=16.0),
+                st.floats(min_value=0.0, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=24,
+        )
+    )
+    def test_niceness_bounded(self, pairs):
+        n = len(pairs)
+        snap = snapshot(pairs)
+        nice = compute_niceness(snap, tuple(range(n)))
+        assert all(-(n - 1) <= v <= n - 1 for v in nice.values())

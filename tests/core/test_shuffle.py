@@ -1,0 +1,224 @@
+"""Tests for repro.core.shuffle — Algorithm 2 and friends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.shuffle import (
+    InsertionShuffler,
+    RandomShuffler,
+    RoundRobinShuffler,
+    WeightedRandomShuffler,
+    should_use_insertion,
+)
+
+
+class TestRoundRobin:
+    def test_rotation(self):
+        shuffler = RoundRobinShuffler([1, 2, 3])
+        shuffler.advance()
+        assert shuffler.order() == [2, 3, 1]
+        shuffler.advance()
+        assert shuffler.order() == [3, 1, 2]
+
+    def test_full_cycle_restores(self):
+        shuffler = RoundRobinShuffler([1, 2, 3, 4])
+        for _ in range(4):
+            shuffler.advance()
+        assert shuffler.order() == [1, 2, 3, 4]
+
+    def test_relative_order_preserved(self):
+        """The round-robin pathology: thread behind another stays behind."""
+        shuffler = RoundRobinShuffler([1, 2, 3, 4])
+        for _ in range(7):
+            shuffler.advance()
+            order = shuffler.order()
+            gap = (order.index(2) - order.index(1)) % 4
+            assert gap == 1
+
+
+class TestRandom:
+    def test_is_permutation(self):
+        shuffler = RandomShuffler(list(range(10)), np.random.default_rng(0))
+        shuffler.advance()
+        assert sorted(shuffler.order()) == list(range(10))
+
+    def test_orders_vary(self):
+        shuffler = RandomShuffler(list(range(10)), np.random.default_rng(0))
+        orders = set()
+        for _ in range(20):
+            shuffler.advance()
+            orders.add(tuple(shuffler.order()))
+        assert len(orders) > 10
+
+    def test_deterministic_given_rng(self):
+        a = RandomShuffler(list(range(6)), np.random.default_rng(5))
+        b = RandomShuffler(list(range(6)), np.random.default_rng(5))
+        for _ in range(5):
+            a.advance()
+            b.advance()
+            assert a.order() == b.order()
+
+
+class TestWeightedRandom:
+    def test_time_at_top_proportional_to_weight(self):
+        rng = np.random.default_rng(1)
+        shuffler = WeightedRandomShuffler([0, 1], weights=[1, 3], rng=rng)
+        tops = 0
+        trials = 2_000
+        for _ in range(trials):
+            shuffler.advance()
+            if shuffler.order()[-1] == 1:
+                tops += 1
+        assert tops / trials == pytest.approx(0.75, abs=0.04)
+
+    def test_weight_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            WeightedRandomShuffler([0, 1], weights=[1], rng=rng)
+        with pytest.raises(ValueError):
+            WeightedRandomShuffler([0, 1], weights=[1, 0], rng=rng)
+
+    def test_is_permutation(self):
+        rng = np.random.default_rng(2)
+        shuffler = WeightedRandomShuffler(
+            list(range(8)), weights=[1] * 8, rng=rng
+        )
+        shuffler.advance()
+        assert sorted(shuffler.order()) == list(range(8))
+
+
+class TestInsertion:
+    def test_initial_order_ascending_niceness(self):
+        shuffler = InsertionShuffler([3, 1, 2], {1: 10, 2: 20, 3: 30})
+        # nicest (3) at the last position = highest rank
+        assert shuffler.order() == [1, 2, 3]
+
+    def test_cycle_length_is_2n(self):
+        ids = [0, 1, 2, 3]
+        shuffler = InsertionShuffler(ids, {t: t for t in ids})
+        assert shuffler.cycle_length == 8
+        start = shuffler.order()
+        for _ in range(shuffler.cycle_length):
+            shuffler.advance()
+        assert shuffler.order() == start
+
+    def test_paper_permutation_sequence_for_four_threads(self):
+        """The intermediate-insertion-sort states of Figure 3(b)."""
+        ids = [0, 1, 2, 3]   # niceness equal to id
+        shuffler = InsertionShuffler(ids, {t: t for t in ids})
+        seen = [shuffler.order()]
+        for _ in range(8):
+            shuffler.advance()
+            seen.append(shuffler.order())
+        assert seen == [
+            [0, 1, 2, 3],
+            [0, 1, 2, 3],   # decSort(4,4): no-op
+            [0, 1, 3, 2],   # decSort(3,4)
+            [0, 3, 2, 1],   # decSort(2,4)
+            [3, 2, 1, 0],   # decSort(1,4)
+            [3, 2, 1, 0],   # incSort(1,1): no-op
+            [2, 3, 1, 0],   # incSort(1,2)
+            [1, 2, 3, 0],   # incSort(1,3)
+            [0, 1, 2, 3],   # incSort(1,4): full cycle
+        ]
+
+    def test_every_state_is_permutation(self):
+        ids = list(range(7))
+        niceness = {t: (t * 13) % 7 for t in ids}
+        shuffler = InsertionShuffler(ids, niceness)
+        for _ in range(20):
+            shuffler.advance()
+            assert sorted(shuffler.order()) == ids
+
+    def test_average_rank_equalised_over_cycle(self):
+        """Over one full cycle every thread gets the same mean rank."""
+        ids = list(range(5))
+        shuffler = InsertionShuffler(ids, {t: t for t in ids})
+        totals = {t: 0 for t in ids}
+        for _ in range(shuffler.cycle_length):
+            for pos, tid in enumerate(shuffler.order()):
+                totals[tid] += pos
+            shuffler.advance()
+        assert len(set(totals.values())) == 1
+
+    def test_missing_niceness_rejected(self):
+        with pytest.raises(ValueError):
+            InsertionShuffler([0, 1], {0: 1})
+
+    def test_single_thread(self):
+        shuffler = InsertionShuffler([5], {5: 0})
+        shuffler.advance()
+        assert shuffler.order() == [5]
+
+
+class TestShufflerBase:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinShuffler([1, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinShuffler([])
+
+    def test_rank_of(self):
+        shuffler = RoundRobinShuffler([7, 8, 9])
+        assert shuffler.rank_of() == {7: 0, 8: 1, 9: 2}
+
+    def test_order_returns_copy(self):
+        shuffler = RoundRobinShuffler([1, 2])
+        shuffler.order().append(99)
+        assert shuffler.order() == [1, 2]
+
+
+class TestDynamicSelection:
+    def test_heterogeneous_uses_insertion(self):
+        assert should_use_insertion(
+            blp_values=[1.0, 8.0], rbl_values=[0.1, 0.9],
+            num_banks=16, shuffle_algo_thresh=0.1,
+        )
+
+    def test_homogeneous_blp_falls_back(self):
+        assert not should_use_insertion(
+            blp_values=[2.0, 2.5], rbl_values=[0.1, 0.9],
+            num_banks=16, shuffle_algo_thresh=0.1,
+        )
+
+    def test_homogeneous_rbl_falls_back(self):
+        assert not should_use_insertion(
+            blp_values=[1.0, 8.0], rbl_values=[0.5, 0.55],
+            num_banks=16, shuffle_algo_thresh=0.1,
+        )
+
+    def test_thresh_one_forces_random(self):
+        assert not should_use_insertion(
+            blp_values=[1.0, 16.0], rbl_values=[0.0, 1.0],
+            num_banks=16, shuffle_algo_thresh=1.0,
+        )
+
+    def test_single_thread_falls_back(self):
+        assert not should_use_insertion([2.0], [0.5], 16, 0.1)
+
+
+class TestPermutationProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=24),
+        steps=st.integers(min_value=0, max_value=60),
+        seed=st.integers(min_value=0, max_value=99),
+    )
+    def test_all_shufflers_always_permute(self, n, steps, seed):
+        rng = np.random.default_rng(seed)
+        ids = list(range(n))
+        niceness = {t: int(rng.integers(-10, 10)) for t in ids}
+        shufflers = [
+            RoundRobinShuffler(ids),
+            RandomShuffler(ids, np.random.default_rng(seed)),
+            InsertionShuffler(ids, niceness),
+            WeightedRandomShuffler(ids, [1 + (t % 3) for t in ids],
+                                   np.random.default_rng(seed)),
+        ]
+        for shuffler in shufflers:
+            for _ in range(steps):
+                shuffler.advance()
+            assert sorted(shuffler.order()) == ids

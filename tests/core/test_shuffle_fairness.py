@@ -1,0 +1,83 @@
+"""Statistical fairness properties of the shufflers.
+
+Complements the structural tests in test_shuffle.py: over many
+intervals, each algorithm's long-run rank distribution must have the
+properties the paper relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.shuffle import (
+    InsertionShuffler,
+    RandomShuffler,
+    RoundRobinShuffler,
+    WeightedRandomShuffler,
+)
+
+
+def mean_positions(shuffler, intervals):
+    ids = shuffler.order()
+    totals = {tid: 0 for tid in ids}
+    for _ in range(intervals):
+        for pos, tid in enumerate(shuffler.order()):
+            totals[tid] += pos
+        shuffler.advance()
+    return {tid: total / intervals for tid, total in totals.items()}
+
+
+class TestLongRunEquality:
+    def test_round_robin_equal_mean_rank(self):
+        shuffler = RoundRobinShuffler(list(range(6)))
+        means = mean_positions(shuffler, 6 * 50)
+        assert max(means.values()) - min(means.values()) < 0.01
+
+    def test_insertion_equal_mean_rank(self):
+        ids = list(range(6))
+        shuffler = InsertionShuffler(ids, {t: t for t in ids})
+        means = mean_positions(shuffler, shuffler.cycle_length * 25)
+        assert max(means.values()) - min(means.values()) < 0.01
+
+    def test_random_equal_mean_rank(self):
+        shuffler = RandomShuffler(list(range(6)), np.random.default_rng(0))
+        means = mean_positions(shuffler, 4_000)
+        assert max(means.values()) - min(means.values()) < 0.25
+
+    def test_weighted_mean_rank_tracks_weights(self):
+        ids = [0, 1, 2]
+        shuffler = WeightedRandomShuffler(
+            ids, weights=[1, 1, 6], rng=np.random.default_rng(1)
+        )
+        means = mean_positions(shuffler, 4_000)
+        assert means[2] > means[0]
+        assert means[2] > means[1]
+
+
+class TestTimeAtTopPatterns:
+    def test_insertion_top_time_is_contiguous_for_least_nice(self):
+        """The least nice thread's visits to the top are one contiguous
+        block per cycle (it is inserted once and swept away once)."""
+        ids = list(range(5))
+        shuffler = InsertionShuffler(ids, {t: t for t in ids})
+        top_flags = []
+        for _ in range(shuffler.cycle_length):
+            top_flags.append(shuffler.order()[-1] == 0)
+            shuffler.advance()
+        # count transitions False->True within one cycle (cyclically)
+        entries = sum(
+            1
+            for a, b in zip(top_flags, top_flags[1:] + top_flags[:1])
+            if not a and b
+        )
+        assert entries == 1
+
+    def test_random_top_time_fraction_uniform(self):
+        ids = list(range(8))
+        shuffler = RandomShuffler(ids, np.random.default_rng(2))
+        tops = {tid: 0 for tid in ids}
+        trials = 8_000
+        for _ in range(trials):
+            shuffler.advance()
+            tops[shuffler.order()[-1]] += 1
+        for tid in ids:
+            assert tops[tid] / trials == pytest.approx(1 / 8, abs=0.02)

@@ -1,0 +1,163 @@
+"""Tests for repro.core.tcm — the TCM scheduler."""
+
+import pytest
+
+from repro.config import SimConfig, TCMParams
+from repro.core.monitor import QuantumSnapshot, ThreadMetrics
+from repro.core.tcm import TCMScheduler
+from repro.dram.request import MemoryRequest
+from repro.sim import System
+from repro.workloads.mixes import Workload
+
+CFG = SimConfig(run_cycles=120_000, phase_mean_cycles=0)
+
+
+def small_workload():
+    # 2 light + 4 heavy threads
+    return Workload(
+        name="small",
+        benchmark_names=(
+            "povray", "gcc", "mcf", "libquantum", "lbm", "omnetpp",
+        ),
+    )
+
+
+def run_tcm(params=None, workload=None, config=CFG):
+    scheduler = TCMScheduler(params or TCMParams())
+    system = System(workload or small_workload(), scheduler, config, seed=0)
+    result = system.run()
+    return scheduler, result
+
+
+def snapshot_for(mpki_bw_blp_rbl):
+    return QuantumSnapshot(
+        quantum_index=1,
+        metrics=tuple(ThreadMetrics(*row) for row in mpki_bw_blp_rbl),
+    )
+
+
+class TestClusteringBehaviour:
+    def test_light_threads_end_up_latency_sensitive(self):
+        scheduler, _ = run_tcm()
+        last = scheduler.cluster_history[-1]
+        assert 0 in last.latency_cluster   # povray
+        assert 1 in last.latency_cluster   # gcc
+
+    def test_heavy_threads_end_up_bandwidth_sensitive(self):
+        scheduler, _ = run_tcm()
+        last = scheduler.cluster_history[-1]
+        assert 2 in last.bandwidth_cluster   # mcf
+        assert 3 in last.bandwidth_cluster   # libquantum
+
+    def test_clustering_happens_every_quantum(self):
+        scheduler, result = run_tcm()
+        assert len(scheduler.cluster_history) == result.quantum_count
+
+
+class TestRanking:
+    def test_latency_cluster_ranked_above_bandwidth(self):
+        scheduler, _ = run_tcm()
+        last = scheduler.cluster_history[-1]
+        lowest_latency = min(
+            scheduler.current_rank(t) for t in last.latency_cluster
+        )
+        highest_bandwidth = max(
+            scheduler.current_rank(t) for t in last.bandwidth_cluster
+        )
+        assert lowest_latency > highest_bandwidth
+
+    def test_priority_uses_rank_then_rowhit_then_age(self):
+        scheduler = TCMScheduler()
+        scheduler._ranks = [{0: 5, 1: 2}]
+        high = MemoryRequest(thread_id=0, channel_id=0, bank_id=0, row=1, arrival=100)
+        low = MemoryRequest(thread_id=1, channel_id=0, bank_id=0, row=1, arrival=0)
+        # rank dominates row hit and age
+        assert scheduler.priority(high, False, 200) > scheduler.priority(low, True, 200)
+        # same rank: row hit wins
+        peer = MemoryRequest(thread_id=0, channel_id=0, bank_id=0, row=2, arrival=0)
+        assert scheduler.priority(high, True, 200) > scheduler.priority(peer, False, 200)
+        # same rank, same row state: older wins
+        old = MemoryRequest(thread_id=0, channel_id=0, bank_id=0, row=1, arrival=0)
+        assert scheduler.priority(old, True, 200) > scheduler.priority(high, True, 200)
+
+
+class TestShuffling:
+    def test_shuffle_changes_bandwidth_ranks(self):
+        scheduler, _ = run_tcm()
+        # after a run with many shuffle intervals the shuffler advanced
+        assert scheduler._shuffler is not None
+
+    def test_forced_random_mode(self):
+        scheduler, _ = run_tcm(TCMParams(shuffle_mode="random"))
+        assert set(scheduler.shuffle_algo_history) == {"random"}
+
+    def test_forced_round_robin_mode(self):
+        scheduler, _ = run_tcm(TCMParams(shuffle_mode="round_robin"))
+        assert set(scheduler.shuffle_algo_history) == {"round_robin"}
+
+    def test_forced_insertion_mode(self):
+        scheduler, _ = run_tcm(TCMParams(shuffle_mode="insertion"))
+        assert set(scheduler.shuffle_algo_history) == {"insertion"}
+
+    def test_shuffle_algo_thresh_one_means_random(self):
+        """Paper: setting ShuffleAlgoThresh to 1 forces random shuffle."""
+        scheduler, _ = run_tcm(TCMParams(shuffle_algo_thresh=1.0))
+        assert "insertion" not in scheduler.shuffle_algo_history
+
+    def test_dynamic_picks_insertion_for_heterogeneous_mix(self):
+        scheduler, _ = run_tcm(TCMParams(shuffle_mode="dynamic"))
+        # mcf (BLP ~6) + libquantum (BLP ~1, RBL .99) is heterogeneous
+        assert "insertion" in scheduler.shuffle_algo_history
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            TCMScheduler(TCMParams(shuffle_mode="sorted"))
+
+
+class TestThreadWeights:
+    def test_weighted_bandwidth_cluster_uses_weighted_shuffle(self):
+        workload = Workload(
+            name="weighted",
+            benchmark_names=("povray", "mcf", "libquantum", "lbm"),
+            weights=(1, 8, 2, 1),
+        )
+        scheduler, _ = run_tcm(workload=workload)
+        assert "weighted_random" in scheduler.shuffle_algo_history
+
+    def test_weights_scale_mpki_in_clustering(self):
+        """A heavily weighted thread is clustered by scaled-down MPKI."""
+        scheduler = TCMScheduler(TCMParams(thread_weights=(1, 100)))
+
+        class FakeSystem:
+            class workload:
+                num_threads = 2
+                weights = None
+            config = SimConfig()
+            seed = 0
+            def schedule_timer(self, time, key):
+                pass
+
+        scheduler.attach(FakeSystem())
+        snap = snapshot_for([
+            (5.0, 100, 1.0, 0.5),     # light-ish, weight 1
+            (20.0, 100, 1.0, 0.5),    # heavy, weight 100 -> scaled 0.2
+        ])
+        scheduler.on_quantum(snap, now=1_000)
+        latency = scheduler.clustering.latency_cluster
+        if latency:
+            assert latency[0] == 1   # weighted thread ranked lighter
+
+    def test_wrong_weight_count_rejected(self):
+        scheduler = TCMScheduler(TCMParams(thread_weights=(1, 2, 3)))
+        with pytest.raises(ValueError):
+            System(small_workload(), scheduler, CFG, seed=0)
+
+
+class TestIntrospection:
+    def test_clustering_none_before_first_quantum(self):
+        scheduler = TCMScheduler()
+        assert scheduler.clustering is None
+
+    def test_rank_defaults_to_zero(self):
+        scheduler = TCMScheduler()
+        assert scheduler.current_rank(12) == 0

@@ -1,0 +1,99 @@
+"""Tests for TCM's ablation switches: sync shuffle and niceness modes."""
+
+import pytest
+
+from repro.config import SimConfig, TCMParams
+from repro.core.tcm import TCMScheduler
+from repro.sim import System
+from repro.workloads.mixes import Workload
+
+CFG = SimConfig(run_cycles=120_000, phase_mean_cycles=0)
+
+
+def workload():
+    return Workload(
+        name="small",
+        benchmark_names=("povray", "gcc", "mcf", "libquantum", "lbm", "omnetpp"),
+    )
+
+
+def run(params):
+    scheduler = TCMScheduler(params)
+    result = System(workload(), scheduler, CFG, seed=0).run()
+    return scheduler, result
+
+
+class TestSyncShuffle:
+    def test_sync_mode_shares_rank_map(self):
+        scheduler, _ = run(TCMParams(sync_shuffle=True))
+        first = scheduler._ranks[0]
+        assert all(r is first for r in scheduler._ranks)
+
+    def test_desync_mode_has_per_channel_maps(self):
+        scheduler, _ = run(TCMParams(sync_shuffle=False, shuffle_mode="random"))
+        # channels disagree at least sometimes for bandwidth threads
+        assert len(scheduler._ranks) == CFG.num_channels
+        assert len({id(r) for r in scheduler._ranks}) == CFG.num_channels
+
+    def test_desync_latency_cluster_still_consistent(self):
+        """Even desynchronised, the latency cluster's strict MPKI order
+        is identical on every channel (it is not shuffled)."""
+        scheduler, _ = run(TCMParams(sync_shuffle=False, shuffle_mode="random"))
+        latency = scheduler.clustering.latency_cluster
+        for tid in latency:
+            ranks = {scheduler.current_rank(tid, ch) for ch in range(4)}
+            assert len(ranks) == 1
+
+    def test_desync_runs_produce_valid_results(self):
+        _, result = run(TCMParams(sync_shuffle=False))
+        assert all(t.ipc > 0 for t in result.threads)
+
+
+class TestNicenessModes:
+    @pytest.mark.parametrize("mode", ["blp_minus_rbl", "blp_only", "rbl_only"])
+    def test_modes_run(self, mode):
+        _, result = run(
+            TCMParams(shuffle_mode="insertion", niceness_mode=mode)
+        )
+        assert all(t.ipc > 0 for t in result.threads)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            TCMScheduler(TCMParams(niceness_mode="mpki_only"))
+
+    def test_modes_change_behaviour(self):
+        _, a = run(TCMParams(shuffle_mode="insertion",
+                             niceness_mode="blp_minus_rbl"))
+        _, b = run(TCMParams(shuffle_mode="insertion",
+                             niceness_mode="rbl_only"))
+        assert a.ipcs != b.ipcs
+
+
+class TestNicenessFunctionModes:
+    def test_blp_only_ignores_rbl(self):
+        from repro.core.monitor import QuantumSnapshot, ThreadMetrics
+        from repro.core.niceness import compute_niceness
+
+        snap = QuantumSnapshot(
+            quantum_index=0,
+            metrics=(
+                ThreadMetrics(1.0, 1, 4.0, 0.9),
+                ThreadMetrics(1.0, 1, 2.0, 0.1),
+            ),
+        )
+        nice = compute_niceness(snap, (0, 1), mode="blp_only")
+        assert nice[0] > nice[1]
+
+    def test_rbl_only_ignores_blp(self):
+        from repro.core.monitor import QuantumSnapshot, ThreadMetrics
+        from repro.core.niceness import compute_niceness
+
+        snap = QuantumSnapshot(
+            quantum_index=0,
+            metrics=(
+                ThreadMetrics(1.0, 1, 4.0, 0.9),
+                ThreadMetrics(1.0, 1, 2.0, 0.1),
+            ),
+        )
+        nice = compute_niceness(snap, (0, 1), mode="rbl_only")
+        assert nice[1] > nice[0]

@@ -1,0 +1,92 @@
+"""Tests for repro.dram.address — mapping bijectivity and bounds."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import SimConfig
+from repro.dram.address import AddressMapper, PhysicalLocation
+
+
+@pytest.fixture
+def mapper():
+    return AddressMapper(SimConfig())
+
+
+class TestDecode:
+    def test_block_zero(self, mapper):
+        loc = mapper.decode(0)
+        assert loc == PhysicalLocation(channel=0, bank=0, row=0, column=0)
+
+    def test_consecutive_blocks_interleave_channels(self, mapper):
+        locs = [mapper.decode(i) for i in range(4)]
+        assert [loc.channel for loc in locs] == [0, 1, 2, 3]
+
+    def test_block_past_channels_advances_column(self, mapper):
+        loc = mapper.decode(4)
+        assert loc.channel == 0
+        assert loc.column == 1
+
+    def test_row_walk_covers_columns_before_bank(self, mapper):
+        # One full row of one channel: 64 columns x 4 channels blocks
+        last_in_row = mapper.decode(64 * 4 - 4)
+        assert last_in_row.column == 63
+        assert last_in_row.bank == 0
+        first_next_bank = mapper.decode(64 * 4)
+        assert first_next_bank.bank == 1
+        assert first_next_bank.column == 0
+
+    def test_negative_raises(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.decode(-1)
+
+    def test_past_end_raises(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.decode(mapper.blocks_total)
+
+
+class TestEncode:
+    def test_round_trip_zero(self, mapper):
+        assert mapper.encode(PhysicalLocation(0, 0, 0, 0)) == 0
+
+    def test_out_of_range_channel(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.encode(PhysicalLocation(4, 0, 0, 0))
+
+    def test_out_of_range_bank(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.encode(PhysicalLocation(0, 4, 0, 0))
+
+    def test_out_of_range_row(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.encode(PhysicalLocation(0, 0, 16_384, 0))
+
+    def test_out_of_range_column(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.encode(PhysicalLocation(0, 0, 0, 64))
+
+
+class TestBijection:
+    @given(st.integers(min_value=0, max_value=64 * 4 * 4 * 16_384 - 1))
+    def test_decode_encode_round_trip(self, addr):
+        mapper = AddressMapper(SimConfig())
+        assert mapper.encode(mapper.decode(addr)) == addr
+
+    @given(
+        st.integers(0, 3), st.integers(0, 3),
+        st.integers(0, 16_383), st.integers(0, 63),
+    )
+    def test_encode_decode_round_trip(self, channel, bank, row, column):
+        mapper = AddressMapper(SimConfig())
+        loc = PhysicalLocation(channel, bank, row, column)
+        assert mapper.decode(mapper.encode(loc)) == loc
+
+    def test_blocks_total(self, mapper):
+        assert mapper.blocks_total == 64 * 4 * 4 * 16_384
+
+
+class TestGlobalBank:
+    def test_flattening(self, mapper):
+        assert mapper.global_bank(0, 0) == 0
+        assert mapper.global_bank(0, 3) == 3
+        assert mapper.global_bank(1, 0) == 4
+        assert mapper.global_bank(3, 3) == 15

@@ -1,0 +1,131 @@
+"""Tests for the detailed command-level DRAM timing constraints."""
+
+import pytest
+
+from repro.config import DramTimings, SimConfig
+from repro.dram.bank import Bank
+from repro.dram.channel import Channel
+from repro.dram.request import MemoryRequest
+from repro.schedulers import make_scheduler
+from repro.sim import System
+from repro.workloads.mixes import Workload
+
+DETAILED = DramTimings(detailed=True)
+DETAILED_CFG = SimConfig(
+    run_cycles=100_000, timings=DETAILED, phase_mean_cycles=0
+)
+
+
+def req(bank=0, row=1, thread=0, arrival=0):
+    return MemoryRequest(
+        thread_id=thread, channel_id=0, bank_id=bank, row=row, arrival=arrival
+    )
+
+
+class TestBankConstraints:
+    def test_tras_delays_precharge(self):
+        """A conflict right after an activate must wait out tRAS."""
+        bank = Bank(0, 0, DETAILED)
+        first = bank.begin_access(1, now=0, bus_free_until=0)
+        assert first.activate_time == 0
+        second = bank.begin_access(2, now=bank.busy_until, bus_free_until=0)
+        # precharge cannot start before tRAS after the activate
+        assert second.activate_time >= DETAILED.t_ras + DETAILED.t_rp
+
+    def test_trc_spaces_same_bank_activates(self):
+        bank = Bank(0, 0, DETAILED)
+        bank.begin_access(1, now=0, bus_free_until=0)
+        second = bank.begin_access(2, now=bank.busy_until, bus_free_until=0)
+        assert second.activate_time >= DETAILED.t_rc
+
+    def test_hit_needs_no_activate(self):
+        bank = Bank(0, 0, DETAILED)
+        bank.begin_access(1, now=0, bus_free_until=0)
+        hit = bank.begin_access(1, now=bank.busy_until, bus_free_until=0)
+        assert hit.activate_time is None
+
+    def test_activate_not_before_respected(self):
+        bank = Bank(0, 0, DETAILED)
+        access = bank.begin_access(
+            1, now=0, bus_free_until=0, activate_not_before=500
+        )
+        assert access.activate_time == 500
+
+    def test_simple_mode_ignores_constraints(self):
+        simple = DramTimings()
+        bank = Bank(0, 0, simple)
+        bank.begin_access(1, now=0, bus_free_until=0)
+        second = bank.begin_access(2, now=bank.busy_until, bus_free_until=0)
+        # no tRC: the conflict starts immediately after the bank frees
+        assert second.data_end - bank.busy_cycles < DETAILED.t_rc * 2
+
+
+class TestChannelConstraints:
+    def test_trrd_spaces_cross_bank_activates(self):
+        channel = Channel(0, DETAILED_CFG)
+        r0, r1 = req(bank=0), req(bank=1)
+        channel.enqueue(r0)
+        channel.enqueue(r1)
+        a0, _ = channel.start_service(r0, now=0)
+        a1, _ = channel.start_service(r1, now=0)
+        assert a1.activate_time - a0.activate_time >= DETAILED.t_rrd
+
+    def test_tfaw_limits_activate_burst(self):
+        channel = Channel(0, DETAILED_CFG)
+        accesses = []
+        for bank in range(4):
+            r = req(bank=bank)
+            channel.enqueue(r)
+            access, _ = channel.start_service(r, now=0)
+            accesses.append(access)
+        # a 5th activate (same channel, recycled bank after busy) obeys tFAW
+        now = max(a.data_end for a in accesses)
+        r = req(bank=0, row=99, arrival=now)
+        channel.enqueue(r)
+        fifth, _ = channel.start_service(r, now=now)
+        assert fifth.activate_time >= accesses[0].activate_time + DETAILED.t_faw
+
+    def test_refresh_blocks_accesses(self):
+        channel = Channel(0, DETAILED_CFG)
+        t = DETAILED
+        r = req(arrival=t.t_refi + 10)
+        channel.enqueue(r)
+        access, _ = channel.start_service(r, now=t.t_refi + 10)
+        assert access.data_start >= t.t_refi + t.t_rfc
+        assert channel.refreshes_performed == 1
+
+    def test_idle_refreshes_cost_nothing(self):
+        channel = Channel(0, DETAILED_CFG)
+        t = DETAILED
+        late = 3 * t.t_refi + t.t_rfc + 1_000
+        r = req(arrival=late)
+        channel.enqueue(r)
+        access, _ = channel.start_service(r, now=late)
+        assert access.data_start < late + t.t_rp + t.t_rcd + t.burst + 1
+        assert channel.refreshes_performed == 3
+
+
+class TestEndToEnd:
+    def test_detailed_mode_runs_all_schedulers(self):
+        workload = Workload(
+            name="w", benchmark_names=("mcf", "libquantum", "lbm", "povray")
+        )
+        for sched in ("frfcfs", "tcm"):
+            result = System(
+                workload, make_scheduler(sched), DETAILED_CFG, seed=0
+            ).run()
+            assert all(t.ipc > 0 for t in result.threads)
+
+    def test_detailed_mode_is_slower_than_simple(self):
+        """Extra constraints can only reduce serviced throughput."""
+        workload = Workload(
+            name="w", benchmark_names=("mcf", "mcf", "lbm", "leslie3d")
+        )
+        simple_cfg = DETAILED_CFG.with_(timings=DramTimings())
+        detailed = System(
+            workload, make_scheduler("frfcfs"), DETAILED_CFG, seed=0
+        ).run()
+        simple = System(
+            workload, make_scheduler("frfcfs"), simple_cfg, seed=0
+        ).run()
+        assert detailed.total_requests <= simple.total_requests * 1.02

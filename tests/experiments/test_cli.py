@@ -1,0 +1,58 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.cycles == 400_000
+        assert args.per_category == 2
+        assert args.seed == 0
+
+
+class TestCommands:
+    def test_fig3_is_instant(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "insertion" in out
+
+    def test_table2_prints_totals(self, capsys):
+        assert main(["table2"]) == 0
+        assert "3792" in capsys.readouterr().out
+
+    def test_run_quick(self, capsys):
+        assert main(["run", "--cycles", "60000", "--intensity", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "tcm" in out
+        assert "WS" in out
+
+    def test_fig2_quick(self, capsys):
+        assert main(["fig2", "--cycles", "80000"]) == 0
+        assert "streaming" in capsys.readouterr().out
+
+    def test_run_with_workload_file(self, capsys, tmp_path):
+        from repro.workloads import Workload, save_workload
+
+        path = tmp_path / "w.json"
+        save_workload(
+            Workload(name="filed", benchmark_names=("mcf", "povray")), path
+        )
+        assert main(
+            ["run", "--cycles", "40000", "--workload-file", str(path),
+             "--schedulers", "frfcfs,tcm"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "filed" in out
+        assert "tcm" in out and "parbs" not in out

@@ -1,0 +1,104 @@
+"""Smoke + shape tests for the figure drivers (small scales)."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments import (
+    figure2,
+    figure3,
+    figure5,
+    figure8,
+    figure8_workload,
+    scheduler_scatter,
+)
+
+QUICK = SimConfig(run_cycles=80_000)
+
+
+class TestScatter:
+    def test_scatter_covers_all_schedulers(self):
+        points = scheduler_scatter(
+            ("frfcfs", "tcm"), per_category=1, intensities=(0.5,),
+            config=QUICK,
+        )
+        assert {p.scheduler for p in points} == {"frfcfs", "tcm"}
+
+    def test_scatter_metrics_positive(self):
+        points = scheduler_scatter(
+            ("frfcfs",), per_category=1, intensities=(1.0,), config=QUICK
+        )
+        assert points[0].weighted_speedup > 0
+        assert points[0].maximum_slowdown > 0
+        assert points[0].harmonic_speedup > 0
+
+
+class TestFigure2:
+    def test_random_access_more_susceptible(self):
+        """The paper's motivating asymmetry (Figure 2)."""
+        cfg = SimConfig(run_cycles=200_000)
+        result = figure2(cfg)
+        assert (
+            result.deprioritized_random_slowdown
+            > result.deprioritized_streaming_slowdown
+        )
+
+    def test_deprioritized_random_slows_heavily(self):
+        cfg = SimConfig(run_cycles=200_000)
+        result = figure2(cfg)
+        assert result.deprioritized_random_slowdown > 4.0
+
+    def test_prioritized_threads_barely_slow(self):
+        cfg = SimConfig(run_cycles=200_000)
+        result = figure2(cfg)
+        assert result.prioritize_random[0] < 2.0
+        assert result.prioritize_streaming[1] < 2.0
+
+
+class TestFigure3:
+    def test_sequences_have_requested_steps(self):
+        seqs = figure3(num_threads=4, steps=8)
+        assert len(seqs["insertion"]) == 9
+        assert len(seqs["round_robin"]) == 9
+
+    def test_round_robin_preserves_relative_order(self):
+        seqs = figure3(num_threads=4, steps=4)
+        for state in seqs["round_robin"]:
+            gap = (state.index(1) - state.index(0)) % 4
+            assert gap == 1
+
+    def test_insertion_cycles_back(self):
+        seqs = figure3(num_threads=4)
+        assert seqs["insertion"][0] == seqs["insertion"][-1]
+
+
+class TestFigure5:
+    def test_covers_table5_and_avg(self):
+        results = figure5(QUICK, scheduler_names=("frfcfs",), avg_workloads=1)
+        assert set(results) == {"A", "B", "C", "D", "AVG"}
+
+    def test_no_avg_when_disabled(self):
+        results = figure5(QUICK, scheduler_names=("frfcfs",), avg_workloads=0)
+        assert "AVG" not in results
+
+
+class TestFigure8:
+    def test_workload_construction(self):
+        workload = figure8_workload(instances=4)
+        assert workload.num_threads == 24
+        assert workload.weights.count(32) == 4
+        assert workload.benchmark_names.count("mcf") == 4
+
+    def test_tcm_protects_light_threads_under_weights(self):
+        cfg = SimConfig(run_cycles=200_000)
+        result = figure8(cfg, instances=2)
+        # gcc (weight 1, light) should do clearly better under TCM than
+        # under weight-blind-ish ATLAS prioritisation of heavy threads
+        assert result.speedups["tcm"]["gcc"] > result.speedups["atlas"]["gcc"]
+
+    def test_reports_both_schedulers(self):
+        cfg = SimConfig(run_cycles=100_000)
+        result = figure8(cfg, instances=1)
+        assert set(result.weighted_speedup) == {"atlas", "tcm"}
+        assert set(result.speedups["tcm"]) == {
+            "gcc", "wrf", "GemsFDTD", "lbm", "libquantum", "mcf"
+        }

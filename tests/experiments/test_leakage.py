@@ -1,0 +1,46 @@
+"""Tests for the memory-service-leakage experiment (paper §3.3)."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments.leakage import LeakageResult, measure_leakage
+from repro.workloads.mixes import make_intensity_workload
+
+
+class TestLeakageResult:
+    def test_depth(self):
+        result = LeakageResult(shares=(0.5, 0.3, 0.15, 0.04, 0.005))
+        assert result.depth(threshold=0.01) == 4
+        assert result.depth(threshold=0.2) == 2
+
+    def test_top_share(self):
+        assert LeakageResult(shares=(0.7, 0.3)).top_share == 0.7
+
+    def test_empty(self):
+        assert LeakageResult(shares=()).top_share == 0.0
+        assert LeakageResult(shares=()).depth() == 0
+
+
+class TestMeasuredLeakage:
+    @pytest.fixture(scope="class")
+    def leakage(self):
+        cfg = SimConfig(run_cycles=200_000)
+        workload = make_intensity_workload(1.0, num_threads=24, seed=0)
+        return measure_leakage(workload, cfg, seed=0)
+
+    def test_shares_sum_to_one(self, leakage):
+        assert sum(leakage.shares) == pytest.approx(1.0)
+
+    def test_top_position_receives_most(self, leakage):
+        assert leakage.top_share == max(leakage.shares)
+
+    def test_service_leaks_beyond_top_positions(self, leakage):
+        """The paper's §3.3 observation: service leaks to at least the
+        5th-6th priority level in a 24-thread system."""
+        assert leakage.depth(threshold=0.01) >= 5
+
+    def test_shares_roughly_decrease(self, leakage):
+        """High positions receive more than deep ones on average."""
+        top_half = sum(leakage.shares[:12])
+        bottom_half = sum(leakage.shares[12:])
+        assert top_half > bottom_half

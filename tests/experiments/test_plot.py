@@ -1,0 +1,57 @@
+"""Tests for the ASCII scatter plot renderer."""
+
+import pytest
+
+from repro.experiments.reporting import plot_scatter
+
+
+POINTS = [
+    ("frfcfs", 12.3, 14.1),
+    ("atlas", 13.2, 11.5),
+    ("tcm", 13.9, 7.0),
+]
+
+
+class TestPlotScatter:
+    def test_contains_axes_and_legend(self):
+        text = plot_scatter(POINTS, title="fig")
+        assert text.startswith("fig")
+        assert "legend:" in text
+        assert "F=frfcfs" in text and "T=tcm" in text
+
+    def test_marker_positions_ordered(self):
+        """tcm (lowest MS) must be drawn below atlas; frfcfs above."""
+        text = plot_scatter(POINTS)
+        lines = text.splitlines()
+        row_of = {}
+        for i, line in enumerate(lines):
+            for marker in ("F", "A", "T"):
+                if "|" in line and marker in line.split("|", 1)[1]:
+                    row_of.setdefault(marker, i)
+        assert row_of["F"] < row_of["A"] < row_of["T"]
+
+    def test_x_ordering(self):
+        text = plot_scatter(POINTS)
+        for line in text.splitlines():
+            if "|" in line and "T" in line.split("|", 1)[-1]:
+                body = line.split("|", 1)[1]
+                # tcm has the highest WS -> rightmost marker
+                assert body.rindex("T") == max(
+                    body.rindex(m) for m in "FAT" if m in body
+                )
+
+    def test_single_point(self):
+        text = plot_scatter([("tcm", 1.0, 1.0)])
+        assert "T" in text
+
+    def test_empty(self):
+        assert "(no points)" in plot_scatter([])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            plot_scatter(POINTS, width=4, height=2)
+
+    def test_custom_size(self):
+        text = plot_scatter(POINTS, width=30, height=6)
+        grid_lines = [l for l in text.splitlines() if "|" in l]
+        assert len(grid_lines) == 6

@@ -1,0 +1,92 @@
+"""Tests for repro.experiments.runner — scoring and the alone cache."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments import runner
+from repro.experiments.runner import (
+    alone_ipc,
+    alone_ipcs,
+    clear_alone_cache,
+    evaluate_workload,
+    run_shared,
+    score_run,
+)
+from repro.workloads.mixes import Workload
+from repro.workloads.spec import benchmark
+
+CFG = SimConfig(run_cycles=80_000)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_alone_cache()
+    yield
+    clear_alone_cache()
+
+
+def workload():
+    return Workload(name="w", benchmark_names=("mcf", "povray", "libquantum"))
+
+
+class TestAloneCache:
+    def test_alone_ipc_positive(self):
+        assert alone_ipc(benchmark("mcf"), CFG) > 0
+
+    def test_cache_hit_avoids_rerun(self):
+        alone_ipc(benchmark("mcf"), CFG)
+        assert len(runner._ALONE_CACHE) == 1
+        alone_ipc(benchmark("mcf"), CFG)
+        assert len(runner._ALONE_CACHE) == 1
+
+    def test_cache_keyed_on_config(self):
+        alone_ipc(benchmark("mcf"), CFG)
+        alone_ipc(benchmark("mcf"), CFG.with_(run_cycles=40_000))
+        assert len(runner._ALONE_CACHE) == 2
+
+    def test_cache_keyed_on_seed(self):
+        alone_ipc(benchmark("mcf"), CFG, seed=0)
+        alone_ipc(benchmark("mcf"), CFG, seed=1)
+        assert len(runner._ALONE_CACHE) == 2
+
+    def test_alone_ipcs_covers_workload(self):
+        values = alone_ipcs(workload(), CFG)
+        assert len(values) == 3
+        assert all(v > 0 for v in values)
+
+    def test_light_benchmark_runs_near_peak(self):
+        assert alone_ipc(benchmark("povray"), CFG) > 2.8
+
+    def test_clear_cache(self):
+        alone_ipc(benchmark("mcf"), CFG)
+        clear_alone_cache()
+        assert len(runner._ALONE_CACHE) == 0
+
+
+class TestScoring:
+    def test_run_shared_result(self):
+        result = run_shared(workload(), "frfcfs", CFG)
+        assert result.scheduler == "FR-FCFS"
+        assert len(result.threads) == 3
+
+    def test_score_metrics_consistent(self):
+        result = run_shared(workload(), "frfcfs", CFG)
+        score = score_run(result, workload(), CFG)
+        assert 0 < score.weighted_speedup <= 3.0
+        assert score.maximum_slowdown >= 1.0 or score.maximum_slowdown > 0
+        assert 0 < score.harmonic_speedup <= 1.5
+
+    def test_evaluate_workload_runs_all(self):
+        scores = evaluate_workload(
+            workload(), ("frfcfs", "tcm"), CFG
+        )
+        assert set(scores) == {"frfcfs", "tcm"}
+
+    def test_params_override(self):
+        from repro.config import TCMParams
+
+        scores = evaluate_workload(
+            workload(), ("tcm",), CFG,
+            params={"tcm": TCMParams(cluster_thresh=0.5)},
+        )
+        assert "tcm" in scores

@@ -1,0 +1,72 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.stats import Summary, geometric_mean, summarize
+
+
+class TestSummarize:
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0
+        assert s.ci95 == 0.0
+        assert s.n == 1
+
+    def test_known_sample(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.stddev == pytest.approx(1.0)
+        assert s.ci95 == pytest.approx(1.96 / math.sqrt(3), rel=0.01)
+
+    def test_bounds(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.low == pytest.approx(s.mean - s.ci95)
+        assert s.high == pytest.approx(s.mean + s.ci95)
+
+    def test_overlap_detection(self):
+        a = summarize([1.0, 1.1, 0.9])
+        b = summarize([1.05, 1.15, 0.95])
+        c = summarize([5.0, 5.1, 4.9])
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_str(self):
+        assert "n=3" in str(summarize([1, 2, 3]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2,
+                    max_size=50))
+    def test_mean_within_interval(self, values):
+        s = summarize(values)
+        assert s.low <= s.mean <= s.high
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1,
+                    max_size=30))
+    def test_bounded_by_arithmetic_mean(self, values):
+        gm = geometric_mean(values)
+        am = sum(values) / len(values)
+        assert gm <= am * (1 + 1e-9)

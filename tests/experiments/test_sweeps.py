@@ -1,0 +1,74 @@
+"""Smoke tests for sweep drivers (figure 6, tables 7-8)."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments import figure6, scale_mpki, table7, table8
+from repro.workloads.mixes import Workload
+
+QUICK = SimConfig(run_cycles=60_000)
+
+
+class TestFigure6:
+    def test_curves_per_scheduler(self):
+        curves = figure6(per_category=1, config=QUICK, schedulers=("tcm", "frfcfs"))
+        assert len(curves["tcm"]) == 5
+        assert len(curves["frfcfs"]) == 1
+
+    def test_tcm_points_carry_thresholds(self):
+        curves = figure6(per_category=1, config=QUICK, schedulers=("tcm",))
+        values = [p.value for p in curves["tcm"]]
+        assert values == [2 / 24, 3 / 24, 4 / 24, 5 / 24, 6 / 24]
+
+    def test_metrics_populated(self):
+        curves = figure6(per_category=1, config=QUICK, schedulers=("parbs",))
+        for point in curves["parbs"]:
+            assert point.weighted_speedup > 0
+            assert point.maximum_slowdown > 0
+
+
+class TestTable7:
+    def test_rows_for_both_parameters(self):
+        points = table7(
+            per_category=1, config=QUICK,
+            algo_thresholds=(0.05, 0.1), shuffle_intervals=(500, 800),
+        )
+        params = [(p.parameter, p.value) for p in points]
+        assert ("shuffle_algo_thresh", 0.05) in params
+        assert ("shuffle_interval", 800) in params
+        assert len(points) == 4
+
+
+class TestScaleMpki:
+    def test_scales_all_specs(self):
+        workload = Workload(name="w", benchmark_names=("mcf", "povray"))
+        scaled = scale_mpki(workload, 0.5)
+        assert scaled.specs[0].mpki == pytest.approx(97.38 * 0.5)
+        assert scaled.specs[0].rbl == workload.specs[0].rbl
+
+    def test_floors_tiny_mpki(self):
+        workload = Workload(name="w", benchmark_names=("povray",))
+        scaled = scale_mpki(workload, 0.1)
+        assert scaled.specs[0].mpki > 0
+
+
+class TestTable8:
+    def test_dimensions_present(self):
+        rows = table8(
+            per_category=1, config=QUICK,
+            controllers=(2,), cores=(8,), caches=("1MB",),
+        )
+        dims = [(r.dimension, r.value) for r in rows]
+        assert ("controllers", 2) in dims
+        assert ("cores", 8) in dims
+        assert ("cache", "1MB") in dims
+
+    def test_deltas_computable(self):
+        rows = table8(
+            per_category=1, config=QUICK,
+            controllers=(), cores=(8,), caches=(),
+        )
+        row = rows[0]
+        assert row.ws_delta == pytest.approx(
+            (row.tcm_ws - row.atlas_ws) / row.atlas_ws
+        )

@@ -1,0 +1,58 @@
+"""Smoke + convergence tests for the table drivers."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments import table1, table2, table4, table6
+
+STATIONARY = SimConfig(run_cycles=250_000, phase_mean_cycles=0)
+
+
+class TestTable1:
+    def test_microbench_characteristics_converge(self):
+        rows = table1(STATIONARY)
+        random_access, streaming = rows
+        assert random_access.measured_mpki == pytest.approx(100.0, rel=0.1)
+        assert streaming.measured_rbl == pytest.approx(0.99, abs=0.02)
+        assert random_access.measured_blp > 8.0
+        assert streaming.measured_blp < 2.5
+
+    def test_equal_intensity_opposite_structure(self):
+        random_access, streaming = table1(STATIONARY)
+        assert random_access.measured_blp > streaming.measured_blp
+        assert streaming.measured_rbl > random_access.measured_rbl
+
+
+class TestTable2:
+    def test_matches_paper(self):
+        cost = table2()
+        assert cost.total_bits == 3792
+
+
+class TestTable4:
+    def test_subset_measurement(self):
+        rows = table4(STATIONARY, benchmarks=("mcf", "libquantum", "povray"))
+        by_name = {r.benchmark: r for r in rows}
+        assert by_name["mcf"].measured_mpki == pytest.approx(97.38, rel=0.1)
+        assert by_name["libquantum"].measured_rbl == pytest.approx(0.99, abs=0.02)
+        assert by_name["povray"].alone_ipc > 2.8
+
+    def test_default_covers_all_25(self):
+        quick = SimConfig(run_cycles=30_000, phase_mean_cycles=0)
+        rows = table4(quick)
+        assert len(rows) == 25
+
+
+class TestTable6:
+    def test_rows_per_algorithm(self):
+        quick = SimConfig(run_cycles=60_000)
+        rows = table6(per_category=1, config=quick)
+        assert [r.algorithm for r in rows] == [
+            "round_robin", "random", "insertion", "dynamic"
+        ]
+        assert all(r.ms_average > 0 for r in rows)
+
+    def test_variance_zero_single_workload(self):
+        quick = SimConfig(run_cycles=60_000)
+        rows = table6(per_category=1, config=quick)
+        assert all(r.ms_variance == 0.0 for r in rows)

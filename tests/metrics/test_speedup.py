@@ -1,0 +1,102 @@
+"""Tests for repro.metrics.speedup."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import (
+    harmonic_speedup,
+    maximum_slowdown,
+    slowdowns,
+    weighted_speedup,
+)
+
+
+class TestWeightedSpeedup:
+    def test_no_slowdown_gives_thread_count(self):
+        assert weighted_speedup([1.0, 2.0], [1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_half_speed_halves(self):
+        assert weighted_speedup([2.0, 2.0], [1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 1.0])
+
+    def test_zero_alone_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([0.0], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([], [])
+
+
+class TestMaximumSlowdown:
+    def test_picks_worst_thread(self):
+        assert maximum_slowdown([1.0, 4.0], [1.0, 1.0]) == pytest.approx(4.0)
+
+    def test_starved_thread_is_infinite(self):
+        assert maximum_slowdown([1.0], [0.0]) == float("inf")
+
+    def test_speedup_allows_below_one(self):
+        assert maximum_slowdown([1.0], [2.0]) == pytest.approx(0.5)
+
+
+class TestHarmonicSpeedup:
+    def test_uniform_slowdown(self):
+        # every thread slowed 2x -> HS = 0.5
+        assert harmonic_speedup([2.0, 2.0], [1.0, 1.0]) == pytest.approx(0.5)
+
+    def test_starved_thread_zeroes(self):
+        assert harmonic_speedup([1.0, 1.0], [1.0, 0.0]) == 0.0
+
+    def test_paper_definition(self):
+        # HS = N / sum(alone/shared)
+        alone, shared = [2.0, 3.0], [1.0, 1.5]
+        assert harmonic_speedup(alone, shared) == pytest.approx(2 / (2 + 2))
+
+
+class TestSlowdowns:
+    def test_per_thread_values(self):
+        assert slowdowns([2.0, 3.0], [1.0, 1.0]) == [2.0, 3.0]
+
+    def test_negative_shared_rejected(self):
+        with pytest.raises(ValueError):
+            slowdowns([1.0], [-0.1])
+
+
+class TestProperties:
+    positive = st.floats(min_value=0.01, max_value=100.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(positive, positive), min_size=1, max_size=32))
+    def test_ws_bounded_by_thread_count_when_no_speedup(self, pairs):
+        alone = [a for a, _ in pairs]
+        shared = [min(a, s) for a, s in pairs]  # shared <= alone
+        assert weighted_speedup(alone, shared) <= len(pairs) + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(positive, positive), min_size=1, max_size=32))
+    def test_hs_between_min_and_max_speedup(self, pairs):
+        """A harmonic mean lies between the extreme speedups."""
+        alone = [a for a, _ in pairs]
+        shared = [s for _, s in pairs]
+        hs = harmonic_speedup(alone, shared)
+        speedups = [s / a for a, s in pairs]
+        assert min(speedups) * (1 - 1e-9) <= hs <= max(speedups) * (1 + 1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(positive, positive), min_size=1, max_size=32))
+    def test_ms_is_max_of_slowdowns(self, pairs):
+        alone = [a for a, _ in pairs]
+        shared = [s for _, s in pairs]
+        assert maximum_slowdown(alone, shared) == max(slowdowns(alone, shared))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(positive, positive), min_size=1, max_size=32))
+    def test_hs_inverse_of_mean_slowdown(self, pairs):
+        alone = [a for a, _ in pairs]
+        shared = [s for _, s in pairs]
+        hs = harmonic_speedup(alone, shared)
+        mean_slowdown = sum(slowdowns(alone, shared)) / len(pairs)
+        assert hs == pytest.approx(1.0 / mean_slowdown)

@@ -1,0 +1,83 @@
+"""Tests for the scheduler selection path under realistic queues."""
+
+import pytest
+
+from repro.config import SimConfig, TCMParams
+from repro.core.tcm import TCMScheduler
+from repro.dram.channel import Channel
+from repro.dram.request import MemoryRequest
+from repro.schedulers import make_scheduler
+
+CFG = SimConfig()
+
+
+def req(thread=0, channel=0, bank=0, row=1, arrival=0):
+    return MemoryRequest(
+        thread_id=thread, channel_id=channel, bank_id=bank, row=row,
+        arrival=arrival,
+    )
+
+
+class TestSelectAgainstQueues:
+    def test_tcm_rank_dominates_row_hit_in_select(self):
+        scheduler = TCMScheduler(TCMParams())
+        scheduler._ranks = [{0: 1, 1: 5}] * CFG.num_channels
+        channel = Channel(0, CFG)
+        hit_low = req(thread=0, row=7, arrival=0)
+        miss_high = req(thread=1, row=9, arrival=5)
+        channel.enqueue(hit_low)
+        channel.enqueue(miss_high)
+        channel.banks[0].open_row = 7
+        assert scheduler.select(channel, 0, now=10) is miss_high
+
+    def test_tcm_per_channel_ranks_in_select(self):
+        """With desynchronised ranks the same two requests resolve
+        differently on different channels."""
+        scheduler = TCMScheduler(TCMParams(sync_shuffle=False))
+        scheduler._ranks = [{0: 5, 1: 1}, {0: 1, 1: 5}, {}, {}]
+        for channel_id, winner in ((0, 0), (1, 1)):
+            channel = Channel(channel_id, CFG)
+            a = req(thread=0, channel=channel_id, arrival=0)
+            b = req(thread=1, channel=channel_id, row=2, arrival=0)
+            channel.enqueue(a)
+            channel.enqueue(b)
+            chosen = scheduler.select(channel, 0, now=10)
+            assert chosen.thread_id == winner
+
+    def test_parbs_marked_dominates_in_select(self):
+        scheduler = make_scheduler("parbs")
+        channel = Channel(0, CFG)
+        old_unmarked = req(thread=0, arrival=0)
+        young_marked = req(thread=1, row=2, arrival=50)
+        young_marked.marked = True
+        channel.enqueue(old_unmarked)
+        channel.enqueue(young_marked)
+        channel.banks[0].open_row = 1   # old request would be a hit
+        assert scheduler.select(channel, 0, now=100) is young_marked
+
+    def test_atlas_starved_request_dominates_in_select(self):
+        scheduler = make_scheduler("atlas")
+        scheduler._rank = {0: 9, 1: 1}
+        channel = Channel(0, CFG)
+        fresh_high_rank = req(thread=0, arrival=199_000)
+        starved_low_rank = req(thread=1, row=2, arrival=10)
+        channel.enqueue(fresh_high_rank)
+        channel.enqueue(starved_low_rank)
+        now = 10 + scheduler.params.starvation_threshold + 1
+        assert scheduler.select(channel, 0, now=now) is starved_low_rank
+
+    def test_frfcfs_prefers_open_row_stream(self):
+        scheduler = make_scheduler("frfcfs")
+        channel = Channel(0, CFG)
+        stream = [req(thread=0, row=3, arrival=i) for i in range(3)]
+        interloper = req(thread=1, row=8, arrival=0)
+        for r in stream:
+            channel.enqueue(r)
+        channel.enqueue(interloper)
+        channel.banks[0].open_row = 3
+        # the whole stream drains before the interloper
+        for expected in stream:
+            chosen = scheduler.select(channel, 0, now=100)
+            assert chosen is expected
+            channel.queues[0].remove(chosen)
+        assert scheduler.select(channel, 0, now=100) is interloper

@@ -1,0 +1,48 @@
+"""Tests for FR-FCFS and FCFS priority functions."""
+
+from repro.dram.request import MemoryRequest
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.schedulers.frfcfs import FRFCFSScheduler
+
+
+def req(thread=0, row=1, arrival=0):
+    return MemoryRequest(
+        thread_id=thread, channel_id=0, bank_id=0, row=row, arrival=arrival
+    )
+
+
+class TestFRFCFS:
+    def test_row_hit_beats_older_miss(self):
+        scheduler = FRFCFSScheduler()
+        hit = req(row=1, arrival=100)
+        miss = req(row=2, arrival=0)
+        assert scheduler.priority(hit, True, 200) > scheduler.priority(
+            miss, False, 200
+        )
+
+    def test_older_wins_among_hits(self):
+        scheduler = FRFCFSScheduler()
+        old = req(arrival=0)
+        young = req(arrival=50)
+        assert scheduler.priority(old, True, 100) > scheduler.priority(
+            young, True, 100
+        )
+
+    def test_thread_blind(self):
+        scheduler = FRFCFSScheduler()
+        a = req(thread=0, arrival=10)
+        b = req(thread=7, arrival=10)
+        assert scheduler.priority(a, True, 50) == scheduler.priority(b, True, 50)
+
+    def test_name(self):
+        assert FRFCFSScheduler.name == "FR-FCFS"
+
+
+class TestFCFS:
+    def test_ignores_row_state(self):
+        scheduler = FCFSScheduler()
+        hit = req(arrival=50)
+        miss = req(row=2, arrival=0)
+        assert scheduler.priority(miss, False, 100) > scheduler.priority(
+            hit, True, 100
+        )

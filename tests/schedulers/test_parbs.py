@@ -1,0 +1,129 @@
+"""Tests for PAR-BS — batching and max-total ranking."""
+
+import pytest
+
+from repro.config import PARBSParams, SimConfig
+from repro.dram.request import MemoryRequest
+from repro.schedulers.parbs import PARBSScheduler
+from repro.sim import System
+from repro.workloads.mixes import Workload
+
+
+def req(thread=0, arrival=0, row=1, bank=0, channel=0):
+    return MemoryRequest(
+        thread_id=thread, channel_id=channel, bank_id=bank, row=row,
+        arrival=arrival,
+    )
+
+
+def attach_parbs(num_threads=3, batch_cap=2):
+    scheduler = PARBSScheduler(PARBSParams(batch_cap=batch_cap))
+
+    class FakeChannel:
+        channel_id = 0
+        def __init__(self):
+            self.queues = [[] for _ in range(4)]
+
+    class FakeSystem:
+        channels = [FakeChannel()]
+        config = SimConfig()
+        seed = 0
+        def schedule_timer(self, time, key):
+            pass
+    FakeSystem.workload = type("W", (), {"num_threads": num_threads, "weights": None})
+    scheduler.attach(FakeSystem())
+    return scheduler, FakeSystem.channels[0]
+
+
+class TestBatchFormation:
+    def test_marks_up_to_cap_oldest_per_thread_per_bank(self):
+        scheduler, channel = attach_parbs(batch_cap=2)
+        requests = [req(thread=0, arrival=i, row=i) for i in range(4)]
+        channel.queues[0].extend(requests)
+        scheduler._form_batch()
+        assert [r.marked for r in requests] == [True, True, False, False]
+
+    def test_marking_is_per_bank(self):
+        scheduler, channel = attach_parbs(batch_cap=1)
+        r0 = req(thread=0, bank=0)
+        r1 = req(thread=0, bank=1)
+        channel.queues[0].append(r0)
+        channel.queues[1].append(r1)
+        scheduler._form_batch()
+        assert r0.marked and r1.marked
+
+    def test_new_batch_formed_when_drained(self):
+        scheduler, channel = attach_parbs(batch_cap=1)
+        r0 = req(thread=0, arrival=0)
+        channel.queues[0].append(r0)
+        scheduler.on_request_arrival(r0, now=0)   # batch formed, r0 marked
+        assert r0.marked
+        r1 = req(thread=0, arrival=1, row=2)
+        channel.queues[0].append(r1)
+        scheduler.on_request_arrival(r1, now=1)   # batch active: unmarked
+        assert not r1.marked
+        channel.queues[0].remove(r0)
+        scheduler.on_request_scheduled(r0, channel.queues[0], 100, now=10)
+        assert r1.marked   # drained -> next batch formed
+        assert scheduler.batches_formed == 2
+
+
+class TestRanking:
+    def test_shortest_job_ranked_highest(self):
+        scheduler, channel = attach_parbs(num_threads=2, batch_cap=5)
+        # thread 0: 4 requests at one bank; thread 1: 1 request
+        channel.queues[0].extend(req(thread=0, arrival=i, row=i) for i in range(4))
+        channel.queues[1].append(req(thread=1, bank=1))
+        scheduler._form_batch()
+        assert scheduler._rank[1] > scheduler._rank[0]
+
+    def test_max_per_bank_dominates_total(self):
+        scheduler, channel = attach_parbs(num_threads=2, batch_cap=5)
+        # thread 0: 3 requests on one bank (max 3, total 3)
+        channel.queues[0].extend(req(thread=0, arrival=i, row=i) for i in range(3))
+        # thread 1: 4 requests spread over 4 banks (max 1, total 4)
+        for bank in range(4):
+            channel.queues[bank].append(req(thread=1, bank=bank, arrival=10))
+        scheduler._form_batch()
+        assert scheduler._rank[1] > scheduler._rank[0]
+
+
+class TestPriority:
+    def test_marked_first(self):
+        scheduler, _ = attach_parbs()
+        marked = req(arrival=100)
+        marked.marked = True
+        unmarked = req(arrival=0)
+        assert scheduler.priority(marked, False, 200) > scheduler.priority(
+            unmarked, True, 200
+        )
+
+    def test_row_hit_above_rank(self):
+        scheduler, _ = attach_parbs()
+        scheduler._rank = {0: 1, 1: 5}
+        hit_low_rank = req(thread=0)
+        hit_low_rank.marked = True
+        miss_high_rank = req(thread=1, row=2)
+        miss_high_rank.marked = True
+        assert scheduler.priority(hit_low_rank, True, 10) > scheduler.priority(
+            miss_high_rank, False, 10
+        )
+
+    def test_rank_breaks_row_tie(self):
+        scheduler, _ = attach_parbs()
+        scheduler._rank = {0: 1, 1: 5}
+        a = req(thread=0, arrival=0)
+        b = req(thread=1, arrival=50)
+        a.marked = b.marked = True
+        assert scheduler.priority(b, True, 100) > scheduler.priority(a, True, 100)
+
+
+class TestIntegration:
+    def test_runs_end_to_end(self):
+        cfg = SimConfig(run_cycles=100_000)
+        workload = Workload(
+            name="t", benchmark_names=("mcf", "libquantum", "povray", "lbm")
+        )
+        result = System(workload, PARBSScheduler(), cfg, seed=0).run()
+        assert result.total_requests > 0
+        assert all(t.ipc > 0 for t in result.threads)

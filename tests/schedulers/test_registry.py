@@ -1,0 +1,91 @@
+"""Tests for the scheduler registry."""
+
+import pytest
+
+from repro.config import PARBSParams, TCMParams
+from repro.core.tcm import TCMScheduler
+from repro.schedulers import make_scheduler
+from repro.schedulers.atlas import ATLASScheduler
+from repro.schedulers.frfcfs import FRFCFSScheduler
+from repro.schedulers.registry import EVALUATED, SCHEDULERS
+
+
+class TestLookup:
+    def test_all_names_construct(self):
+        for name in SCHEDULERS:
+            assert make_scheduler(name) is not None
+
+    def test_evaluated_covers_paper_figures(self):
+        assert EVALUATED == ("frfcfs", "stfm", "parbs", "atlas", "tcm")
+
+    def test_aliases_normalise(self):
+        assert isinstance(make_scheduler("FR-FCFS"), FRFCFSScheduler)
+        assert isinstance(make_scheduler("fr_fcfs"), FRFCFSScheduler)
+        assert isinstance(make_scheduler("ATLAS"), ATLASScheduler)
+        assert isinstance(make_scheduler("TCM"), TCMScheduler)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_scheduler("nemesis")
+
+
+class TestParams:
+    def test_params_passed_through(self):
+        scheduler = make_scheduler("tcm", TCMParams(cluster_thresh=0.5))
+        assert scheduler.params.cluster_thresh == 0.5
+
+    def test_wrong_param_type_rejected(self):
+        with pytest.raises(TypeError):
+            make_scheduler("tcm", PARBSParams())
+
+    def test_parameterless_scheduler_rejects_params(self):
+        with pytest.raises(ValueError):
+            make_scheduler("frfcfs", TCMParams())
+
+
+class TestStaticScheduler:
+    def test_static_priority_order(self):
+        from repro.dram.request import MemoryRequest
+        from repro.schedulers.static import StaticPriorityScheduler
+
+        scheduler = StaticPriorityScheduler([2, 0, 1])
+        a = MemoryRequest(thread_id=2, channel_id=0, bank_id=0, row=1, arrival=100)
+        b = MemoryRequest(thread_id=0, channel_id=0, bank_id=0, row=1, arrival=0)
+        assert scheduler.priority(a, False, 200) > scheduler.priority(b, True, 200)
+
+    def test_duplicate_order_rejected(self):
+        from repro.schedulers.static import StaticPriorityScheduler
+
+        with pytest.raises(ValueError):
+            StaticPriorityScheduler([1, 1])
+
+
+class TestBaseScheduler:
+    def test_select_requires_nonempty_queue(self):
+        from repro.config import SimConfig
+        from repro.dram.channel import Channel
+
+        scheduler = make_scheduler("frfcfs")
+        channel = Channel(0, SimConfig())
+        with pytest.raises(RuntimeError):
+            scheduler.select(channel, 0, now=0)
+
+    def test_select_picks_max_priority(self):
+        from repro.config import SimConfig
+        from repro.dram.channel import Channel
+        from repro.dram.request import MemoryRequest
+
+        scheduler = make_scheduler("frfcfs")
+        channel = Channel(0, SimConfig())
+        old_miss = MemoryRequest(thread_id=0, channel_id=0, bank_id=0, row=3, arrival=0)
+        young_hit = MemoryRequest(thread_id=0, channel_id=0, bank_id=0, row=7, arrival=10)
+        channel.enqueue(old_miss)
+        channel.enqueue(young_hit)
+        channel.banks[0].open_row = 7
+        assert scheduler.select(channel, 0, now=20) is young_hit
+
+    def test_base_priority_not_implemented(self):
+        from repro.schedulers.base import Scheduler
+
+        with pytest.raises(NotImplementedError):
+            Scheduler().priority(None, False, 0)

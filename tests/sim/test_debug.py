@@ -1,0 +1,80 @@
+"""Tests for the system debug report."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.schedulers import make_scheduler
+from repro.sim import System
+from repro.sim.debug import format_report, system_report
+from repro.workloads.mixes import Workload
+
+
+@pytest.fixture(scope="module")
+def finished_system():
+    cfg = SimConfig(run_cycles=100_000)
+    workload = Workload(
+        name="w", benchmark_names=("mcf", "libquantum", "lbm", "povray")
+    )
+    system = System(workload, make_scheduler("frfcfs"), cfg, seed=0)
+    system.run()
+    return system
+
+
+class TestSystemReport:
+    def test_covers_all_banks(self, finished_system):
+        report = system_report(finished_system)
+        assert len(report.banks) == finished_system.config.num_banks
+
+    def test_utilisations_bounded(self, finished_system):
+        report = system_report(finished_system)
+        assert all(0.0 <= b.utilisation <= 1.0 for b in report.banks)
+        assert all(0.0 <= u <= 1.0 for u in report.bus_utilisation)
+
+    def test_access_counts_match_run(self, finished_system):
+        report = system_report(finished_system)
+        total = sum(b.accesses for b in report.banks)
+        serviced = sum(
+            ch.serviced_requests for ch in finished_system.channels
+        )
+        assert total == serviced
+
+    def test_hottest_bank_is_max(self, finished_system):
+        report = system_report(finished_system)
+        assert report.hottest_bank.utilisation == max(
+            b.utilisation for b in report.banks
+        )
+
+    def test_streaming_thread_heats_banks(self, finished_system):
+        """libquantum's current bank should be clearly hot."""
+        report = system_report(finished_system)
+        assert report.hottest_bank.utilisation > report.mean_bank_utilisation
+
+    def test_no_writes_by_default(self, finished_system):
+        report = system_report(finished_system)
+        assert report.writes_serviced == 0
+        assert report.writes_dropped == 0
+
+    def test_format_report(self, finished_system):
+        text = format_report(system_report(finished_system))
+        assert "bank utilisation" in text
+        assert "hottest bank" in text
+
+
+class TestPresets:
+    def test_quick_is_small(self):
+        from repro.experiments.presets import default_config, quick_config
+
+        assert quick_config().run_cycles < default_config().run_cycles
+
+    def test_paper_scale_values(self):
+        from repro.experiments.presets import paper_scale_config
+
+        cfg = paper_scale_config()
+        assert cfg.quantum_cycles == 1_000_000
+        assert cfg.run_cycles == 100_000_000
+
+    def test_overrides(self):
+        from repro.experiments.presets import quick_config
+
+        cfg = quick_config(num_threads=8)
+        assert cfg.num_threads == 8

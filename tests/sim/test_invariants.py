@@ -1,0 +1,93 @@
+"""Cross-cutting simulation invariants, including property-based runs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SimConfig
+from repro.schedulers import make_scheduler
+from repro.sim import System
+from repro.workloads.mixes import Workload, make_intensity_workload
+from repro.workloads.spec import MEMORY_INTENSIVE, MEMORY_NON_INTENSIVE
+
+
+def check_invariants(system, result):
+    """Invariants that must hold at the end of any run."""
+    config = system.config
+    # Conservation: serviced requests = completed row accesses.
+    assert (
+        result.row_hits + result.row_conflicts + result.row_closed
+        == result.total_requests
+    )
+    # Every thread's issued count >= retired misses.
+    from repro.cpu.thread import MAX_OUTSTANDING_MISSES
+
+    for tid, thread in enumerate(system.threads):
+        assert thread.issued >= thread.stats.misses
+        assert thread.outstanding >= 0
+        # a phase change may shrink the window below current occupancy,
+        # but the global MSHR cap always holds
+        assert thread.outstanding <= MAX_OUTSTANDING_MISSES
+    # Bank service accounting: per-thread service cycles sum to no more
+    # than total bank busy cycles.
+    total_busy = sum(
+        b.busy_cycles for ch in system.channels for b in ch.banks
+    )
+    attributed = sum(system.monitor.lifetime_service_cycles)
+    assert attributed <= total_busy + 1
+    # Nothing still queued exceeds what was issued.
+    queued = sum(ch.pending_requests() for ch in system.channels)
+    issued = sum(t.issued for t in system.threads)
+    assert queued + result.total_requests <= issued
+    # IPC bounded by issue width.
+    assert all(t.ipc <= config.ipc_peak + 1e-9 for t in result.threads)
+
+
+class TestInvariantsAcrossSchedulers:
+    @pytest.mark.parametrize(
+        "sched", ["fcfs", "frfcfs", "stfm", "parbs", "atlas", "tcm"]
+    )
+    def test_run_invariants(self, sched):
+        cfg = SimConfig(run_cycles=80_000)
+        workload = make_intensity_workload(0.75, num_threads=12, seed=3)
+        system = System(workload, make_scheduler(sched), cfg, seed=3)
+        result = system.run()
+        check_invariants(system, result)
+
+
+class TestPropertyBasedRuns:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        n_intensive=st.integers(min_value=0, max_value=6),
+        n_light=st.integers(min_value=1, max_value=6),
+        sched_idx=st.integers(min_value=0, max_value=5),
+    )
+    def test_any_mix_any_scheduler(self, seed, n_intensive, n_light, sched_idx):
+        """Arbitrary small mixes never violate the run invariants."""
+        names = (
+            list(MEMORY_INTENSIVE[:n_intensive])
+            + list(MEMORY_NON_INTENSIVE[:n_light])
+        )
+        workload = Workload(name="h", benchmark_names=tuple(names))
+        sched = ["fcfs", "frfcfs", "stfm", "parbs", "atlas", "tcm"][sched_idx]
+        cfg = SimConfig(run_cycles=30_000)
+        system = System(workload, make_scheduler(sched), cfg, seed=seed)
+        result = system.run()
+        check_invariants(system, result)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        channels=st.integers(min_value=1, max_value=8),
+        banks=st.integers(min_value=1, max_value=8),
+    )
+    def test_any_geometry(self, channels, banks):
+        """TCM runs correctly on any channel/bank geometry."""
+        cfg = SimConfig(
+            run_cycles=30_000, num_channels=channels, banks_per_channel=banks
+        )
+        workload = Workload(
+            name="h", benchmark_names=("mcf", "libquantum", "povray")
+        )
+        system = System(workload, make_scheduler("tcm"), cfg, seed=0)
+        result = system.run()
+        check_invariants(system, result)

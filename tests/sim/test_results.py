@@ -1,0 +1,47 @@
+"""Tests for repro.sim.results."""
+
+import pytest
+
+from repro.sim.results import RunResult, ThreadResult
+
+
+def thread(tid=0, ipc=1.0, benchmark="mcf"):
+    return ThreadResult(
+        thread_id=tid, benchmark=benchmark, instructions=1000, misses=10,
+        ipc=ipc, mpki=10.0, blp=2.0, rbl=0.5, service_cycles=500,
+        avg_latency=300.0,
+    )
+
+
+def result(threads, hits=10, conflicts=5, closed=5):
+    return RunResult(
+        scheduler="test", workload="w", cycles=1000, threads=tuple(threads),
+        total_requests=hits + conflicts + closed, row_hits=hits,
+        row_conflicts=conflicts, row_closed=closed, quantum_count=2,
+    )
+
+
+class TestRunResult:
+    def test_ipcs(self):
+        r = result([thread(0, 1.0), thread(1, 2.0)])
+        assert r.ipcs == [1.0, 2.0]
+
+    def test_row_hit_rate(self):
+        r = result([thread()], hits=10, conflicts=5, closed=5)
+        assert r.row_hit_rate == pytest.approx(0.5)
+
+    def test_row_hit_rate_no_requests(self):
+        r = result([thread()], hits=0, conflicts=0, closed=0)
+        assert r.row_hit_rate == 0.0
+
+    def test_thread_by_id(self):
+        r = result([thread(0), thread(1, benchmark="lbm")])
+        assert r.thread_by_id(1).benchmark == "lbm"
+
+    def test_summary_keys(self):
+        summary = result([thread()]).summary()
+        assert set(summary) == {"cycles", "requests", "row_hit_rate", "mean_ipc"}
+
+    def test_summary_mean_ipc(self):
+        r = result([thread(0, 1.0), thread(1, 3.0)])
+        assert r.summary()["mean_ipc"] == pytest.approx(2.0)

@@ -1,0 +1,107 @@
+"""Tests for write-traffic modeling (dirty-eviction writebacks)."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.dram.channel import Channel
+from repro.dram.request import MemoryRequest
+from repro.schedulers import make_scheduler
+from repro.sim import System
+from repro.workloads.mixes import Workload
+
+WRITE_CFG = SimConfig(
+    run_cycles=100_000, model_writes=True, phase_mean_cycles=0
+)
+READ_CFG = WRITE_CFG.with_(model_writes=False)
+
+
+def workload():
+    return Workload(name="w", benchmark_names=("mcf", "libquantum", "lbm"))
+
+
+def write_req(bank=0, row=1):
+    return MemoryRequest(
+        thread_id=0, channel_id=0, bank_id=bank, row=row, arrival=0,
+        is_write=True,
+    )
+
+
+class TestWriteBuffer:
+    def test_enqueue_and_lookup(self):
+        channel = Channel(0, WRITE_CFG)
+        channel.enqueue_write(write_req(bank=2))
+        assert channel.next_write_for(2) is not None
+        assert channel.next_write_for(0) is None
+
+    def test_non_write_rejected(self):
+        channel = Channel(0, WRITE_CFG)
+        read = MemoryRequest(
+            thread_id=0, channel_id=0, bank_id=0, row=1, arrival=0
+        )
+        with pytest.raises(ValueError):
+            channel.enqueue_write(read)
+
+    def test_overflow_drops_oldest(self):
+        cfg = WRITE_CFG.with_(write_buffer_size=4)
+        channel = Channel(0, cfg)
+        for i in range(6):
+            channel.enqueue_write(write_req(row=i))
+        assert len(channel.write_buffer) == 4
+        assert channel.dropped_writes == 2
+        assert channel.write_buffer[0].row == 2   # oldest survivors
+
+    def test_service_occupies_bank_and_bus(self):
+        channel = Channel(0, WRITE_CFG)
+        channel.enqueue_write(write_req())
+        write = channel.next_write_for(0)
+        busy_until = channel.start_write_service(write, now=0)
+        assert busy_until > 0
+        assert not channel.banks[0].is_idle(busy_until - 1)
+        assert channel.serviced_writes == 1
+        assert channel.write_buffer == []
+
+
+class TestWriteTraffic:
+    def test_writes_serviced_during_run(self):
+        system = System(workload(), make_scheduler("frfcfs"), WRITE_CFG, seed=0)
+        system.run()
+        serviced = sum(ch.serviced_writes for ch in system.channels)
+        assert serviced > 50
+
+    def test_write_volume_tracks_ratio(self):
+        system = System(workload(), make_scheduler("frfcfs"), WRITE_CFG, seed=0)
+        result = system.run()
+        serviced = sum(ch.serviced_writes for ch in system.channels)
+        buffered = sum(len(ch.write_buffer) for ch in system.channels)
+        dropped = sum(ch.dropped_writes for ch in system.channels)
+        issued_reads = sum(t.issued for t in system.threads)
+        total_writes = serviced + buffered + dropped
+        assert total_writes == pytest.approx(
+            WRITE_CFG.writeback_ratio * issued_reads, rel=0.15
+        )
+
+    def test_reads_prioritised_over_writes(self):
+        """Write traffic costs read throughput only mildly."""
+        with_writes = System(
+            workload(), make_scheduler("frfcfs"), WRITE_CFG, seed=0
+        ).run()
+        reads_only = System(
+            workload(), make_scheduler("frfcfs"), READ_CFG, seed=0
+        ).run()
+        ratio = with_writes.total_requests / reads_only.total_requests
+        assert 0.7 < ratio <= 1.01
+
+    def test_writes_off_by_default(self):
+        system = System(
+            workload(), make_scheduler("frfcfs"),
+            SimConfig(run_cycles=30_000), seed=0,
+        )
+        system.run()
+        assert sum(ch.serviced_writes for ch in system.channels) == 0
+
+    def test_schedulers_run_with_writes(self):
+        for sched in ("tcm", "parbs", "atlas"):
+            result = System(
+                workload(), make_scheduler(sched), WRITE_CFG, seed=0
+            ).run()
+            assert all(t.ipc > 0 for t in result.threads)

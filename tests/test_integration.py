@@ -1,0 +1,91 @@
+"""End-to-end shape tests: the paper's headline orderings.
+
+These run full 24-thread simulations and assert the qualitative
+results of the paper's evaluation (who wins, roughly by how much) on
+fixed seeds.  They are the slowest tests in the suite (~30s total).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments import evaluate_workload
+from repro.workloads import make_intensity_workload
+
+CFG = SimConfig(run_cycles=400_000)
+
+
+@pytest.fixture(scope="module")
+def suite_scores():
+    """Average metrics over a small mixed-intensity suite."""
+    acc = {}
+    for intensity, seed in [
+        (0.5, 0), (0.5, 3), (0.75, 1), (0.75, 2), (1.0, 0), (1.0, 2),
+    ]:
+        workload = make_intensity_workload(intensity, num_threads=24, seed=seed)
+        scores = evaluate_workload(workload, config=CFG, seed=seed)
+        for name, score in scores.items():
+            acc.setdefault(name, []).append(
+                (score.weighted_speedup, score.maximum_slowdown)
+            )
+    return {
+        name: (
+            float(np.mean([v[0] for v in vals])),
+            float(np.mean([v[1] for v in vals])),
+        )
+        for name, vals in acc.items()
+    }
+
+
+class TestHeadlineOrdering:
+    def test_frfcfs_is_least_fair(self, suite_scores):
+        """Thread-unaware FR-FCFS has the worst maximum slowdown."""
+        ms = {name: v[1] for name, v in suite_scores.items()}
+        assert ms["frfcfs"] == max(ms.values())
+
+    def test_atlas_is_best_baseline_throughput(self, suite_scores):
+        ws = {name: v[0] for name, v in suite_scores.items()}
+        baselines = {k: ws[k] for k in ("frfcfs", "stfm", "parbs", "atlas")}
+        assert max(baselines, key=baselines.get) == "atlas"
+
+    def test_atlas_unfairness(self, suite_scores):
+        """ATLAS trades fairness for throughput (paper §7)."""
+        ms = {name: v[1] for name, v in suite_scores.items()}
+        assert ms["atlas"] > ms["parbs"]
+        assert ms["atlas"] > ms["stfm"]
+
+    def test_stfm_low_throughput(self, suite_scores):
+        ws = {name: v[0] for name, v in suite_scores.items()}
+        assert ws["stfm"] < ws["parbs"]
+
+    def test_tcm_beats_every_baseline_on_one_axis_without_losing_both(
+        self, suite_scores
+    ):
+        """TCM dominates: no baseline is better on BOTH axes."""
+        tcm_ws, tcm_ms = suite_scores["tcm"]
+        for name in ("frfcfs", "stfm", "parbs", "atlas"):
+            ws, ms = suite_scores[name]
+            assert not (ws > tcm_ws and ms < tcm_ms), (
+                f"{name} dominates TCM: WS {ws:.2f} vs {tcm_ws:.2f}, "
+                f"MS {ms:.2f} vs {tcm_ms:.2f}"
+            )
+
+    def test_tcm_much_fairer_than_atlas(self, suite_scores):
+        """Paper headline: -38.6% maximum slowdown vs ATLAS.  On a
+        scaled suite we require a clear (>=10%) fairness win."""
+        assert suite_scores["tcm"][1] < 0.90 * suite_scores["atlas"][1]
+
+    def test_tcm_throughput_near_or_above_atlas(self, suite_scores):
+        """Paper headline: +4.6% weighted speedup vs ATLAS; we accept
+        anything within a few percent (substrate differences)."""
+        assert suite_scores["tcm"][0] > 0.93 * suite_scores["atlas"][0]
+
+    def test_tcm_throughput_above_parbs(self, suite_scores):
+        """Paper headline: +7.6% weighted speedup vs PAR-BS."""
+        assert suite_scores["tcm"][0] > suite_scores["parbs"][0]
+
+    def test_tcm_beats_frfcfs_on_both_axes(self, suite_scores):
+        tcm_ws, tcm_ms = suite_scores["tcm"]
+        fr_ws, fr_ms = suite_scores["frfcfs"]
+        assert tcm_ws > fr_ws
+        assert tcm_ms < fr_ms

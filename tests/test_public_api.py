@@ -1,0 +1,87 @@
+"""Public API surface checks.
+
+Guards the promises the README makes: everything in ``__all__`` is
+importable, the quickstart snippets work, and key entry points keep
+their signatures.
+"""
+
+import importlib
+
+import pytest
+
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.config",
+    "repro.core",
+    "repro.cpu",
+    "repro.dram",
+    "repro.experiments",
+    "repro.metrics",
+    "repro.schedulers",
+    "repro.sim",
+    "repro.trace",
+    "repro.workloads",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_module_imports(self, module_name):
+        importlib.import_module(module_name)
+
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_all_entries_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+
+class TestReadmeSnippets:
+    def test_quickstart_snippet(self):
+        from repro import SimConfig, System, make_scheduler
+        from repro.workloads import make_intensity_workload
+
+        workload = make_intensity_workload(0.5, num_threads=4, seed=0)
+        system = System(
+            workload, make_scheduler("tcm"), SimConfig(run_cycles=20_000)
+        )
+        result = system.run()
+        assert len(result.threads) == 4
+
+    def test_evaluate_snippet(self):
+        from repro import SimConfig
+        from repro.experiments import evaluate_workload
+        from repro.workloads import make_intensity_workload
+
+        workload = make_intensity_workload(0.5, num_threads=4, seed=0)
+        scores = evaluate_workload(
+            workload, ("frfcfs",), SimConfig(run_cycles=20_000)
+        )
+        assert scores["frfcfs"].weighted_speedup > 0
+
+    def test_all_exported_schedulers_usable(self):
+        from repro.schedulers import SCHEDULERS, make_scheduler
+
+        for name in SCHEDULERS:
+            scheduler = make_scheduler(name)
+            assert scheduler.name
+
+    def test_config_docs_match_defaults(self):
+        """Values quoted in README/DESIGN stay true."""
+        from repro import SimConfig
+
+        cfg = SimConfig()
+        assert cfg.num_threads == 24
+        assert cfg.num_channels == 4
+        assert cfg.num_banks == 16
+        assert cfg.quantum_cycles == 50_000
+        assert cfg.model_writes is False
+        assert cfg.prefetch_degree == 0
+        assert cfg.timings.detailed is False
+        assert cfg.timings.page_policy == "open"

@@ -1,0 +1,26 @@
+"""Tests for repro.workloads.microbench — Table 1 definitions."""
+
+import pytest
+
+from repro.workloads.microbench import RANDOM_ACCESS, STREAMING
+
+
+class TestTable1Definitions:
+    def test_equal_memory_intensity(self):
+        assert RANDOM_ACCESS.mpki == STREAMING.mpki == 100.0
+
+    def test_random_access_blp_is_72pct_of_16_banks(self):
+        assert RANDOM_ACCESS.blp == pytest.approx(0.727 * 16, rel=0.01)
+
+    def test_random_access_has_no_locality(self):
+        assert RANDOM_ACCESS.rbl < 0.01
+
+    def test_streaming_is_almost_pure_hits(self):
+        assert STREAMING.rbl == pytest.approx(0.99)
+
+    def test_streaming_has_no_parallelism(self):
+        assert STREAMING.blp == pytest.approx(1.05)
+
+    def test_both_memory_intensive(self):
+        assert RANDOM_ACCESS.memory_intensive
+        assert STREAMING.memory_intensive

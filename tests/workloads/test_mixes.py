@@ -1,0 +1,105 @@
+"""Tests for repro.workloads.mixes — Table 5 and suite construction."""
+
+import pytest
+
+from repro.workloads.microbench import RANDOM_ACCESS, STREAMING
+from repro.workloads.mixes import (
+    TABLE5_WORKLOADS,
+    Workload,
+    make_intensity_workload,
+    make_workload_suite,
+    workload_from_specs,
+)
+
+
+class TestTable5:
+    def test_four_workloads(self):
+        assert set(TABLE5_WORKLOADS) == {"A", "B", "C", "D"}
+
+    @pytest.mark.parametrize("name", ["A", "B", "C", "D"])
+    def test_24_threads_each(self, name):
+        assert TABLE5_WORKLOADS[name].num_threads == 24
+
+    @pytest.mark.parametrize("name", ["A", "B", "C", "D"])
+    def test_half_memory_intensive(self, name):
+        assert TABLE5_WORKLOADS[name].intensity == pytest.approx(0.5)
+
+    def test_workload_a_contains_mcf(self):
+        assert "mcf" in TABLE5_WORKLOADS["A"].benchmark_names
+
+    def test_workload_b_has_two_libquantum(self):
+        names = TABLE5_WORKLOADS["B"].benchmark_names
+        assert names.count("libquantum") == 2
+
+
+class TestWorkloadValidation:
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(name="bad", benchmark_names=("doom3",))
+
+    def test_weights_length_checked(self):
+        with pytest.raises(ValueError):
+            Workload(
+                name="bad", benchmark_names=("mcf", "lbm"), weights=(1,)
+            )
+
+    def test_specs_resolve(self):
+        workload = Workload(name="ok", benchmark_names=("mcf", "povray"))
+        assert [s.name for s in workload.specs] == ["mcf", "povray"]
+
+    def test_custom_specs_bypass_registry(self):
+        workload = workload_from_specs("micro", (RANDOM_ACCESS, STREAMING))
+        assert workload.specs == (RANDOM_ACCESS, STREAMING)
+
+    def test_custom_specs_name_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(
+                name="bad",
+                benchmark_names=("wrong",),
+                custom_specs=(RANDOM_ACCESS,),
+            )
+
+
+class TestIntensityWorkloads:
+    @pytest.mark.parametrize("intensity", [0.25, 0.5, 0.75, 1.0])
+    def test_intensity_respected(self, intensity):
+        workload = make_intensity_workload(intensity, num_threads=24, seed=0)
+        assert workload.intensity == pytest.approx(intensity)
+
+    def test_thread_count(self):
+        workload = make_intensity_workload(0.5, num_threads=16, seed=0)
+        assert workload.num_threads == 16
+
+    def test_deterministic_per_seed(self):
+        a = make_intensity_workload(0.5, seed=3)
+        b = make_intensity_workload(0.5, seed=3)
+        assert a.benchmark_names == b.benchmark_names
+
+    def test_seeds_differ(self):
+        a = make_intensity_workload(0.5, seed=3)
+        b = make_intensity_workload(0.5, seed=4)
+        assert a.benchmark_names != b.benchmark_names
+
+    def test_invalid_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            make_intensity_workload(1.5)
+
+    def test_zero_intensity_all_light(self):
+        workload = make_intensity_workload(0.0, seed=0)
+        assert workload.intensity == 0.0
+
+
+class TestSuite:
+    def test_paper_suite_is_96_workloads(self):
+        suite = make_workload_suite(per_category=32)
+        assert len(suite) == 96
+
+    def test_categories_cover_intensities(self):
+        suite = make_workload_suite((0.5, 1.0), per_category=2)
+        intensities = sorted({w.intensity for w in suite})
+        assert intensities == [0.5, 1.0]
+
+    def test_names_unique(self):
+        suite = make_workload_suite(per_category=4)
+        names = [w.name for w in suite]
+        assert len(set(names)) == len(names)

@@ -1,0 +1,80 @@
+"""Tests for repro.workloads.spec — Table 4 fidelity."""
+
+import pytest
+
+from repro.workloads.spec import (
+    BENCHMARKS,
+    MEMORY_INTENSIVE,
+    MEMORY_NON_INTENSIVE,
+    BenchmarkSpec,
+    benchmark,
+)
+
+
+class TestTable4:
+    def test_25_benchmarks(self):
+        assert len(BENCHMARKS) == 25
+
+    def test_mcf_values(self):
+        mcf = benchmark("mcf")
+        assert mcf.mpki == pytest.approx(97.38)
+        assert mcf.rbl == pytest.approx(0.4241)
+        assert mcf.blp == pytest.approx(6.20)
+
+    def test_libquantum_is_streaming(self):
+        lib = benchmark("libquantum")
+        assert lib.rbl > 0.99
+        assert lib.blp == pytest.approx(1.05)
+
+    def test_povray_is_lightest(self):
+        assert benchmark("povray").mpki == pytest.approx(0.01)
+
+    def test_classification_split(self):
+        # 14 of the 25 Table 4 benchmarks exceed 1 MPKI (h264ref at
+        # 2.30 is the lightest memory-intensive one).
+        assert len(MEMORY_INTENSIVE) == 14
+        assert len(MEMORY_NON_INTENSIVE) == 11
+
+    def test_intensive_threshold_is_one_mpki(self):
+        for name in MEMORY_INTENSIVE:
+            assert benchmark(name).mpki > 1.0
+        for name in MEMORY_NON_INTENSIVE:
+            assert benchmark(name).mpki <= 1.0
+
+    def test_intensive_sorted_descending(self):
+        mpkis = [benchmark(n).mpki for n in MEMORY_INTENSIVE]
+        assert mpkis == sorted(mpkis, reverse=True)
+
+    def test_all_rbl_are_fractions(self):
+        for spec in BENCHMARKS.values():
+            assert 0.0 <= spec.rbl <= 1.0
+
+    def test_all_blp_at_least_one(self):
+        for spec in BENCHMARKS.values():
+            assert spec.blp >= 1.0
+
+
+class TestBenchmarkSpec:
+    def test_negative_mpki_rejected(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(name="x", mpki=-1.0, rbl=0.5, blp=1.0)
+
+    def test_rbl_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(name="x", mpki=1.0, rbl=1.5, blp=1.0)
+
+    def test_blp_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(name="x", mpki=1.0, rbl=0.5, blp=0.5)
+
+    def test_memory_intensive_property(self):
+        assert BenchmarkSpec("x", mpki=1.5, rbl=0.5, blp=1.0).memory_intensive
+        assert not BenchmarkSpec("x", mpki=0.5, rbl=0.5, blp=1.0).memory_intensive
+
+    def test_unknown_benchmark_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            benchmark("doom3")
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            benchmark("mcf").mpki = 1.0

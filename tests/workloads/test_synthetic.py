@@ -1,0 +1,121 @@
+"""Tests for repro.workloads.synthetic — trace statistics convergence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SimConfig
+from repro.workloads.microbench import RANDOM_ACCESS, STREAMING
+from repro.workloads.spec import BenchmarkSpec, benchmark
+from repro.workloads.synthetic import AddressStream
+
+CFG = SimConfig()
+
+
+def make_stream(spec, seed=0):
+    return AddressStream(spec, CFG, np.random.default_rng(seed))
+
+
+class TestLocationValidity:
+    def test_locations_in_range(self):
+        stream = make_stream(benchmark("mcf"))
+        for channel, bank, row in stream.next_locations(500):
+            assert 0 <= channel < CFG.num_channels
+            assert 0 <= bank < CFG.banks_per_channel
+            assert 0 <= row < CFG.num_rows
+
+    def test_next_locations_count(self):
+        stream = make_stream(benchmark("lbm"))
+        assert len(stream.next_locations(17)) == 17
+
+    def test_next_locations_zero_rejected(self):
+        stream = make_stream(benchmark("lbm"))
+        with pytest.raises(ValueError):
+            stream.next_locations(0)
+
+
+class TestRowReuseConvergence:
+    @pytest.mark.parametrize("name", ["libquantum", "mcf", "lbm", "sjeng"])
+    def test_reuse_rate_tracks_rbl(self, name):
+        spec = benchmark(name)
+        stream = make_stream(spec, seed=1)
+        stream.next_locations(20_000)
+        assert stream.measured_reuse_rate == pytest.approx(spec.rbl, abs=0.03)
+
+    def test_reuse_rate_empty(self):
+        assert make_stream(benchmark("mcf")).measured_reuse_rate == 0.0
+
+
+class TestBankSpread:
+    def test_streaming_dwells_on_one_bank(self):
+        stream = make_stream(STREAMING, seed=2)
+        locations = stream.next_locations(1_000)
+        banks = [c * CFG.banks_per_channel + b for c, b, _ in locations]
+        # consecutive accesses overwhelmingly hit the same bank
+        same = sum(1 for a, b in zip(banks, banks[1:]) if a == b)
+        assert same / len(banks) > 0.8
+
+    def test_streaming_sweeps_over_time(self):
+        """A stream eventually visits many banks (the paper's
+        temporary denial-of-service sweep), not just one."""
+        stream = make_stream(STREAMING, seed=2)
+        locations = stream.next_locations(20_000)
+        banks = {c * CFG.banks_per_channel + b for c, b, _ in locations}
+        assert len(banks) >= CFG.num_banks // 2
+
+    def test_random_access_spreads_widely(self):
+        stream = make_stream(RANDOM_ACCESS, seed=2)
+        locations = stream.next_locations(200)
+        banks = {c * CFG.banks_per_channel + b for c, b, _ in locations}
+        assert len(banks) >= 10
+
+    def test_window_size_matches_blp_ceiling(self):
+        stream = make_stream(benchmark("mcf"))
+        assert stream._window == 7  # ceil(6.20)
+        stream = make_stream(benchmark("libquantum"))
+        assert stream._window == 2  # ceil(1.05)
+
+    def test_drift_rate_tracks_row_exhaustion(self):
+        spec = benchmark("mcf")  # rbl 0.42 -> drift on ~(1-rbl)/2 of accesses
+        stream = make_stream(spec, seed=3)
+        stream.next_locations(10_000)
+        assert stream.drifts / stream.accesses == pytest.approx(
+            (1 - spec.rbl) / 2, abs=0.05
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = make_stream(benchmark("omnetpp"), seed=9)
+        b = make_stream(benchmark("omnetpp"), seed=9)
+        assert a.next_locations(100) == b.next_locations(100)
+
+    def test_different_seed_different_stream(self):
+        a = make_stream(benchmark("omnetpp"), seed=9)
+        b = make_stream(benchmark("omnetpp"), seed=10)
+        assert a.next_locations(100) != b.next_locations(100)
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        mpki=st.floats(min_value=0.1, max_value=200.0),
+        rbl=st.floats(min_value=0.0, max_value=0.99),
+        blp=st.floats(min_value=1.0, max_value=16.0),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_any_spec_generates_valid_locations(self, mpki, rbl, blp, seed):
+        spec = BenchmarkSpec(name="h", mpki=mpki, rbl=rbl, blp=blp)
+        stream = AddressStream(spec, CFG, np.random.default_rng(seed))
+        for channel, bank, row in stream.next_locations(200):
+            assert 0 <= channel < CFG.num_channels
+            assert 0 <= bank < CFG.banks_per_channel
+            assert 0 <= row < CFG.num_rows
+
+    @settings(max_examples=15, deadline=None)
+    @given(rbl=st.floats(min_value=0.0, max_value=0.95))
+    def test_reuse_rate_converges_for_any_rbl(self, rbl):
+        spec = BenchmarkSpec(name="h", mpki=10.0, rbl=rbl, blp=2.0)
+        stream = AddressStream(spec, CFG, np.random.default_rng(7))
+        stream.next_locations(8_000)
+        assert stream.measured_reuse_rate == pytest.approx(rbl, abs=0.05)
