@@ -1,43 +1,78 @@
-"""Generate the paper-vs-measured numbers recorded in EXPERIMENTS.md."""
-import json, time
+"""Generate the paper-vs-measured numbers recorded in EXPERIMENTS.md.
+
+All suite experiments (Figures 4, 7, 8 and Table 6) go through the
+campaign engine: ``--workers N`` shards the (workload, scheduler)
+points across N processes and ``--store DIR`` persists every result,
+so a killed run resumes where it left off and a finished run is a
+no-op to repeat.
+
+    PYTHONPATH=src python scripts/full_eval.py --workers 8
+"""
+import argparse
+import json
+import time
+
 from repro import SimConfig
 from repro.experiments import figure2, figure4, figure7, figure8, table6
 
-t0 = time.time()
-cfg = SimConfig(run_cycles=500_000)
-out = {}
 
-points = figure4(per_category=8, config=cfg)   # 24 workloads
-out["figure4"] = {
-    p.scheduler: dict(ws=p.weighted_speedup, ms=p.maximum_slowdown,
-                      hs=p.harmonic_speedup)
-    for p in points
-}
-print("fig4 done", time.time()-t0, flush=True)
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="campaign worker processes (default: serial)")
+    parser.add_argument("--store", default=".campaign/full-eval",
+                        help="campaign store directory ('' disables)")
+    parser.add_argument("--cycles", type=int, default=500_000)
+    parser.add_argument("--per-category", type=int, default=8)
+    parser.add_argument("--output", default="full_eval_results.json")
+    args = parser.parse_args()
 
-f7 = figure7(per_category=4, config=cfg)
-out["figure7"] = {
-    str(intensity): {p.scheduler: dict(ws=p.weighted_speedup, ms=p.maximum_slowdown)
-                     for p in pts}
-    for intensity, pts in f7.items()
-}
-print("fig7 done", time.time()-t0, flush=True)
+    t0 = time.time()
+    cfg = SimConfig(run_cycles=args.cycles)
+    store = args.store or None
+    workers = args.workers
+    out = {}
 
-f2 = figure2(cfg)
-out["figure2"] = dict(
-    prioritize_random=list(f2.prioritize_random),
-    prioritize_streaming=list(f2.prioritize_streaming),
-)
+    points = figure4(per_category=args.per_category, config=cfg,
+                     workers=workers, store=store)   # 24 workloads
+    out["figure4"] = {
+        p.scheduler: dict(ws=p.weighted_speedup, ms=p.maximum_slowdown,
+                          hs=p.harmonic_speedup)
+        for p in points
+    }
+    print("fig4 done", time.time() - t0, flush=True)
 
-rows = table6(per_category=8, config=cfg)
-out["table6"] = {r.algorithm: dict(avg=r.ms_average, var=r.ms_variance) for r in rows}
-print("table6 done", time.time()-t0, flush=True)
+    f7 = figure7(per_category=args.per_category // 2, config=cfg,
+                 workers=workers, store=store)
+    out["figure7"] = {
+        str(intensity): {p.scheduler: dict(ws=p.weighted_speedup,
+                                           ms=p.maximum_slowdown)
+                         for p in pts}
+        for intensity, pts in f7.items()
+    }
+    print("fig7 done", time.time() - t0, flush=True)
 
-f8 = figure8(cfg, instances=4)
-out["figure8"] = dict(ws=f8.weighted_speedup, ms=f8.maximum_slowdown,
-                      speedups=f8.speedups)
+    f2 = figure2(cfg)
+    out["figure2"] = dict(
+        prioritize_random=list(f2.prioritize_random),
+        prioritize_streaming=list(f2.prioritize_streaming),
+    )
 
-out["elapsed_sec"] = time.time() - t0
-with open("full_eval_results.json", "w") as f:
-    json.dump(out, f, indent=2)
-print("ALL DONE", out["elapsed_sec"], flush=True)
+    rows = table6(per_category=args.per_category, config=cfg,
+                  workers=workers, store=store)
+    out["table6"] = {r.algorithm: dict(avg=r.ms_average, var=r.ms_variance)
+                     for r in rows}
+    print("table6 done", time.time() - t0, flush=True)
+
+    f8 = figure8(cfg, instances=4, workers=workers, store=store)
+    out["figure8"] = dict(ws=f8.weighted_speedup, ms=f8.maximum_slowdown,
+                          speedups=f8.speedups)
+
+    out["elapsed_sec"] = time.time() - t0
+    with open(args.output, "w") as f:
+        json.dump(out, f, indent=2)
+    print("ALL DONE", out["elapsed_sec"], flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Parallel, resumable, cached experiment-campaign engine.
+
+The paper's evaluation is a large embarrassingly-parallel campaign
+(96 workloads x 5 schedulers); this package runs such campaigns
+declaratively:
+
+* :mod:`~repro.campaign.plan` — describe the grid (workloads x
+  schedulers x configs x seeds) as pure data, JSON round-trippable.
+* :mod:`~repro.campaign.engine` — shard points over a managed worker
+  pool with per-point timeouts, bounded retries and live progress.
+* :mod:`~repro.campaign.store` — content-addressed JSONL store; a
+  relaunched campaign skips everything already computed, and alone-run
+  IPCs are shared artifacts across campaigns.
+* :mod:`~repro.campaign.hashing` — stable, field-complete keys.
+
+Quick use::
+
+    from repro.campaign import execute_plan, preset_plan
+
+    plan = preset_plan("fig4", per_category=8)
+    report = execute_plan(plan, store="campaign-store", workers=4,
+                          progress=True)
+    print(report.summary)
+"""
+
+from repro.campaign.engine import (
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    CampaignError,
+    CampaignReport,
+    PointResult,
+    execute_plan,
+    run_points,
+)
+from repro.campaign.hashing import alone_key, point_key, stable_hash
+from repro.campaign.plan import (
+    PRESET_PLANS,
+    CampaignPlan,
+    CampaignPoint,
+    grid_plan,
+    preset_plan,
+    suite_plan,
+)
+from repro.campaign.progress import ProgressTracker
+from repro.campaign.store import (
+    KIND_ALONE,
+    KIND_FAILURE,
+    KIND_POINT,
+    CampaignStore,
+)
+
+__all__ = [
+    "CampaignError",
+    "CampaignPlan",
+    "CampaignPoint",
+    "CampaignReport",
+    "CampaignStore",
+    "KIND_ALONE",
+    "KIND_FAILURE",
+    "KIND_POINT",
+    "PRESET_PLANS",
+    "PointResult",
+    "ProgressTracker",
+    "STATUS_CACHED",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "alone_key",
+    "execute_plan",
+    "grid_plan",
+    "point_key",
+    "preset_plan",
+    "run_points",
+    "stable_hash",
+    "suite_plan",
+]

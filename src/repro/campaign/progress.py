@@ -1,0 +1,179 @@
+"""Campaign observability: live progress, throughput, ETA, final report.
+
+The tracker is pure bookkeeping (injectable clock, no I/O of its own)
+so it is unit-testable; the engine drives it from scheduling events and
+periodically emits :meth:`ProgressTracker.render` to stderr.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+#: Worker states shown in the per-worker status column.
+IDLE = "idle"
+BUSY = "busy"
+DEAD = "dead"
+
+
+def _fmt_eta(seconds: float) -> str:
+    if seconds != seconds or seconds == float("inf"):  # NaN / unknown
+        return "--:--"
+    seconds = int(seconds)
+    h, rem = divmod(seconds, 3600)
+    m, s = divmod(rem, 60)
+    return f"{h}:{m:02d}:{s:02d}" if h else f"{m}:{s:02d}"
+
+
+class ProgressTracker:
+    """Track a campaign's execution state and derive throughput/ETA.
+
+    Throughput is measured over a sliding window of recent completions
+    (wall-clock), so it adapts when early points are cache hits and
+    later ones are slow simulations.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        name: str = "campaign",
+        clock: Callable[[], float] = time.monotonic,
+        window: int = 32,
+    ) -> None:
+        self.name = name
+        self.total = total
+        self.clock = clock
+        self.started = clock()
+        self.completed = 0
+        self.cached = 0
+        self.failed = 0
+        self.retries = 0
+        self.artifacts = 0
+        self.artifact_failures = 0
+        self._recent: Deque[float] = deque(maxlen=window)
+        self._workers: Dict[int, Tuple[str, str]] = {}
+
+    # -- events ---------------------------------------------------------
+
+    def point_cached(self) -> None:
+        self.cached += 1
+
+    def point_done(self) -> None:
+        self.completed += 1
+        self._recent.append(self.clock())
+
+    def point_failed(self) -> None:
+        self.failed += 1
+        self._recent.append(self.clock())
+
+    def point_retried(self) -> None:
+        self.retries += 1
+
+    def artifact_done(self) -> None:
+        """A shared artifact (alone run) finished.
+
+        Artifacts stay out of the throughput window: they are much
+        cheaper than points, so counting them would inflate the rate
+        and make the ETA optimistic.
+        """
+        self.artifacts += 1
+
+    def artifact_failed(self) -> None:
+        self.artifact_failures += 1
+
+    def worker_state(self, worker_id: int, state: str,
+                     detail: str = "") -> None:
+        self._workers[worker_id] = (state, detail)
+
+    # -- derived --------------------------------------------------------
+
+    @property
+    def resolved(self) -> int:
+        """Points that no longer need work (done, cached or failed)."""
+        return self.completed + self.cached + self.failed
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.total - self.resolved)
+
+    def throughput(self) -> float:
+        """Recent points/second (0.0 until two completions)."""
+        if len(self._recent) < 2:
+            return 0.0
+        span = self._recent[-1] - self._recent[0]
+        if span <= 0:
+            return 0.0
+        return (len(self._recent) - 1) / span
+
+    def eta_seconds(self) -> float:
+        rate = self.throughput()
+        if rate <= 0:
+            return float("inf")
+        return self.remaining / rate
+
+    def elapsed(self) -> float:
+        return self.clock() - self.started
+
+    def snapshot(self) -> Dict:
+        """A JSON-friendly view of the current state."""
+        return {
+            "name": self.name,
+            "total": self.total,
+            "completed": self.completed,
+            "cached": self.cached,
+            "failed": self.failed,
+            "retries": self.retries,
+            "artifacts": self.artifacts,
+            "artifact_failures": self.artifact_failures,
+            "remaining": self.remaining,
+            "throughput": self.throughput(),
+            "eta_seconds": self.eta_seconds(),
+            "elapsed": self.elapsed(),
+            "workers": {
+                wid: {"state": state, "detail": detail}
+                for wid, (state, detail) in sorted(self._workers.items())
+            },
+        }
+
+    def render(self) -> str:
+        """One status line: counts, throughput, ETA, per-worker state."""
+        parts = [
+            f"[{self.name}] {self.resolved}/{self.total}",
+            f"{self.completed} run",
+        ]
+        if self.cached:
+            parts.append(f"{self.cached} cached")
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.artifacts:
+            parts.append(f"{self.artifacts} alone")
+        rate = self.throughput()
+        parts.append(f"{rate:.2f} pts/s" if rate else "-- pts/s")
+        parts.append(f"ETA {_fmt_eta(self.eta_seconds())}")
+        if self._workers:
+            states = " ".join(
+                f"w{wid}:{state}" + (f"({detail})" if detail else "")
+                for wid, (state, detail) in sorted(self._workers.items())
+            )
+            parts.append(states)
+        return " | ".join(parts)
+
+    def report(self) -> str:
+        """Multi-line end-of-campaign summary."""
+        elapsed = self.elapsed()
+        executed = self.completed + self.failed
+        rate = executed / elapsed if elapsed > 0 and executed else 0.0
+        lines = [
+            f"campaign {self.name}: {self.total} points in "
+            f"{elapsed:.1f}s",
+            f"  executed : {self.completed}",
+            f"  cached   : {self.cached}",
+            f"  failed   : {self.failed}",
+            f"  retries  : {self.retries}",
+            f"  alone    : {self.artifacts} artifacts computed",
+            f"  rate     : {rate:.2f} executed pts/s",
+        ]
+        return "\n".join(lines)

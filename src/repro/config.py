@@ -134,6 +134,35 @@ class SimConfig:
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
 
+    def cache_key(self) -> Tuple:
+        """A hashable key covering *every* field of the configuration.
+
+        Derived from :func:`dataclasses.fields` (recursing into nested
+        dataclasses such as :class:`DramTimings`), so adding a config
+        field automatically changes the key — cache entries can never
+        silently alias across configurations that differ in a field the
+        key's author forgot about.
+        """
+        return _flatten_dataclass(self)
+
+
+def _flatten_dataclass(obj) -> Tuple:
+    """Recursively flatten a dataclass into a hashable (name, value) tuple."""
+    import dataclasses
+
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return tuple(
+            (f.name, _flatten_dataclass(getattr(obj, f.name)))
+            for f in dataclasses.fields(obj)
+        )
+    if isinstance(obj, (list, tuple)):
+        return tuple(_flatten_dataclass(v) for v in obj)
+    if isinstance(obj, dict):
+        return tuple(
+            sorted((k, _flatten_dataclass(v)) for k, v in obj.items())
+        )
+    return obj
+
 
 @dataclass(frozen=True)
 class TCMParams:

@@ -8,7 +8,23 @@ Usage::
     python -m repro.experiments.cli run --intensity 0.75 --seed 3
 
 Every sub-command prints the regenerated table/series as aligned text;
-``--cycles`` scales the run length (default 400k).
+``--cycles`` scales the run length (default 400k).  Figure/table suite
+commands accept ``--workers N`` (parallel campaign execution) and
+``--store DIR`` (persistent result cache).
+
+Campaign subcommands drive the engine directly::
+
+    python -m repro.experiments.cli campaign run --preset fig4 \\
+        --store fig4-store --workers 8
+    python -m repro.experiments.cli campaign status --preset fig4 \\
+        --store fig4-store
+    python -m repro.experiments.cli campaign resume --preset fig4 \\
+        --store fig4-store --workers 8
+
+``campaign run`` is already resumable (finished points are skipped via
+the store); ``resume`` is an explicit alias.  A plan can also come
+from a JSON file (``--plan plan.json``, see
+:meth:`repro.campaign.CampaignPlan.save`).
 """
 
 from __future__ import annotations
@@ -78,7 +94,11 @@ def _cmd_run(args, config):
 
 
 def _cmd_fig1(args, config):
-    _scatter(figure1(args.per_category, config, args.seed), "Figure 1")
+    _scatter(
+        figure1(args.per_category, config, args.seed,
+                workers=args.workers, store=args.store),
+        "Figure 1",
+    )
 
 
 def _cmd_fig2(args, config):
@@ -108,8 +128,11 @@ def _cmd_fig3(args, config):
 
 
 def _cmd_fig4(args, config):
-    _scatter(figure4(args.per_category, config, base_seed=args.seed),
-             "Figure 4")
+    _scatter(
+        figure4(args.per_category, config, base_seed=args.seed,
+                workers=args.workers, store=args.store),
+        "Figure 4",
+    )
 
 
 def _cmd_fig5(args, config):
@@ -117,7 +140,8 @@ def _cmd_fig5(args, config):
     from repro.experiments.figures import ALL_SCHEDULERS
 
     results = figure5(config, avg_workloads=args.per_category,
-                      base_seed=args.seed)
+                      base_seed=args.seed, workers=args.workers,
+                      store=args.store)
     rows = []
     for workload in ("A", "B", "C", "D", "AVG"):
         rows.append(
@@ -148,7 +172,8 @@ def _cmd_leakage(args, config):
 
 
 def _cmd_fig6(args, config):
-    curves = figure6(args.per_category, config, base_seed=args.seed)
+    curves = figure6(args.per_category, config, base_seed=args.seed,
+                     workers=args.workers, store=args.store)
     rows = [
         [name, f"{p.parameter}={p.value}", p.weighted_speedup,
          p.maximum_slowdown]
@@ -160,7 +185,8 @@ def _cmd_fig6(args, config):
 
 
 def _cmd_fig7(args, config):
-    results = figure7(args.per_category, config=config, base_seed=args.seed)
+    results = figure7(args.per_category, config=config, base_seed=args.seed,
+                      workers=args.workers, store=args.store)
     rows = []
     for intensity, points in sorted(results.items()):
         by_name = {p.scheduler: p for p in points}
@@ -174,7 +200,8 @@ def _cmd_fig7(args, config):
 
 
 def _cmd_fig8(args, config):
-    result = figure8(config, seed=args.seed)
+    result = figure8(config, seed=args.seed, workers=args.workers,
+                     store=args.store)
     rows = [
         [f"{name} (w={w})", result.speedups["atlas"][name],
          result.speedups["tcm"][name]]
@@ -224,7 +251,8 @@ def _print_characteristics(rows, title):
 
 
 def _cmd_table6(args, config):
-    rows = table6(args.per_category, config, base_seed=args.seed)
+    rows = table6(args.per_category, config, base_seed=args.seed,
+                  workers=args.workers, store=args.store)
     print(
         format_table(
             ["algorithm", "MS avg", "MS var"],
@@ -235,7 +263,8 @@ def _cmd_table6(args, config):
 
 
 def _cmd_table7(args, config):
-    points = table7(args.per_category, config, base_seed=args.seed)
+    points = table7(args.per_category, config, base_seed=args.seed,
+                    workers=args.workers, store=args.store)
     print(
         format_table(
             ["parameter", "value", "WS", "MS"],
@@ -247,7 +276,8 @@ def _cmd_table7(args, config):
 
 
 def _cmd_table8(args, config):
-    rows = table8(per_category=1, config=config, base_seed=args.seed)
+    rows = table8(per_category=1, config=config, base_seed=args.seed,
+                  workers=args.workers, store=args.store)
     print(
         format_table(
             ["dimension", "value", "TCM WS", "ATLAS WS", "TCM MS", "ATLAS MS"],
@@ -258,7 +288,83 @@ def _cmd_table8(args, config):
     )
 
 
+# ----------------------------------------------------------------------
+# campaign subcommands
+# ----------------------------------------------------------------------
+
+
+def _campaign_plan(args, config):
+    from repro.campaign import CampaignPlan, preset_plan
+
+    if args.plan:
+        return CampaignPlan.load(args.plan)
+    if args.preset:
+        try:
+            return preset_plan(
+                args.preset, per_category=args.per_category, config=config,
+                base_seed=args.seed,
+            )
+        except KeyError as exc:
+            raise SystemExit(f"campaign: {exc.args[0]}") from None
+    raise SystemExit("campaign: provide --plan FILE or --preset NAME")
+
+
+def _cmd_campaign(args, config):
+    from repro.campaign import (
+        KIND_FAILURE,
+        KIND_POINT,
+        CampaignStore,
+        execute_plan,
+    )
+
+    action = args.action or "run"
+    if action not in ("run", "resume", "status"):
+        raise SystemExit(
+            f"campaign: unknown action {action!r} (run|resume|status)"
+        )
+    plan = _campaign_plan(args, config)
+
+    if action == "status":
+        if args.store is None:
+            raise SystemExit("campaign status: --store DIR is required")
+        with CampaignStore(args.store) as store:
+            states = {"done": 0, "failed": 0, "pending": 0}
+            for key in plan.keys:
+                kind = store.kind(key)
+                if kind == KIND_POINT:
+                    states["done"] += 1
+                elif kind == KIND_FAILURE:
+                    states["failed"] += 1
+                else:
+                    states["pending"] += 1
+        print(
+            format_table(
+                ["state", "points"],
+                [[name, count] for name, count in states.items()],
+                title=f"campaign {plan.name} ({len(plan)} points)",
+            )
+        )
+        return
+
+    report = execute_plan(
+        plan,
+        store=args.store,
+        workers=args.workers or 1,
+        timeout=args.timeout,
+        retries=args.retries,
+        force=args.force,
+        progress=True,
+    )
+    print(report.summary)
+    for failure in report.failed:
+        print(
+            f"FAILED {failure.point.workload.name}/"
+            f"{failure.point.scheduler}: {failure.error}"
+        )
+
+
 _COMMANDS = {
+    "campaign": _cmd_campaign,
     "run": _cmd_run,
     "fig1": _cmd_fig1,
     "fig2": _cmd_fig2,
@@ -284,6 +390,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the TCM paper's tables and figures.",
     )
     parser.add_argument("command", choices=sorted(_COMMANDS))
+    parser.add_argument("action", nargs="?", default=None,
+                        help="campaign action: run | resume | status")
     parser.add_argument("--cycles", type=int, default=400_000,
                         help="simulated cycles per run")
     parser.add_argument("--per-category", type=int, default=2,
@@ -296,6 +404,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "repro.workloads.save_workload)")
     parser.add_argument("--schedulers", default=None,
                         help="comma-separated scheduler list (run command)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="campaign worker processes (default: serial)")
+    parser.add_argument("--store", default=None,
+                        help="campaign store directory (persistent result "
+                             "cache; enables resume)")
+    parser.add_argument("--plan", default=None,
+                        help="campaign plan JSON file (campaign command)")
+    parser.add_argument("--preset", default=None,
+                        help="named preset campaign, e.g. fig4, fig7, "
+                             "table6, smoke (campaign command)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-point timeout in seconds (campaign "
+                             "command, workers > 1)")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="retries per failed point (campaign command)")
+    parser.add_argument("--force", action="store_true",
+                        help="re-run campaign points even if stored")
     return parser
 
 

@@ -11,14 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.campaign.engine import run_points
+from repro.campaign.plan import CampaignPoint
 from repro.config import SimConfig, TCMParams
 from repro.core.shuffle import InsertionShuffler, RoundRobinShuffler
-from repro.experiments.runner import (
-    SchedulerScore,
-    alone_ipcs,
-    evaluate_workload,
-    score_run,
-)
+from repro.experiments.runner import SchedulerScore, alone_ipcs
 from repro.metrics import maximum_slowdown, weighted_speedup
 from repro.schedulers.static import StaticPriorityScheduler
 from repro.sim import System
@@ -53,27 +50,42 @@ def scheduler_scatter(
     config: Optional[SimConfig] = None,
     params: Optional[Dict[str, object]] = None,
     base_seed: int = 0,
+    workers: Optional[int] = None,
+    store=None,
 ) -> List[ScatterPoint]:
     """Average WS/MS/HS of each scheduler over a workload suite.
 
     The paper's full suite is 32 workloads per category over the 50%,
     75% and 100% intensity categories (96 total); ``per_category``
     scales that down for quick runs.
+
+    All (workload, scheduler) points go through the campaign engine:
+    ``workers`` shards them across processes and ``store`` (a
+    :class:`repro.campaign.CampaignStore` or path) makes the run
+    resumable and cached; both default to the serial in-process path.
     """
     config = config or SimConfig()
+    params = params or {}
     suite = make_workload_suite(
         intensities, per_category, num_threads=config.num_threads,
         base_seed=base_seed,
     )
-    sums = {name: [0.0, 0.0, 0.0] for name in scheduler_names}
-    for i, workload in enumerate(suite):
-        scores = evaluate_workload(
-            workload, scheduler_names, config, params, seed=base_seed + i
+    points = [
+        CampaignPoint(
+            workload=workload, scheduler=name, config=config,
+            seed=base_seed + i, params=params.get(name),
         )
-        for name, score in scores.items():
-            sums[name][0] += score.weighted_speedup
-            sums[name][1] += score.maximum_slowdown
-            sums[name][2] += score.harmonic_speedup
+        for i, workload in enumerate(suite)
+        for name in scheduler_names
+    ]
+    results = run_points(points, workers=workers, store=store,
+                         name="scatter")
+    sums = {name: [0.0, 0.0, 0.0] for name in scheduler_names}
+    for result in results:
+        s = sums[result.point.scheduler]
+        s[0] += result.weighted_speedup
+        s[1] += result.maximum_slowdown
+        s[2] += result.harmonic_speedup
     n = len(suite)
     return [
         ScatterPoint(name, s[0] / n, s[1] / n, s[2] / n)
@@ -85,10 +97,13 @@ def figure1(
     per_category: int = 4,
     config: Optional[SimConfig] = None,
     base_seed: int = 0,
+    workers: Optional[int] = None,
+    store=None,
 ) -> List[ScatterPoint]:
     """Figure 1: fairness/throughput of the four prior schedulers."""
     return scheduler_scatter(BASELINES, per_category, config=config,
-                             base_seed=base_seed)
+                             base_seed=base_seed, workers=workers,
+                             store=store)
 
 
 def figure4(
@@ -96,10 +111,13 @@ def figure4(
     config: Optional[SimConfig] = None,
     params: Optional[Dict[str, object]] = None,
     base_seed: int = 0,
+    workers: Optional[int] = None,
+    store=None,
 ) -> List[ScatterPoint]:
     """Figure 4: the main result — TCM vs all four baselines."""
     return scheduler_scatter(ALL_SCHEDULERS, per_category, config=config,
-                             params=params, base_seed=base_seed)
+                             params=params, base_seed=base_seed,
+                             workers=workers, store=store)
 
 
 # ----------------------------------------------------------------------
@@ -189,23 +207,45 @@ def figure5(
     scheduler_names: Sequence[str] = ALL_SCHEDULERS,
     avg_workloads: int = 4,
     base_seed: int = 0,
+    workers: Optional[int] = None,
+    store=None,
 ) -> Dict[str, Dict[str, SchedulerScore]]:
     """Figure 5: WS and MS for the Table 5 workloads plus an average.
 
     Returns {workload_name: {scheduler: score}}; the ``AVG`` entry
     averages ``avg_workloads`` random 50%-intensity mixes (the paper
-    uses 32).
+    uses 32).  The per-workload scores carry ``result=None`` (raw
+    :class:`RunResult` objects stay inside the campaign engine).
     """
     config = config or SimConfig()
+    table5 = list(TABLE5_WORKLOADS.items())
+    results = run_points(
+        [
+            CampaignPoint(workload=w, scheduler=s, config=config,
+                          seed=base_seed, tag=f"fig5-{name}")
+            for name, w in table5
+            for s in scheduler_names
+        ],
+        workers=workers, store=store, name="fig5",
+    )
     out: Dict[str, Dict[str, SchedulerScore]] = {}
-    for name, workload in TABLE5_WORKLOADS.items():
-        out[name] = evaluate_workload(
-            workload, scheduler_names, config, seed=base_seed
-        )
+    it = iter(results)
+    for name, workload in table5:
+        out[name] = {
+            s: SchedulerScore(
+                scheduler=s,
+                workload=workload.name,
+                weighted_speedup=r.weighted_speedup,
+                maximum_slowdown=r.maximum_slowdown,
+                harmonic_speedup=r.harmonic_speedup,
+                result=None,
+            )
+            for s, r in zip(scheduler_names, it)
+        }
     if avg_workloads > 0:
         points = scheduler_scatter(
             scheduler_names, avg_workloads, (0.5,), config,
-            base_seed=base_seed,
+            base_seed=base_seed, workers=workers, store=store,
         )
         out["AVG"] = {
             p.scheduler: SchedulerScore(
@@ -231,12 +271,14 @@ def figure7(
     intensities: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
     config: Optional[SimConfig] = None,
     base_seed: int = 0,
+    workers: Optional[int] = None,
+    store=None,
 ) -> Dict[float, List[ScatterPoint]]:
     """Figure 7: WS and MS per scheduler at each intensity category."""
     return {
         intensity: scheduler_scatter(
             ALL_SCHEDULERS, per_category, (intensity,), config,
-            base_seed=base_seed,
+            base_seed=base_seed, workers=workers, store=store,
         )
         for intensity in intensities
     }
@@ -285,6 +327,8 @@ def figure8(
     config: Optional[SimConfig] = None,
     instances: int = 4,
     seed: int = 0,
+    workers: Optional[int] = None,
+    store=None,
 ) -> Figure8Result:
     """Figure 8: enforcing thread weights without destroying the rest.
 
@@ -294,20 +338,31 @@ def figure8(
     """
     config = config or SimConfig()
     workload = figure8_workload(instances)
-    scores = evaluate_workload(workload, ("atlas", "tcm"), config, seed=seed)
-    alones = alone_ipcs(workload, config, seed)
+    schedulers = ("atlas", "tcm")
+    results = run_points(
+        [
+            CampaignPoint(workload=workload, scheduler=s, config=config,
+                          seed=seed, tag="fig8")
+            for s in schedulers
+        ],
+        workers=workers, store=store, name="fig8",
+    )
     speedups: Dict[str, Dict[str, float]] = {}
-    for sched, score in scores.items():
+    for sched, result in zip(schedulers, results):
         per_bench: Dict[str, List[float]] = {}
-        for tid, thread in enumerate(score.result.threads):
-            per_bench.setdefault(thread.benchmark, []).append(
-                thread.ipc / alones[tid]
+        for thread in result.threads:
+            per_bench.setdefault(thread["benchmark"], []).append(
+                thread["ipc"] / thread["alone_ipc"]
             )
         speedups[sched] = {
             bench: sum(vals) / len(vals) for bench, vals in per_bench.items()
         }
     return Figure8Result(
         speedups=speedups,
-        weighted_speedup={s: sc.weighted_speedup for s, sc in scores.items()},
-        maximum_slowdown={s: sc.maximum_slowdown for s, sc in scores.items()},
+        weighted_speedup={
+            s: r.weighted_speedup for s, r in zip(schedulers, results)
+        },
+        maximum_slowdown={
+            s: r.maximum_slowdown for s, r in zip(schedulers, results)
+        },
     )

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.campaign.engine import run_points
+from repro.campaign.plan import CampaignPoint
 from repro.config import (
     ATLASParams,
     PARBSParams,
@@ -12,7 +14,6 @@ from repro.config import (
     SimConfig,
     TCMParams,
 )
-from repro.experiments.runner import run_shared, score_run
 from repro.workloads.mixes import Workload, make_workload_suite
 from repro.workloads.spec import BenchmarkSpec
 
@@ -45,14 +46,25 @@ def _average_point(
     suite: Sequence[Workload],
     config: SimConfig,
     base_seed: int,
+    workers: Optional[int] = None,
+    store=None,
 ) -> SweepPoint:
+    results = run_points(
+        [
+            CampaignPoint(
+                workload=workload, scheduler=scheduler, config=config,
+                seed=base_seed + i, params=params,
+                tag=f"{parameter}={value}",
+            )
+            for i, workload in enumerate(suite)
+        ],
+        workers=workers, store=store, name=f"sweep-{scheduler}",
+    )
     ws = ms = hs = 0.0
-    for i, workload in enumerate(suite):
-        result = run_shared(workload, scheduler, config, params, seed=base_seed + i)
-        score = score_run(result, workload, config, seed=base_seed + i)
-        ws += score.weighted_speedup
-        ms += score.maximum_slowdown
-        hs += score.harmonic_speedup
+    for result in results:
+        ws += result.weighted_speedup
+        ms += result.maximum_slowdown
+        hs += result.harmonic_speedup
     n = len(suite)
     return SweepPoint(scheduler, parameter, value, ws / n, ms / n, hs / n)
 
@@ -86,6 +98,8 @@ def figure6(
     config: Optional[SimConfig] = None,
     schedulers: Sequence[str] = ("tcm", "atlas", "parbs", "stfm", "frfcfs"),
     base_seed: int = 0,
+    workers: Optional[int] = None,
+    store=None,
 ) -> Dict[str, List[SweepPoint]]:
     """Figure 6: sweep each scheduler's salient parameter.
 
@@ -100,7 +114,8 @@ def figure6(
         factory = _PARAM_FACTORY[name]
         curves[name] = [
             _average_point(
-                name, parameter, value, factory(value), suite, config, base_seed
+                name, parameter, value, factory(value), suite, config,
+                base_seed, workers=workers, store=store,
             )
             for value in values
         ]
@@ -118,6 +133,8 @@ def table7(
     algo_thresholds: Sequence[float] = (0.05, 0.07, 0.10),
     shuffle_intervals: Sequence[int] = (500, 600, 700, 800),
     base_seed: int = 0,
+    workers: Optional[int] = None,
+    store=None,
 ) -> List[SweepPoint]:
     """Table 7: vary ShuffleAlgoThresh and ShuffleInterval."""
     config = config or SimConfig()
@@ -126,6 +143,7 @@ def table7(
         _average_point(
             "tcm", "shuffle_algo_thresh", value,
             TCMParams(shuffle_algo_thresh=value), suite, config, base_seed,
+            workers=workers, store=store,
         )
         for value in algo_thresholds
     ]
@@ -133,6 +151,7 @@ def table7(
         _average_point(
             "tcm", "shuffle_interval", value,
             TCMParams(shuffle_interval=value), suite, config, base_seed,
+            workers=workers, store=store,
         )
         for value in shuffle_intervals
     ]
@@ -198,6 +217,8 @@ def table8(
     cores: Sequence[int] = (4, 8, 16, 24, 32),
     caches: Sequence[str] = ("512KB", "1MB", "2MB"),
     base_seed: int = 0,
+    workers: Optional[int] = None,
+    store=None,
 ) -> List[ConfigComparison]:
     """Table 8: TCM vs ATLAS across system configurations."""
     base = config or SimConfig()
@@ -208,14 +229,23 @@ def table8(
         suite = _suite(per_category, cfg, base_seed)
         if transform is not None:
             suite = [transform(w) for w in suite]
+        results = run_points(
+            [
+                CampaignPoint(
+                    workload=workload, scheduler=sched, config=cfg,
+                    seed=base_seed + i, tag=f"{dimension}={value}",
+                )
+                for i, workload in enumerate(suite)
+                for sched in ("tcm", "atlas")
+            ],
+            workers=workers, store=store, name="table8",
+        )
         ws = {"tcm": 0.0, "atlas": 0.0}
         ms = {"tcm": 0.0, "atlas": 0.0}
-        for i, workload in enumerate(suite):
-            for sched in ("tcm", "atlas"):
-                result = run_shared(workload, sched, cfg, seed=base_seed + i)
-                score = score_run(result, workload, cfg, seed=base_seed + i)
-                ws[sched] += score.weighted_speedup
-                ms[sched] += score.maximum_slowdown
+        for result in results:
+            sched = result.point.scheduler
+            ws[sched] += result.weighted_speedup
+            ms[sched] += result.maximum_slowdown
         n = len(suite)
         return ConfigComparison(
             dimension, value,

@@ -7,9 +7,10 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.campaign.engine import run_points
+from repro.campaign.plan import CampaignPoint
 from repro.config import SimConfig, TCMParams
 from repro.core.hardware_cost import StorageCost, storage_cost
-from repro.experiments.runner import run_shared, score_run
 from repro.schedulers import make_scheduler
 from repro.sim import System
 from repro.workloads.microbench import RANDOM_ACCESS, STREAMING
@@ -104,6 +105,8 @@ def table6(
     config: Optional[SimConfig] = None,
     algorithms: Sequence[str] = SHUFFLE_ALGORITHMS,
     base_seed: int = 0,
+    workers: Optional[int] = None,
+    store=None,
 ) -> List[ShufflingRow]:
     """Table 6: MS average and variance per shuffling algorithm.
 
@@ -114,14 +117,23 @@ def table6(
         (0.5,), per_category, num_threads=config.num_threads,
         base_seed=base_seed,
     )
+    results = run_points(
+        [
+            CampaignPoint(
+                workload=workload, scheduler="tcm", config=config,
+                seed=base_seed + i,
+                params=TCMParams(shuffle_mode=algorithm),
+                tag=f"shuffle={algorithm}",
+            )
+            for algorithm in algorithms
+            for i, workload in enumerate(suite)
+        ],
+        workers=workers, store=store, name="table6",
+    )
+    it = iter(results)
     rows = []
     for algorithm in algorithms:
-        slowdowns = []
-        for i, workload in enumerate(suite):
-            params = TCMParams(shuffle_mode=algorithm)
-            result = run_shared(workload, "tcm", config, params, seed=base_seed + i)
-            score = score_run(result, workload, config, seed=base_seed + i)
-            slowdowns.append(score.maximum_slowdown)
+        slowdowns = [next(it).maximum_slowdown for _ in suite]
         rows.append(
             ShufflingRow(
                 algorithm=algorithm,

@@ -1,0 +1,202 @@
+"""Tests for repro.campaign.engine — execution, resume, fault tolerance."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignError,
+    CampaignPlan,
+    CampaignPoint,
+    CampaignStore,
+    execute_plan,
+    grid_plan,
+    run_points,
+)
+from repro.campaign.engine import STATUS_CACHED, STATUS_FAILED, STATUS_OK
+from repro.campaign.store import KIND_ALONE, KIND_FAILURE, KIND_POINT
+from repro.config import SimConfig
+from repro.workloads import make_intensity_workload
+
+CFG = SimConfig(run_cycles=15_000)
+
+
+def tiny_plan(name="tiny", schedulers=("frfcfs", "tcm"), n_workloads=2):
+    workloads = [
+        make_intensity_workload(0.5, num_threads=2, seed=i)
+        for i in range(n_workloads)
+    ]
+    return grid_plan(name, workloads, schedulers, configs=[CFG])
+
+
+class TestExecutePlan:
+    def test_inline_all_ok(self, tmp_path):
+        report = execute_plan(tiny_plan(), tmp_path / "s", progress=False)
+        assert [r.status for r in report.results] == [STATUS_OK] * 4
+        assert all(r.weighted_speedup > 0 for r in report.results)
+        assert report.completed == 4 and not report.failed
+
+    def test_results_in_plan_order(self, tmp_path):
+        plan = tiny_plan()
+        report = execute_plan(plan, tmp_path / "s", progress=False)
+        assert [r.key for r in report.results] == list(plan.keys)
+
+    def test_no_store(self):
+        report = execute_plan(tiny_plan(), None, progress=False)
+        assert report.completed == 4
+
+    def test_duplicate_points_computed_once(self, tmp_path):
+        plan = tiny_plan()
+        doubled = CampaignPlan(name="dup", points=plan.points + plan.points)
+        report = execute_plan(doubled, tmp_path / "s", progress=False)
+        assert len(report.results) == 8
+        assert report.completed + report.cached == 8
+        # every duplicate maps to the same result object content
+        by_key = {}
+        for r in report.results:
+            by_key.setdefault(r.key, []).append(r)
+        assert all(len(v) == 2 for v in by_key.values())
+
+
+class TestResume:
+    def test_second_run_is_noop(self, tmp_path):
+        plan = tiny_plan()
+        execute_plan(plan, tmp_path / "s", progress=False)
+        store = CampaignStore(tmp_path / "s")
+        n_records = len(store)
+        report = execute_plan(plan, tmp_path / "s", progress=False)
+        assert [r.status for r in report.results] == [STATUS_CACHED] * 4
+        assert report.cached == 4 and report.completed == 0
+        assert len(CampaignStore(tmp_path / "s")) == n_records
+
+    def test_partial_store_resumes_missing_only(self, tmp_path):
+        """A killed campaign: some points stored, the rest recomputed."""
+        plan = tiny_plan()
+        first = CampaignPlan(name="half", points=plan.points[:2])
+        execute_plan(first, tmp_path / "s", progress=False)
+        report = execute_plan(plan, tmp_path / "s", progress=False)
+        statuses = [r.status for r in report.results]
+        assert statuses == [STATUS_CACHED, STATUS_CACHED, STATUS_OK,
+                            STATUS_OK]
+
+    def test_cached_metrics_match_fresh(self, tmp_path):
+        plan = tiny_plan()
+        fresh = execute_plan(plan, tmp_path / "s", progress=False)
+        cached = execute_plan(plan, tmp_path / "s", progress=False)
+        assert [r.metrics for r in fresh.results] == [
+            r.metrics for r in cached.results
+        ]
+
+    def test_force_recomputes(self, tmp_path):
+        plan = tiny_plan()
+        execute_plan(plan, tmp_path / "s", progress=False)
+        report = execute_plan(plan, tmp_path / "s", progress=False,
+                              force=True)
+        assert [r.status for r in report.results] == [STATUS_OK] * 4
+
+
+class TestFaultTolerance:
+    def test_failure_retried_then_recorded(self, tmp_path):
+        w = make_intensity_workload(0.5, num_threads=2, seed=0)
+        bad = CampaignPoint(workload=w, scheduler="no-such", config=CFG)
+        good = CampaignPoint(workload=w, scheduler="frfcfs", config=CFG)
+        plan = CampaignPlan(name="mixed", points=(bad, good))
+        report = execute_plan(plan, tmp_path / "s", retries=2,
+                              backoff=0.01, progress=False)
+        failed, ok = report.results
+        assert failed.status == STATUS_FAILED
+        assert failed.attempts == 3  # 1 try + 2 retries
+        assert "no-such" in failed.error
+        assert failed.traceback is not None
+        assert ok.status == STATUS_OK
+
+        store = CampaignStore(tmp_path / "s")
+        assert store.kind(failed.key) == KIND_FAILURE
+        rec = store.get(failed.key)
+        assert rec["payload"]["attempts"] == 3
+        assert "no-such" in rec["payload"]["error"]
+
+    def test_failure_does_not_poison_resume(self, tmp_path):
+        w = make_intensity_workload(0.5, num_threads=2, seed=0)
+        bad = CampaignPoint(workload=w, scheduler="no-such", config=CFG)
+        plan = CampaignPlan(name="bad", points=(bad,))
+        execute_plan(plan, tmp_path / "s", retries=0, backoff=0.01,
+                     progress=False)
+        # failures are not treated as cached successes on resume
+        report = execute_plan(plan, tmp_path / "s", retries=0,
+                              backoff=0.01, progress=False)
+        assert report.results[0].status == STATUS_FAILED
+        assert report.results[0].attempts == 1
+
+    def test_raise_failures(self, tmp_path):
+        w = make_intensity_workload(0.5, num_threads=2, seed=0)
+        bad = CampaignPoint(workload=w, scheduler="no-such", config=CFG)
+        plan = CampaignPlan(name="bad", points=(bad,))
+        report = execute_plan(plan, None, retries=0, progress=False)
+        with pytest.raises(CampaignError):
+            report.raise_failures()
+
+
+class TestParallel:
+    def test_parallel_matches_serial(self, tmp_path):
+        plan = tiny_plan()
+        serial = execute_plan(plan, None, workers=1, progress=False)
+        par = execute_plan(plan, tmp_path / "s", workers=2, progress=False)
+        assert [r.metrics for r in serial.results] == [
+            r.metrics for r in par.results
+        ]
+
+    def test_parallel_computes_each_alone_once(self, tmp_path):
+        """Alone runs are shared artifacts, not per-worker work."""
+        plan = tiny_plan()
+        execute_plan(plan, tmp_path / "s", workers=2, progress=False)
+        store = CampaignStore(tmp_path / "s")
+        alone_keys = list(store.keys(KIND_ALONE))
+        assert len(alone_keys) == len(set(alone_keys))
+        # 2 workloads x 2 threads, each spec unique per (spec, seed)
+        assert 1 <= len(alone_keys) <= 4
+        # every point succeeded on its first attempt (no thrash)
+        for rec in store.records(KIND_POINT):
+            assert rec["meta"]["attempts"] == 1
+
+    def test_parallel_failure_handling(self, tmp_path):
+        w = make_intensity_workload(0.5, num_threads=2, seed=0)
+        bad = CampaignPoint(workload=w, scheduler="no-such", config=CFG)
+        good = CampaignPoint(workload=w, scheduler="frfcfs", config=CFG)
+        plan = CampaignPlan(name="mixed", points=(bad, good))
+        report = execute_plan(plan, tmp_path / "s", workers=2, retries=1,
+                              backoff=0.01, progress=False)
+        statuses = {r.point.scheduler: r.status for r in report.results}
+        assert statuses == {"no-such": STATUS_FAILED, "frfcfs": STATUS_OK}
+
+    def test_timeout_kills_and_records(self, tmp_path):
+        w = make_intensity_workload(0.5, num_threads=2, seed=0)
+        slow = CampaignPoint(
+            workload=w, scheduler="frfcfs",
+            config=SimConfig(run_cycles=200_000_000),
+        )
+        plan = CampaignPlan(name="slow", points=(slow,))
+        report = execute_plan(plan, None, workers=2, timeout=1.0,
+                              retries=0, backoff=0.01, progress=False)
+        result = report.results[0]
+        assert result.status == STATUS_FAILED
+        assert "Timeout" in result.error
+
+
+class TestRunPoints:
+    def test_order_and_metrics(self, tmp_path):
+        w0 = make_intensity_workload(0.5, num_threads=2, seed=0)
+        w1 = make_intensity_workload(0.5, num_threads=2, seed=1)
+        points = [
+            CampaignPoint(workload=w1, scheduler="tcm", config=CFG),
+            CampaignPoint(workload=w0, scheduler="frfcfs", config=CFG),
+        ]
+        results = run_points(points, store=tmp_path / "s")
+        assert [r.point.workload.name for r in results] == [
+            w1.name, w0.name
+        ]
+        assert all(r.ok for r in results)
+
+    def test_raises_on_failure(self):
+        w = make_intensity_workload(0.5, num_threads=2, seed=0)
+        bad = CampaignPoint(workload=w, scheduler="no-such", config=CFG)
+        with pytest.raises(CampaignError):
+            run_points([bad], retries=0)

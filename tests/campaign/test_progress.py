@@ -1,0 +1,97 @@
+"""Tests for repro.campaign.progress — deterministic via injected clock."""
+
+from repro.campaign.progress import BUSY, DEAD, IDLE, ProgressTracker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make(total=10):
+    clock = FakeClock()
+    return ProgressTracker(total, name="t", clock=clock), clock
+
+
+class TestCounters:
+    def test_resolved_and_remaining(self):
+        tracker, _ = make(total=5)
+        tracker.point_cached()
+        tracker.point_done()
+        tracker.point_failed()
+        assert tracker.resolved == 3
+        assert tracker.remaining == 2
+
+    def test_artifacts_not_counted_as_points(self):
+        tracker, _ = make(total=2)
+        tracker.artifact_done()
+        tracker.artifact_done()
+        assert tracker.resolved == 0
+        assert tracker.artifacts == 2
+        assert tracker.throughput() == 0.0
+
+
+class TestThroughputEta:
+    def test_needs_two_completions(self):
+        tracker, clock = make()
+        assert tracker.throughput() == 0.0
+        tracker.point_done()
+        assert tracker.throughput() == 0.0
+        assert tracker.eta_seconds() == float("inf")
+
+    def test_steady_rate(self):
+        tracker, clock = make(total=10)
+        for _ in range(5):
+            tracker.point_done()
+            clock.advance(2.0)
+        # 5 completions over 8s between first and last -> 0.5 pts/s
+        assert abs(tracker.throughput() - 0.5) < 1e-9
+        assert abs(tracker.eta_seconds() - 5 / 0.5) < 1e-9
+
+    def test_elapsed(self):
+        tracker, clock = make()
+        clock.advance(12.5)
+        assert tracker.elapsed() == 12.5
+
+
+class TestRendering:
+    def test_render_contains_counts_and_workers(self):
+        tracker, _ = make(total=4)
+        tracker.point_done()
+        tracker.point_cached()
+        tracker.artifact_done()
+        tracker.worker_state(0, BUSY, "w/tcm")
+        tracker.worker_state(1, IDLE)
+        line = tracker.render()
+        assert "[t] 2/4" in line
+        assert "1 cached" in line
+        assert "1 alone" in line
+        assert "w0:busy(w/tcm)" in line
+        assert "w1:idle" in line
+
+    def test_report_lines(self):
+        tracker, clock = make(total=3)
+        tracker.point_done()
+        tracker.point_failed()
+        tracker.point_retried()
+        clock.advance(4.0)
+        text = tracker.report()
+        assert "3 points" in text
+        assert "failed   : 1" in text
+        assert "retries  : 1" in text
+
+    def test_snapshot_is_json_friendly(self):
+        import json
+
+        tracker, _ = make()
+        tracker.worker_state(0, DEAD, "exit=1")
+        snap = tracker.snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["workers"][0]["state"] == DEAD
+        assert snap["eta_seconds"] == float("inf") or True

@@ -1,0 +1,102 @@
+"""Tests for repro.campaign.store — the append-only result store."""
+
+import json
+
+import pytest
+
+from repro.campaign.store import (
+    KIND_ALONE,
+    KIND_FAILURE,
+    KIND_POINT,
+    CampaignStore,
+    StoreError,
+)
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = CampaignStore(tmp_path / "s")
+        store.put("k1", KIND_POINT, {"metrics": {"ws": 1.5}},
+                  meta={"workload": "w"})
+        rec = store.get("k1")
+        assert rec["key"] == "k1"
+        assert rec["kind"] == KIND_POINT
+        assert rec["payload"]["metrics"]["ws"] == 1.5
+        assert rec["meta"]["workload"] == "w"
+
+    def test_reopen_preserves_records(self, tmp_path):
+        with CampaignStore(tmp_path / "s") as store:
+            store.put("k1", KIND_POINT, {"a": 1})
+            store.put("k2", KIND_ALONE, {"ipc": 2.0})
+        reopened = CampaignStore(tmp_path / "s")
+        assert reopened.get("k1")["payload"] == {"a": 1}
+        assert reopened.get("k2")["payload"] == {"ipc": 2.0}
+        assert len(reopened) == 2
+
+    def test_missing_key(self, tmp_path):
+        store = CampaignStore(tmp_path / "s")
+        assert store.get("nope") is None
+        assert store.kind("nope") is None
+        assert "nope" not in store
+
+    def test_float_exact_round_trip(self, tmp_path):
+        """JSON repr round-trips floats bit-exactly (shortest repr)."""
+        value = 0.1 + 0.2  # not representable exactly
+        with CampaignStore(tmp_path / "s") as store:
+            store.put("f", KIND_POINT, {"x": value})
+        assert CampaignStore(tmp_path / "s").get("f")["payload"]["x"] == value
+
+
+class TestLastRecordWins:
+    def test_overwrite(self, tmp_path):
+        store = CampaignStore(tmp_path / "s")
+        store.put("k", KIND_FAILURE, {"error": "boom"})
+        store.put("k", KIND_POINT, {"metrics": {}})
+        assert store.kind("k") == KIND_POINT
+        assert len(store) == 1
+
+    def test_overwrite_survives_reopen(self, tmp_path):
+        with CampaignStore(tmp_path / "s") as store:
+            store.put("k", KIND_FAILURE, {"error": "boom"})
+            store.put("k", KIND_POINT, {"metrics": {"ws": 2.0}})
+        reopened = CampaignStore(tmp_path / "s")
+        assert reopened.kind("k") == KIND_POINT
+        assert reopened.get("k")["payload"]["metrics"]["ws"] == 2.0
+
+
+class TestIndexSidecar:
+    def test_stale_sidecar_triggers_rescan(self, tmp_path):
+        with CampaignStore(tmp_path / "s") as store:
+            store.put("k1", KIND_POINT, {"a": 1})
+        # Append behind the sidecar's back: file_size no longer matches.
+        log = tmp_path / "s" / "results.jsonl"
+        with log.open("a") as f:
+            f.write(json.dumps({"key": "k2", "kind": KIND_POINT,
+                                "payload": {}, "meta": {}}) + "\n")
+        reopened = CampaignStore(tmp_path / "s")
+        assert "k2" in reopened
+
+    def test_corrupt_sidecar_triggers_rescan(self, tmp_path):
+        with CampaignStore(tmp_path / "s") as store:
+            store.put("k1", KIND_POINT, {"a": 1})
+        (tmp_path / "s" / "index.json").write_text("{not json")
+        assert "k1" in CampaignStore(tmp_path / "s")
+
+    def test_corrupt_log_raises(self, tmp_path):
+        root = tmp_path / "s"
+        root.mkdir()
+        (root / "results.jsonl").write_text("{definitely not json\n")
+        with pytest.raises(StoreError):
+            CampaignStore(root)
+
+
+class TestIteration:
+    def test_keys_and_records_by_kind(self, tmp_path):
+        store = CampaignStore(tmp_path / "s")
+        store.put("p1", KIND_POINT, {})
+        store.put("a1", KIND_ALONE, {"ipc": 1.0})
+        store.put("f1", KIND_FAILURE, {"error": "x"})
+        assert set(store.keys()) == {"p1", "a1", "f1"}
+        assert list(store.keys(KIND_ALONE)) == ["a1"]
+        recs = list(store.records(KIND_FAILURE))
+        assert len(recs) == 1 and recs[0]["key"] == "f1"

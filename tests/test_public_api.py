@@ -12,6 +12,7 @@ import pytest
 
 PUBLIC_MODULES = [
     "repro",
+    "repro.campaign",
     "repro.config",
     "repro.core",
     "repro.cpu",
