@@ -14,6 +14,7 @@ import time
 
 from repro import SimConfig
 from repro.experiments import figure2, figure4, figure7, figure8, table6
+from repro.telemetry.log import add_log_level_argument, configure_logging
 
 
 def main() -> None:
@@ -25,7 +26,9 @@ def main() -> None:
     parser.add_argument("--cycles", type=int, default=500_000)
     parser.add_argument("--per-category", type=int, default=8)
     parser.add_argument("--output", default="full_eval_results.json")
+    add_log_level_argument(parser, default="info")
     args = parser.parse_args()
+    configure_logging(args.log_level)
 
     t0 = time.time()
     cfg = SimConfig(run_cycles=args.cycles)

@@ -47,6 +47,7 @@ from repro.campaign.store import (
     KIND_ALONE,
     KIND_FAILURE,
     KIND_POINT,
+    KIND_SUMMARY,
     CampaignStore,
 )
 
@@ -59,6 +60,7 @@ __all__ = [
     "KIND_ALONE",
     "KIND_FAILURE",
     "KIND_POINT",
+    "KIND_SUMMARY",
     "PRESET_PLANS",
     "PointResult",
     "ProgressTracker",

@@ -47,8 +47,12 @@ from repro.campaign.store import (
     KIND_ALONE,
     KIND_FAILURE,
     KIND_POINT,
+    KIND_SUMMARY,
     CampaignStore,
 )
+from repro.telemetry.log import get_logger
+
+_LOG = get_logger("campaign")
 
 #: Statuses a point can end a campaign with.
 STATUS_OK = "ok"
@@ -182,6 +186,20 @@ def _execute_task(task: dict) -> dict:
         }
 
     point = CampaignPoint.from_dict(task["point"])
+    telemetry = None
+    trace_path = None
+    trace = task.get("trace")
+    if trace is not None:
+        import os as _os
+
+        from repro.telemetry import Telemetry
+
+        _os.makedirs(trace["dir"], exist_ok=True)
+        trace_path = _os.path.join(trace["dir"], f"{task['key']}.jsonl")
+        telemetry = Telemetry.tracing(
+            jsonl_path=trace_path,
+            epoch_cycles=trace.get("epoch_cycles"),
+        )
     for hint in task.get("alone_hints", []):
         runner.prime_alone_cache(
             BenchmarkSpec(**hint["spec"]), point.config, point.seed,
@@ -208,8 +226,10 @@ def _execute_task(task: dict) -> dict:
 
     result = runner.run_shared(
         point.workload, point.scheduler, point.config, point.params,
-        point.seed,
+        point.seed, telemetry=telemetry,
     )
+    if telemetry is not None:
+        telemetry.close()
     score = runner.score_run(result, point.workload, point.config,
                              point.seed)
     payload = {
@@ -224,6 +244,8 @@ def _execute_task(task: dict) -> dict:
         ],
         "summary": result.summary(),
     }
+    if telemetry is not None:
+        payload["telemetry"] = {**telemetry.summary(), "trace": trace_path}
     return {"payload": payload, "alone": new_alone}
 
 
@@ -435,6 +457,8 @@ def execute_plan(
     progress_stream=None,
     start_method: Optional[str] = None,
     poll_interval: float = 0.1,
+    trace_dir: Optional[str] = None,
+    trace_epoch_cycles: Optional[int] = None,
 ) -> CampaignReport:
     """Run a campaign plan and return its report.
 
@@ -455,6 +479,14 @@ def execute_plan(
         force: re-run points even if the store already has them.
         progress: emit live status lines (and the final report) to
             ``progress_stream`` (default stderr).
+        trace_dir: when set, every executed point runs traced and
+            writes ``<trace_dir>/<point key>.jsonl``; point payloads
+            gain a ``"telemetry"`` digest (event counts, epochs, row
+            hit rate, trace path).  Tracing observes the simulation
+            without perturbing it, so results stay byte-identical to
+            an untraced campaign.
+        trace_epoch_cycles: epoch-sampler period for traced points
+            (default: the config's quantum length).
     """
     owns_store = isinstance(store, (str, bytes)) or hasattr(store, "__fspath__")
     if owns_store:
@@ -462,6 +494,11 @@ def execute_plan(
     stream = progress_stream if progress_stream is not None else sys.stderr
     tracker = ProgressTracker(len(plan), name=plan.name)
     started = time.monotonic()
+    _LOG.info(
+        "campaign %s: %d points, workers=%d%s",
+        plan.name, len(plan), workers,
+        f", tracing to {trace_dir}" if trace_dir else "",
+    )
 
     persister = _Persister(store)
     resolved: Dict[str, PointResult] = {}
@@ -515,13 +552,19 @@ def execute_plan(
         if task.kind == "alone":
             return {"kind": "alone", "key": task.key,
                     "attempt": task.attempts + 1, **task.data}
-        return {
+        payload = {
             "kind": "point",
             "key": task.key,
             "attempt": task.attempts + 1,
             "point": task.point.to_dict(),
             "alone_hints": persister.hints_for(task.point),
         }
+        if trace_dir is not None:
+            payload["trace"] = {
+                "dir": str(trace_dir),
+                "epoch_cycles": trace_epoch_cycles,
+            }
+        return payload
 
     def handle_success(task: _Task, payload: Optional[dict],
                        alone: Sequence[dict], duration: float) -> None:
@@ -548,7 +591,11 @@ def execute_plan(
                 time.monotonic() + backoff * (2 ** (task.attempts - 1))
             )
             tracker.point_retried()
+            _LOG.warning("retrying %s (attempt %d failed: %s)",
+                         task.label, task.attempts, error)
             return True
+        _LOG.error("%s failed permanently after %d attempts: %s",
+                   task.label, task.attempts, error)
         if task.kind == "alone":
             # Not fatal: any point needing this artifact recomputes it
             # and surfaces the real error itself.
@@ -573,16 +620,57 @@ def execute_plan(
                       start_method, poll_interval, progress, stream)
     finally:
         if store is not None:
+            _record_summary(store, plan, tracker, resolved, trace_dir)
             store.flush_index()
         if owns_store:
             store.close()
 
     results = [resolved[p.key] for p in plan]
+    _LOG.info("campaign %s done: %s", plan.name,
+              tracker.render())
     return CampaignReport(
         plan_name=plan.name,
         results=results,
         elapsed=time.monotonic() - started,
         summary=tracker.report(),
+    )
+
+
+def _record_summary(store, plan, tracker, resolved, trace_dir) -> None:
+    """Persist one campaign-level telemetry digest into the store.
+
+    The record aggregates the tracker's final snapshot with the
+    per-point telemetry digests of traced points, so ``telemetry
+    report --store`` can show campaign health without re-reading every
+    point record.  Keyed by plan name: re-running a campaign replaces
+    its summary (the store keeps latest-per-key).
+    """
+    snapshot = tracker.snapshot()
+    snapshot.pop("workers", None)
+    traced = [
+        r.payload["telemetry"]
+        for r in resolved.values()
+        if r.payload is not None and "telemetry" in r.payload
+    ]
+    agg = {}
+    if traced:
+        agg = {
+            "traced_points": len(traced),
+            "events": sum(t["events"] for t in traced),
+            "epochs": sum(t["epochs"] for t in traced),
+            "requests": sum(t.get("requests", 0) for t in traced),
+            "mean_row_hit_rate": (
+                sum(t.get("row_hit_rate", 0.0) for t in traced)
+                / len(traced)
+            ),
+        }
+    store.put(
+        f"summary:{plan.name}", KIND_SUMMARY,
+        {"progress": snapshot, "telemetry": agg},
+        meta={
+            "plan": plan.name,
+            "trace_dir": str(trace_dir) if trace_dir else None,
+        },
     )
 
 
@@ -692,6 +780,8 @@ def _run_pool(pending, task_payload, handle_success, handle_failure,
                     continue
                 if now > worker.deadline:
                     task = worker.task
+                    _LOG.warning("worker %d timed out on %s; respawning",
+                                 worker.id, task.label)
                     tracker.worker_state(worker.id, DEAD, "timeout")
                     worker.respawn()
                     tracker.worker_state(worker.id, IDLE)
@@ -703,6 +793,10 @@ def _run_pool(pending, task_payload, handle_success, handle_failure,
                 elif not worker.proc.is_alive():
                     task = worker.task
                     exitcode = worker.proc.exitcode
+                    _LOG.warning(
+                        "worker %d died (exit=%s) on %s; respawning",
+                        worker.id, exitcode, task.label,
+                    )
                     tracker.worker_state(worker.id, DEAD,
                                          f"exit={exitcode}")
                     worker.respawn()

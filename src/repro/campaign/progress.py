@@ -112,6 +112,17 @@ class ProgressTracker:
             return float("inf")
         return self.remaining / rate
 
+    def failure_rate(self) -> float:
+        """Failed fraction of executed points (cache hits excluded).
+
+        Cached points never re-run, so counting them would understate
+        how unhealthy the *executing* campaign is.
+        """
+        executed = self.completed + self.failed
+        if executed == 0:
+            return 0.0
+        return self.failed / executed
+
     def elapsed(self) -> float:
         return self.clock() - self.started
 
@@ -128,6 +139,7 @@ class ProgressTracker:
             "artifact_failures": self.artifact_failures,
             "remaining": self.remaining,
             "throughput": self.throughput(),
+            "failure_rate": self.failure_rate(),
             "eta_seconds": self.eta_seconds(),
             "elapsed": self.elapsed(),
             "workers": {
@@ -145,7 +157,9 @@ class ProgressTracker:
         if self.cached:
             parts.append(f"{self.cached} cached")
         if self.failed:
-            parts.append(f"{self.failed} failed")
+            parts.append(
+                f"{self.failed} failed ({self.failure_rate():.0%})"
+            )
         if self.retries:
             parts.append(f"{self.retries} retries")
         if self.artifacts:
@@ -171,7 +185,8 @@ class ProgressTracker:
             f"{elapsed:.1f}s",
             f"  executed : {self.completed}",
             f"  cached   : {self.cached}",
-            f"  failed   : {self.failed}",
+            f"  failed   : {self.failed} "
+            f"({self.failure_rate():.0%} of executed)",
             f"  retries  : {self.retries}",
             f"  alone    : {self.artifacts} artifacts computed",
             f"  rate     : {rate:.2f} executed pts/s",

@@ -34,6 +34,7 @@ from typing import Dict, Iterator, Optional
 KIND_POINT = "point"
 KIND_ALONE = "alone"
 KIND_FAILURE = "failure"
+KIND_SUMMARY = "summary"
 
 
 class StoreError(RuntimeError):

@@ -89,6 +89,29 @@ class BehaviorMonitor:
         self.lifetime_blp_integral: List[float] = [0.0] * num_threads
         self.lifetime_busy_time: List[int] = [0] * num_threads
 
+    def register_metrics(self, registry) -> None:
+        """Expose lifetime monitor counters as polled providers."""
+        for tid in range(self.num_threads):
+            labels = {"tid": tid}
+            registry.register(
+                "monitor.service_cycles",
+                lambda t=tid: self.lifetime_service_cycles[t], labels,
+            )
+            registry.register(
+                "monitor.shadow_hits",
+                lambda t=tid: self.lifetime_shadow_hits[t], labels,
+            )
+            registry.register(
+                "monitor.shadow_accesses",
+                lambda t=tid: self.lifetime_shadow_accesses[t], labels,
+            )
+            registry.register(
+                "monitor.rbl", lambda t=tid: self.lifetime_rbl(t), labels
+            )
+            registry.register(
+                "monitor.blp", lambda t=tid: self.lifetime_blp(t), labels
+            )
+
     # ------------------------------------------------------------------
     # event hooks
     # ------------------------------------------------------------------

@@ -78,6 +78,25 @@ class TCMScheduler(Scheduler):
         # instrumentation
         self.shuffle_algo_history: List[str] = []
         self.cluster_history: List[ClusteringResult] = []
+        self.shuffles_performed = 0
+
+    def register_metrics(self, registry) -> None:
+        super().register_metrics(registry)
+        registry.register("tcm.quanta", lambda: len(self.cluster_history))
+        registry.register("tcm.shuffles", lambda: self.shuffles_performed)
+        registry.register(
+            "tcm.latency_cluster_size",
+            lambda: (len(self._clustering.latency_cluster)
+                     if self._clustering is not None else 0),
+        )
+
+    def epoch_annotations(self, thread_id: int) -> dict:
+        if self._clustering is None:
+            return {}
+        return {
+            "cluster": self._clustering.contains(thread_id),
+            "rank": self.current_rank(thread_id),
+        }
 
     def on_attach(self) -> None:
         n = self.system.workload.num_threads
@@ -174,6 +193,12 @@ class TCMScheduler(Scheduler):
                         shuffler.advance()
                     self._shufflers.append(shuffler)
         self._rebuild_ranks()
+        self.trace(
+            "cluster", now,
+            quantum=snapshot.quantum_index,
+            latency=list(clustering.latency_cluster),
+            bandwidth=list(clustering.bandwidth_cluster),
+        )
 
     def _rebuild_ranks(self) -> None:
         """Per-channel rank maps: latency cluster strictly above bandwidth."""
@@ -214,6 +239,13 @@ class TCMScheduler(Scheduler):
             for shuffler in self._shufflers:
                 shuffler.advance()
             self._rebuild_ranks()
+            self.shuffles_performed += 1
+            self.trace(
+                "shuffle", now,
+                algo=(self.shuffle_algo_history[-1]
+                      if self.shuffle_algo_history else "none"),
+                order=list(self._shufflers[0].order()),
+            )
         self.system.schedule_timer(now + self.params.shuffle_interval, _TIMER_KEY)
 
     # ------------------------------------------------------------------

@@ -25,6 +25,17 @@ Campaign subcommands drive the engine directly::
 the store); ``resume`` is an explicit alias.  A plan can also come
 from a JSON file (``--plan plan.json``, see
 :meth:`repro.campaign.CampaignPlan.save`).
+
+Telemetry subcommands observe a single traced run::
+
+    python -m repro.experiments.cli telemetry report --intensity 0.75
+    python -m repro.experiments.cli telemetry trace --trace-out run
+    python -m repro.experiments.cli telemetry trace --trace-in run.jsonl
+
+``report`` prints per-epoch MPKI/RBL/BLP/cluster tables and a Fig.
+7-style cluster timeline; ``trace`` writes (or converts a JSONL log
+into) a Chrome/Perfetto-loadable trace.  All commands accept
+``--log-level {debug,...}``.
 """
 
 from __future__ import annotations
@@ -53,6 +64,7 @@ from repro.experiments import (
     table8,
 )
 from repro.experiments.figures import ALL_SCHEDULERS, FIGURE8_BENCHMARKS
+from repro.telemetry.log import add_log_level_argument, configure_logging
 from repro.workloads import make_intensity_workload
 
 
@@ -289,6 +301,70 @@ def _cmd_table8(args, config):
 
 
 # ----------------------------------------------------------------------
+# telemetry subcommands
+# ----------------------------------------------------------------------
+
+
+def _telemetry_workload(args, config):
+    if args.workload_file:
+        from repro.workloads import load_workload
+
+        return load_workload(args.workload_file)
+    return make_intensity_workload(
+        args.intensity, num_threads=config.num_threads, seed=args.seed
+    )
+
+
+def _cmd_telemetry(args, config):
+    from repro.telemetry import Telemetry, jsonl_to_perfetto
+    from repro.telemetry.report import render_report
+
+    action = args.action or "report"
+    if action not in ("report", "trace"):
+        raise SystemExit(
+            f"telemetry: unknown action {action!r} (report|trace)"
+        )
+
+    if action == "trace" and args.trace_in:
+        # Pure conversion: JSONL event log -> Perfetto trace_event JSON.
+        out = args.trace_out or args.trace_in.rsplit(".", 1)[0] + ".json"
+        count = jsonl_to_perfetto(args.trace_in, out)
+        print(f"wrote {out} ({count} events)")
+        return
+
+    from repro.experiments.runner import run_shared
+
+    workload = _telemetry_workload(args, config)
+    scheduler = args.scheduler or "tcm"
+    if action == "trace":
+        if not args.trace_out:
+            raise SystemExit(
+                "telemetry trace: provide --trace-out PREFIX (or "
+                "--trace-in FILE to convert an existing log)"
+            )
+        base = args.trace_out.rsplit(".", 1)[0]
+        telemetry = Telemetry.tracing(
+            jsonl_path=base + ".jsonl", perfetto_path=base + ".json",
+            epoch_cycles=args.epoch_cycles,
+        )
+        run_shared(workload, scheduler, config, seed=args.seed,
+                   telemetry=telemetry)
+        telemetry.close()
+        print(f"wrote {base}.jsonl and {base}.json "
+              f"({telemetry.tracer.events_emitted} events, "
+              f"{len(telemetry.samples)} epochs)")
+        return
+
+    telemetry = Telemetry.in_memory(epoch_cycles=args.epoch_cycles,
+                                    validate=False)
+    run_shared(workload, scheduler, config, seed=args.seed,
+               telemetry=telemetry)
+    print(f"workload {workload.name} under {scheduler}")
+    print(render_report(telemetry.samples,
+                        benchmarks=workload.benchmark_names))
+
+
+# ----------------------------------------------------------------------
 # campaign subcommands
 # ----------------------------------------------------------------------
 
@@ -354,6 +430,8 @@ def _cmd_campaign(args, config):
         retries=args.retries,
         force=args.force,
         progress=True,
+        trace_dir=args.trace_dir,
+        trace_epoch_cycles=args.epoch_cycles,
     )
     print(report.summary)
     for failure in report.failed:
@@ -365,6 +443,7 @@ def _cmd_campaign(args, config):
 
 _COMMANDS = {
     "campaign": _cmd_campaign,
+    "telemetry": _cmd_telemetry,
     "run": _cmd_run,
     "fig1": _cmd_fig1,
     "fig2": _cmd_fig2,
@@ -391,7 +470,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("command", choices=sorted(_COMMANDS))
     parser.add_argument("action", nargs="?", default=None,
-                        help="campaign action: run | resume | status")
+                        help="campaign action: run | resume | status; "
+                             "telemetry action: report | trace")
     parser.add_argument("--cycles", type=int, default=400_000,
                         help="simulated cycles per run")
     parser.add_argument("--per-category", type=int, default=2,
@@ -421,11 +501,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="retries per failed point (campaign command)")
     parser.add_argument("--force", action="store_true",
                         help="re-run campaign points even if stored")
+    parser.add_argument("--scheduler", default=None,
+                        help="scheduler for telemetry runs (default tcm)")
+    parser.add_argument("--epoch-cycles", type=int, default=None,
+                        help="epoch-sampler period in cycles (default: "
+                             "quantum length)")
+    parser.add_argument("--trace-in", default=None,
+                        help="existing JSONL event log to convert "
+                             "(telemetry trace)")
+    parser.add_argument("--trace-out", default=None,
+                        help="output path/prefix for trace files "
+                             "(telemetry trace)")
+    parser.add_argument("--trace-dir", default=None,
+                        help="write per-point JSONL traces here "
+                             "(campaign run)")
+    add_log_level_argument(parser)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_level)
     config = SimConfig(run_cycles=args.cycles)
     _COMMANDS[args.command](args, config)
     return 0

@@ -158,11 +158,19 @@ def run_shared(
     config: Optional[SimConfig] = None,
     params: Optional[object] = None,
     seed: int = 0,
+    telemetry=None,
 ) -> RunResult:
-    """Run ``workload`` under one scheduler and return the raw result."""
+    """Run ``workload`` under one scheduler and return the raw result.
+
+    ``telemetry`` is an optional :class:`repro.telemetry.Telemetry`
+    bundle; tracing and sampling never change the simulated outcome,
+    only observe it.
+    """
     config = config or SimConfig()
     scheduler = make_scheduler(scheduler_name, params)
-    return System(workload, scheduler, config, seed=seed).run()
+    return System(
+        workload, scheduler, config, seed=seed, telemetry=telemetry
+    ).run()
 
 
 def score_run(

@@ -35,6 +35,16 @@ class ATLASScheduler(Scheduler):
         self._quantum_service: List[int] = []
         self._rank: Dict[int, int] = {}
         self._weights: Tuple[int, ...] = ()
+        self.quanta_completed = 0
+
+    def register_metrics(self, registry) -> None:
+        super().register_metrics(registry)
+        registry.register("atlas.quanta", lambda: self.quanta_completed)
+
+    def epoch_annotations(self, thread_id: int) -> dict:
+        if not self._rank:
+            return {}
+        return {"rank": self._rank.get(thread_id, 0)}
 
     def on_attach(self) -> None:
         n = self.system.workload.num_threads
@@ -72,6 +82,11 @@ class ATLASScheduler(Scheduler):
             key=lambda tid: (self._attained[tid] / self._weights[tid], tid),
         )
         self._rank = {tid: n - pos for pos, tid in enumerate(order)}
+        self.quanta_completed += 1
+        self.trace(
+            "rank", now,
+            ranks={str(tid): rank for tid, rank in self._rank.items()},
+        )
         self.system.schedule_timer(now + self.params.quantum_cycles, "atlas-quantum")
 
     # ------------------------------------------------------------------

@@ -44,10 +44,45 @@ class Scheduler:
     def attach(self, system: "System") -> None:
         """Bind the scheduler to a simulation system before the run."""
         self.system = system
+        # Stub systems used in unit tests may not carry a registry.
+        metrics = getattr(system, "metrics", None)
+        if metrics is not None:
+            self.register_metrics(metrics)
         self.on_attach()
 
     def on_attach(self) -> None:
         """Hook for subclass initialisation after ``system`` is set."""
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def register_metrics(self, registry) -> None:
+        """Register policy counters into the system's metrics registry.
+
+        Called once at attach time, before :meth:`on_attach`.
+        Subclasses extend this (calling ``super()``) with their own
+        providers; the base registers only the scheduler's identity.
+        """
+        registry.register("scheduler.name", lambda: self.name)
+
+    def trace(self, ev: str, now: int, **fields) -> None:
+        """Emit a tracer event if the bound system is tracing.
+
+        Costs one branch when tracing is disabled; safe to call from
+        any policy hook.
+        """
+        tracer = getattr(self.system, "_tracer", None)
+        if tracer is not None:
+            tracer.emit(ev, now, **fields)
+
+    def epoch_annotations(self, thread_id: int) -> dict:
+        """Policy state the epoch sampler attaches to a thread's row.
+
+        Ranking schedulers return e.g. ``{"cluster": ..., "rank": ...}``;
+        the base scheduler annotates nothing.
+        """
+        return {}
 
     # ------------------------------------------------------------------
     # event hooks

@@ -35,6 +35,15 @@ class PARBSScheduler(Scheduler):
         self._rank: Dict[int, int] = {}
         self.batches_formed = 0
 
+    def register_metrics(self, registry) -> None:
+        super().register_metrics(registry)
+        registry.register("parbs.batches", lambda: self.batches_formed)
+
+    def epoch_annotations(self, thread_id: int) -> dict:
+        if not self._rank:
+            return {}
+        return {"rank": self._rank.get(thread_id, 0)}
+
     # ------------------------------------------------------------------
     # batch formation
     # ------------------------------------------------------------------
@@ -62,6 +71,8 @@ class PARBSScheduler(Scheduler):
         self._marked_remaining = total_marked
         if total_marked:
             self.batches_formed += 1
+            self.trace("batch", getattr(self.system, "now", 0),
+                       marked=total_marked)
         self._compute_ranking(marked_counts)
 
     def _compute_ranking(

@@ -38,6 +38,13 @@ class STFMScheduler(Scheduler):
         self._t_interference: List[int] = []
         self._victim: Optional[int] = None
         self._next_eval = 0
+        self.evaluations = 0
+        self.last_unfairness = 1.0
+
+    def register_metrics(self, registry) -> None:
+        super().register_metrics(registry)
+        registry.register("stfm.evaluations", lambda: self.evaluations)
+        registry.register("stfm.unfairness", lambda: self.last_unfairness)
 
     def on_attach(self) -> None:
         n = self.system.workload.num_threads
@@ -65,7 +72,7 @@ class STFMScheduler(Scheduler):
     def on_request_complete(self, request: MemoryRequest, now: int) -> None:
         self._t_shared[request.thread_id] += now - request.arrival
         if now >= self._next_eval:
-            self._reevaluate()
+            self._reevaluate(now)
             self._next_eval = now + self.params.interval_length
 
     # ------------------------------------------------------------------
@@ -80,7 +87,7 @@ class STFMScheduler(Scheduler):
         alone = max(1, shared - self._t_interference[tid])
         return shared / alone
 
-    def _reevaluate(self) -> None:
+    def _reevaluate(self, now: int = 0) -> None:
         n = len(self._t_shared)
         slowdowns = [self.slowdown_estimate(t) for t in range(n)]
         s_max = max(slowdowns)
@@ -89,6 +96,9 @@ class STFMScheduler(Scheduler):
             self._victim = slowdowns.index(s_max)
         else:
             self._victim = None
+        self.evaluations += 1
+        self.last_unfairness = s_max / s_min if s_min > 0 else 1.0
+        self.trace("stfm_eval", now, unfairness=self.last_unfairness)
 
     # ------------------------------------------------------------------
 

@@ -1,7 +1,20 @@
-"""Post-run introspection of a simulated system."""
+"""Post-run introspection of a simulated system.
+
+The report is assembled from the system's metrics registry
+(``system.metrics``) — the same polled providers the telemetry epoch
+sampler reads — so it reflects exactly what any other observability
+consumer would see.
+
+Division semantics: a bank that serviced no accesses has an *undefined*
+hit rate, reported as NaN rather than a masking 0.0 (a 0.0 looks like
+"every access conflicted"); :func:`format_report` renders NaN as
+``n/a``.  ``mean_bank_utilisation`` is likewise NaN for a system with
+no banks instead of raising ``ZeroDivisionError``.
+"""
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List
 
@@ -26,7 +39,10 @@ class BankReport:
 
     @property
     def hit_rate(self) -> float:
-        return self.row_hits / self.accesses if self.accesses else 0.0
+        """Row-hit fraction; NaN for a bank that serviced nothing."""
+        if self.accesses == 0:
+            return float("nan")
+        return self.row_hits / self.accesses
 
 
 @dataclass(frozen=True)
@@ -41,7 +57,22 @@ class SystemReport:
 
     @property
     def mean_bank_utilisation(self) -> float:
+        if not self.banks:
+            return float("nan")
         return sum(b.utilisation for b in self.banks) / len(self.banks)
+
+    @property
+    def active_banks(self) -> List[BankReport]:
+        """Banks that serviced at least one access."""
+        return [b for b in self.banks if b.accesses]
+
+    @property
+    def mean_active_utilisation(self) -> float:
+        """Mean utilisation over banks that actually saw traffic."""
+        active = self.active_banks
+        if not active:
+            return float("nan")
+        return sum(b.utilisation for b in active) / len(active)
 
     @property
     def hottest_bank(self) -> BankReport:
@@ -49,53 +80,74 @@ class SystemReport:
 
 
 def system_report(system: System) -> SystemReport:
-    """Summarise bank/bus utilisation of a finished run."""
+    """Summarise bank/bus utilisation of a finished run.
+
+    Reads the per-bank counters through ``system.metrics`` (labels
+    ``{ch, bank}``), so the report and the telemetry snapshots can
+    never disagree.
+    """
     cycles = max(1, system.now)
+    reg = system.metrics
+
+    def by_bank(name: str) -> dict:
+        return {
+            (labels["ch"], labels["bank"]): value
+            for labels, value in reg.collect(name)
+        }
+
+    hits = by_bank("dram.bank.row_hits")
+    conflicts = by_bank("dram.bank.row_conflicts")
+    closed = by_bank("dram.bank.row_closed")
+    busy = by_bank("dram.bank.busy_cycles")
+    queued = by_bank("dram.bank.queued")
     banks = [
         BankReport(
-            channel=channel.channel_id,
-            bank=bank.bank_id,
-            utilisation=min(1.0, bank.busy_cycles / cycles),
-            row_hits=bank.row_hits,
-            row_conflicts=bank.row_conflicts,
-            row_closed=bank.row_closed,
-            queued=len(channel.queues[bank.bank_id]),
+            channel=ch,
+            bank=bank,
+            utilisation=min(1.0, busy[(ch, bank)] / cycles),
+            row_hits=hits[(ch, bank)],
+            row_conflicts=conflicts[(ch, bank)],
+            row_closed=closed[(ch, bank)],
+            queued=queued[(ch, bank)],
         )
-        for channel in system.channels
-        for bank in channel.banks
+        for (ch, bank) in sorted(hits)
     ]
     # the data bus is occupied `burst` cycles per serviced access
     burst = system.config.timings.burst
+    per_channel: dict = {}
+    for b in banks:
+        per_channel[b.channel] = per_channel.get(b.channel, 0) + b.accesses
     bus = [
-        min(
-            1.0,
-            sum(b.row_hits + b.row_conflicts + b.row_closed for b in ch.banks)
-            * burst
-            / cycles,
-        )
-        for ch in system.channels
+        min(1.0, per_channel.get(ch, 0) * burst / cycles)
+        for ch in sorted(per_channel)
     ]
     return SystemReport(
         cycles=cycles,
         banks=banks,
         bus_utilisation=bus,
-        writes_serviced=sum(ch.serviced_writes for ch in system.channels),
-        writes_dropped=sum(ch.dropped_writes for ch in system.channels),
+        writes_serviced=int(reg.sum("dram.channel.serviced_writes")),
+        writes_dropped=int(reg.sum("dram.channel.dropped_writes")),
     )
+
+
+def _pct(value: float) -> str:
+    return "n/a" if math.isnan(value) else f"{value:.1%}"
 
 
 def format_report(report: SystemReport) -> str:
     """Render a system report as text."""
     lines = [
         f"cycles simulated: {report.cycles}",
-        f"mean bank utilisation: {report.mean_bank_utilisation:.1%}",
+        f"mean bank utilisation: {_pct(report.mean_bank_utilisation)}"
+        f" ({_pct(report.mean_active_utilisation)} over "
+        f"{len(report.active_banks)} active banks)",
         "per-channel bus utilisation: "
-        + ", ".join(f"{u:.1%}" for u in report.bus_utilisation),
+        + ", ".join(_pct(u) for u in report.bus_utilisation),
     ]
     hot = report.hottest_bank
     lines.append(
-        f"hottest bank: ch{hot.channel}/b{hot.bank} at {hot.utilisation:.1%} "
-        f"(hit rate {hot.hit_rate:.1%})"
+        f"hottest bank: ch{hot.channel}/b{hot.bank} at {_pct(hot.utilisation)} "
+        f"(hit rate {_pct(hot.hit_rate)})"
     )
     if report.writes_serviced or report.writes_dropped:
         lines.append(

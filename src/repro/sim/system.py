@@ -22,6 +22,7 @@ from repro.cpu.thread import ThreadModel
 from repro.dram.channel import Channel
 from repro.dram.request import MemoryRequest
 from repro.schedulers.base import Scheduler
+from repro.telemetry.registry import MetricsRegistry
 from repro.workloads.mixes import Workload
 
 def _benchmark_streams(workload: Workload) -> List[int]:
@@ -49,6 +50,13 @@ _EV_DONE = 2         # a request's data arrived at the core
 _EV_QUANTUM = 3      # quantum boundary
 _EV_TIMER = 4        # scheduler-requested timer
 _EV_PHIT = 5         # a demand miss hit the prefetch buffer
+_EV_SAMPLE = 6       # telemetry epoch-sampler tick
+
+#: Sample events sort after every other event at the same cycle (their
+#: heap sequence is offset far beyond any reachable ordinary sequence),
+#: so an epoch sample aligned with a quantum boundary observes the
+#: *post*-quantum state (fresh clustering, fresh ranks).
+_SAMPLE_SEQ_BASE = 1 << 60
 
 
 class System:
@@ -61,6 +69,7 @@ class System:
         config: Optional[SimConfig] = None,
         seed: Optional[int] = None,
         trace_recorder=None,
+        telemetry=None,
     ):
         self.config = config or SimConfig()
         self.workload = workload
@@ -91,10 +100,34 @@ class System:
         self._latency_sum: List[int] = [0] * workload.num_threads
         self._latency_count: List[int] = [0] * workload.num_threads
         self.quantum_count = 0
+        #: scheduler decisions taken (requests granted service)
+        self.sched_decisions = 0
         #: per-quantum IPC of every thread (one tuple per quantum)
         self.ipc_timeline: List[Tuple[float, ...]] = []
         self.trace_recorder = trace_recorder
         self._wb_rng = np.random.default_rng((self.seed, 0x3B))
+        # telemetry: the registry always exists (providers are polled,
+        # so registration is init-only and per-event cost is zero);
+        # tracer/sampler are bound only when a Telemetry bundle is
+        # passed, leaving one is-None branch per emit site otherwise.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.bind(self)
+        self.metrics: MetricsRegistry = (
+            telemetry.registry
+            if telemetry is not None and telemetry.registry is not None
+            else MetricsRegistry()
+        )
+        self._tracer = (
+            telemetry.tracer
+            if telemetry is not None
+            and telemetry.tracer is not None
+            and telemetry.tracer.enabled
+            else None
+        )
+        self._sampler = telemetry.sampler if telemetry is not None else None
+        self._sample_period = 0
+        self._register_metrics()
         if self.config.prefetch_degree > 0:
             from repro.cpu.prefetch import StreamPrefetcher
 
@@ -105,6 +138,39 @@ class System:
         else:
             self.prefetchers = None
         scheduler.attach(self)
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def _register_metrics(self) -> None:
+        """Register polled providers over every component's counters."""
+        registry = self.metrics
+        for channel in self.channels:
+            channel.register_metrics(registry)
+        for thread in self.threads:
+            thread.register_metrics(registry)
+        self.monitor.register_metrics(registry)
+        registry.register("sim.now", lambda: self.now)
+        registry.register("sim.quanta", lambda: self.quantum_count)
+        registry.register("scheduler.decisions",
+                          lambda: self.sched_decisions)
+
+    def _push_sample(self, time: int) -> None:
+        """Queue an epoch-sampler tick sorting after all peers at ``time``."""
+        self._seq += 1
+        heapq.heappush(
+            self._events,
+            (time, _SAMPLE_SEQ_BASE + self._seq, _EV_SAMPLE, None, 0),
+        )
+
+    def _take_sample(self) -> None:
+        sample = self._sampler.sample(self, self.now)
+        if self._tracer is not None:
+            self._tracer.emit(
+                "epoch", self.now, cycle=self.now, threads=sample.threads
+            )
+        self._push_sample(self.now + self._sample_period)
 
     # ------------------------------------------------------------------
     # event plumbing
@@ -212,11 +278,32 @@ class System:
                 write = channel.next_write_for(bank_id)
                 if write is not None:
                     busy_until = channel.start_write_service(write, self.now)
+                    if self._tracer is not None:
+                        self._tracer.emit(
+                            "dram_cmd", self.now,
+                            ch=channel_id, bank=bank_id, row=write.row,
+                            tid=write.thread_id, kind="closed",
+                            start=self.now, end=busy_until, write=True,
+                        )
                     self._push(busy_until, _EV_BANK_FREE, channel_id, bank_id)
             return
+        queued = len(channel.queues[bank_id])
         request = self.scheduler.select(channel, bank_id, self.now)
         access, completion = channel.start_service(request, self.now)
         busy_cycles = access.data_end - self.now
+        self.sched_decisions += 1
+        if self._tracer is not None:
+            self._tracer.emit(
+                "sched_decision", self.now,
+                ch=channel_id, bank=bank_id, tid=request.thread_id,
+                queued=queued, row_hit=access.is_row_hit,
+            )
+            self._tracer.emit(
+                "dram_cmd", self.now,
+                ch=channel_id, bank=bank_id, row=request.row,
+                tid=request.thread_id, kind=access.kind,
+                start=self.now, end=access.data_end,
+            )
         self.monitor.on_request_service(request, busy_cycles)
         self.scheduler.on_request_scheduled(
             request, channel.queues[bank_id], busy_cycles, self.now
@@ -256,6 +343,15 @@ class System:
             )
         )
         snapshot = self.meta.end_quantum(mpki, self.now)
+        if self._tracer is not None:
+            self._tracer.emit(
+                "quantum", self.now,
+                index=snapshot.quantum_index,
+                mpki=[m.mpki for m in snapshot.metrics],
+                bw=[m.bw_usage for m in snapshot.metrics],
+                blp=[m.blp for m in snapshot.metrics],
+                rbl=[m.rbl for m in snapshot.metrics],
+            )
         for thread in self.threads:
             thread.stats.reset_quantum()
         self.quantum_count += 1
@@ -274,6 +370,17 @@ class System:
         for tid, thread in enumerate(self.threads):
             self._push(thread.issue_gap(), _EV_ISSUE, tid)
         self._push(self.config.quantum_cycles, _EV_QUANTUM)
+        if self._tracer is not None:
+            self._tracer.emit(
+                "run_begin", self.now,
+                workload=self.workload.name,
+                scheduler=self.scheduler.name,
+                seed=self.seed,
+                threads=self.workload.num_threads,
+            )
+        if self._sampler is not None:
+            self._sample_period = self._sampler.resolve_period(self)
+            self._push_sample(self._sample_period)
 
         events = self._events
         while events and events[0][0] <= horizon:
@@ -292,6 +399,8 @@ class System:
             elif kind == _EV_PHIT:
                 if self.threads[payload].on_request_completed(aux):
                     self._issue_miss(payload)
+            elif kind == _EV_SAMPLE:
+                self._take_sample()
         self.now = horizon
         for thread in self.threads:
             thread.finalize(horizon)
@@ -318,6 +427,12 @@ class System:
         row_hits = sum(b.row_hits for ch in self.channels for b in ch.banks)
         conflicts = sum(b.row_conflicts for ch in self.channels for b in ch.banks)
         closed = sum(b.row_closed for ch in self.channels for b in ch.banks)
+        if self._tracer is not None:
+            self._tracer.emit(
+                "run_end", horizon,
+                requests=sum(ch.serviced_requests for ch in self.channels),
+                row_hits=row_hits,
+            )
         return RunResult(
             scheduler=self.scheduler.name,
             workload=self.workload.name,

@@ -1,0 +1,60 @@
+"""Stdlib logging wiring with one consistent format for all tools.
+
+Every CLI entry point (``repro.experiments.cli``, ``scripts/full_eval``)
+calls :func:`configure_logging` once with its ``--log-level`` flag;
+library code gets loggers from :func:`get_logger` and never configures
+handlers itself, so embedding applications keep full control.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+#: One format everywhere: time, level, dotted component, message.
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+DATE_FORMAT = "%H:%M:%S"
+
+_ROOT = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if name == _ROOT or name.startswith(_ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def configure_logging(level: str = "warning",
+                      stream=None) -> logging.Logger:
+    """Install one stream handler on the ``repro`` root logger.
+
+    Idempotent: re-configuring replaces the previous handler instead of
+    stacking duplicates.  Returns the configured root logger.
+    """
+    numeric = getattr(logging, str(level).upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    root = logging.getLogger(_ROOT)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT, DATE_FORMAT))
+    handler._repro_handler = True
+    root.addHandler(handler)
+    root.setLevel(numeric)
+    root.propagate = False
+    return root
+
+
+def add_log_level_argument(parser, default: str = "warning") -> None:
+    """Attach the shared ``--log-level`` flag to an argparse parser."""
+    parser.add_argument(
+        "--log-level", default=default,
+        choices=("debug", "info", "warning", "error", "critical"),
+        help="stdlib logging level for all repro components "
+             f"(default: {default})",
+    )

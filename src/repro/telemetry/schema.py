@@ -1,0 +1,139 @@
+"""Event schema for the tracer's JSONL stream.
+
+Every traced event is one JSON object with at least:
+
+* ``ev`` — the event type (a key of :data:`EVENT_SCHEMA`);
+* ``ts`` — the simulation cycle the event happened at (int, >= 0).
+
+plus the type's own required fields.  Extra fields are allowed (they
+flow through to the sinks untouched); missing or mistyped required
+fields fail :func:`validate_event`.
+
+The schema doubles as documentation: docs/TELEMETRY.md renders from the
+same definitions, and CI validates a freshly traced run against it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Tuple
+
+#: field-name -> allowed types (json-decoded)
+_NUM = (int, float)
+_INT = (int,)
+_STR = (str,)
+_LIST = (list,)
+_DICT = (dict,)
+
+#: event type -> {field: allowed types}; every event also needs ev/ts.
+EVENT_SCHEMA: Dict[str, Dict[str, Tuple[type, ...]]] = {
+    # run lifecycle
+    "run_begin": {"workload": _STR, "scheduler": _STR, "seed": _INT,
+                  "threads": _INT},
+    "run_end": {"requests": _INT, "row_hits": _INT},
+    # DRAM command stream: one event per serviced access.  ``kind`` is
+    # the row-buffer outcome (hit | closed | conflict).
+    "dram_cmd": {"ch": _INT, "bank": _INT, "row": _INT, "tid": _INT,
+                 "kind": _STR, "start": _INT, "end": _INT},
+    # scheduler picked ``tid``'s request at a free bank; ``queued`` is
+    # the number of requests that were waiting there.
+    "sched_decision": {"ch": _INT, "bank": _INT, "tid": _INT,
+                       "queued": _INT, "row_hit": (bool,)},
+    # quantum boundary: per-thread monitored metrics for the quantum
+    # that just ended.
+    "quantum": {"index": _INT, "mpki": _LIST, "bw": _LIST, "blp": _LIST,
+                "rbl": _LIST},
+    # TCM clustering decision (one per quantum).
+    "cluster": {"quantum": _INT, "latency": _LIST, "bandwidth": _LIST},
+    # TCM bandwidth-cluster shuffle: the algorithm chosen and the new
+    # priority order (last element = highest rank).
+    "shuffle": {"algo": _STR, "order": _LIST},
+    # ATLAS per-quantum ranking (tid -> rank, larger = higher).
+    "rank": {"ranks": _DICT},
+    # PAR-BS batch formation.
+    "batch": {"marked": _INT},
+    # STFM fairness evaluation.
+    "stfm_eval": {"unfairness": _NUM},
+    # epoch sampler output: per-thread time-series row.
+    "epoch": {"cycle": _INT, "threads": _LIST},
+}
+
+_KIND_VALUES = {"hit", "closed", "conflict"}
+
+
+class SchemaError(ValueError):
+    """An event failed schema validation."""
+
+
+def validate_event(event: dict) -> None:
+    """Raise :class:`SchemaError` unless ``event`` matches the schema."""
+    if not isinstance(event, dict):
+        raise SchemaError(f"event must be an object, got {type(event).__name__}")
+    ev = event.get("ev")
+    if ev not in EVENT_SCHEMA:
+        raise SchemaError(f"unknown event type {ev!r}")
+    ts = event.get("ts")
+    if not isinstance(ts, int) or isinstance(ts, bool) or ts < 0:
+        raise SchemaError(f"{ev}: ts must be a non-negative int, got {ts!r}")
+    for name, types in EVENT_SCHEMA[ev].items():
+        if name not in event:
+            raise SchemaError(f"{ev}: missing required field {name!r}")
+        value = event[name]
+        if bool not in types and isinstance(value, bool):
+            raise SchemaError(f"{ev}: field {name!r} must not be a bool")
+        if not isinstance(value, types):
+            raise SchemaError(
+                f"{ev}: field {name!r} expected "
+                f"{'/'.join(t.__name__ for t in types)}, "
+                f"got {type(value).__name__}"
+            )
+    if ev == "dram_cmd" and event["kind"] not in _KIND_VALUES:
+        raise SchemaError(f"dram_cmd: bad kind {event['kind']!r}")
+    if ev == "dram_cmd" and event["end"] < event["start"]:
+        raise SchemaError("dram_cmd: end before start")
+
+
+def validate_events(events: Iterable[dict]) -> int:
+    """Validate an event stream; returns the number of events checked."""
+    count = 0
+    for event in events:
+        validate_event(event)
+        count += 1
+    return count
+
+
+def validate_jsonl(path) -> int:
+    """Validate a JSONL trace file; returns the number of events.
+
+    Raises :class:`SchemaError` with the offending line number.
+    """
+    count = 0
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError as exc:
+                raise SchemaError(f"{path}:{lineno}: bad JSON: {exc}") from exc
+            try:
+                validate_event(event)
+            except SchemaError as exc:
+                raise SchemaError(f"{path}:{lineno}: {exc}") from exc
+            count += 1
+    return count
+
+
+def schema_markdown() -> str:
+    """Render the event schema as a markdown table (for docs)."""
+    lines: List[str] = [
+        "| event | required fields |",
+        "|-------|-----------------|",
+    ]
+    for ev in sorted(EVENT_SCHEMA):
+        fields = ", ".join(
+            f"`{name}`" for name in sorted(EVENT_SCHEMA[ev])
+        )
+        lines.append(f"| `{ev}` | {fields or '—'} |")
+    return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""Tracer sinks: JSONL, in-memory, and Chrome/Perfetto trace_event.
+
+The JSONL stream (one event object per line, schema in
+:mod:`repro.telemetry.schema`) is the canonical format; the Perfetto
+sink — and the :func:`jsonl_to_perfetto` converter — render the same
+events into the Chrome ``trace_event`` JSON that https://ui.perfetto.dev
+and ``chrome://tracing`` open directly:
+
+* each DRAM bank is a thread-track of the "DRAM" process: ``dram_cmd``
+  events become duration slices named by their row-buffer outcome;
+* scheduler decisions are thread-scoped instants on the same tracks;
+* policy events (clustering, shuffles, rankings, batches) land on a
+  "policy" process;
+* epoch samples become per-thread counter tracks (MPKI / BLP / RBL),
+  which Perfetto plots as time series.
+
+Simulation cycles are written as microseconds (1 cycle = 1us) since
+trace_event timestamps are always in microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional
+
+
+def _open_creating_dirs(path, mode: str = "w"):
+    parent = os.path.dirname(os.fspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    return open(path, mode, encoding="utf-8")
+
+#: trace_event pids for the synthetic processes.
+_PID_DRAM = 1
+_PID_POLICY = 2
+_PID_THREADS = 3
+
+
+class Sink:
+    """Base class: receives schema'd event dicts from the tracer."""
+
+    def write(self, event: dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class MemorySink(Sink):
+    """Collect events into a list (tests, report rendering)."""
+
+    def __init__(self) -> None:
+        self.events: List[dict] = []
+
+    def write(self, event: dict) -> None:
+        self.events.append(event)
+
+
+class JsonlSink(Sink):
+    """Append events to a JSONL file, one compact object per line."""
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._file = _open_creating_dirs(path)
+
+    def write(self, event: dict) -> None:
+        self._file.write(json.dumps(event, separators=(",", ":")) + "\n")
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+class PerfettoSink(Sink):
+    """Buffer events and write a Perfetto-loadable JSON file on close."""
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._events: List[dict] = []
+
+    def write(self, event: dict) -> None:
+        self._events.append(event)
+
+    def close(self) -> None:
+        if self._events is None:
+            return
+        with _open_creating_dirs(self.path) as f:
+            json.dump(events_to_perfetto(self._events), f)
+        self._events = None
+
+
+# ----------------------------------------------------------------------
+# trace_event conversion
+# ----------------------------------------------------------------------
+
+
+def _meta(pid: int, name: str, tid: Optional[int] = None,
+          thread_name: Optional[str] = None) -> List[dict]:
+    out = [{"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+            "args": {"name": name}}]
+    if tid is not None:
+        out = [{"ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                "args": {"name": thread_name}}]
+    return out
+
+
+def events_to_perfetto(events: Iterable[dict],
+                       banks_per_channel: Optional[int] = None) -> dict:
+    """Convert schema'd events to a Chrome trace_event JSON object."""
+    trace: List[dict] = []
+    bank_tracks: Dict[tuple, int] = {}
+    thread_tracks: set = set()
+    if banks_per_channel is None:
+        banks_per_channel = 64  # track ids only need to be distinct
+
+    def bank_tid(ch: int, bank: int) -> int:
+        key = (ch, bank)
+        if key not in bank_tracks:
+            tid = ch * banks_per_channel + bank
+            bank_tracks[key] = tid
+            trace.extend(_meta(_PID_DRAM, "", tid=tid,
+                               thread_name=f"ch{ch} bank{bank}"))
+        return bank_tracks[key]
+
+    def thread_tid(tid: int) -> int:
+        if tid not in thread_tracks:
+            thread_tracks.add(tid)
+            trace.extend(_meta(_PID_THREADS, "", tid=tid,
+                               thread_name=f"thread {tid}"))
+        return tid
+
+    trace.extend(_meta(_PID_DRAM, "DRAM"))
+    trace.extend(_meta(_PID_POLICY, "policy"))
+    trace.extend(_meta(_PID_THREADS, "threads"))
+
+    for event in events:
+        ev, ts = event["ev"], event["ts"]
+        if ev == "dram_cmd":
+            trace.append({
+                "ph": "X", "pid": _PID_DRAM,
+                "tid": bank_tid(event["ch"], event["bank"]),
+                "ts": event["start"],
+                "dur": max(1, event["end"] - event["start"]),
+                "name": event["kind"],
+                "args": {"thread": event["tid"], "row": event["row"],
+                         "write": event.get("write", False)},
+            })
+        elif ev == "sched_decision":
+            trace.append({
+                "ph": "i", "s": "t", "pid": _PID_DRAM,
+                "tid": bank_tid(event["ch"], event["bank"]),
+                "ts": ts, "name": f"pick t{event['tid']}",
+                "args": {"queued": event["queued"],
+                         "row_hit": event["row_hit"]},
+            })
+        elif ev == "cluster":
+            for tid in event["latency"]:
+                trace.append({
+                    "ph": "C", "pid": _PID_THREADS, "tid": 0, "ts": ts,
+                    "name": f"cluster t{tid}", "args": {"latency": 1},
+                })
+            for tid in event["bandwidth"]:
+                trace.append({
+                    "ph": "C", "pid": _PID_THREADS, "tid": 0, "ts": ts,
+                    "name": f"cluster t{tid}", "args": {"latency": 0},
+                })
+            trace.append({
+                "ph": "i", "s": "p", "pid": _PID_POLICY, "tid": 0,
+                "ts": ts, "name": "cluster",
+                "args": {"latency": event["latency"],
+                         "bandwidth": event["bandwidth"]},
+            })
+        elif ev == "epoch":
+            for row in event["threads"]:
+                tid = thread_tid(row["tid"])
+                for metric in ("mpki", "blp", "rbl"):
+                    if metric in row:
+                        trace.append({
+                            "ph": "C", "pid": _PID_THREADS, "tid": tid,
+                            "ts": ts, "name": f"{metric} t{row['tid']}",
+                            "args": {metric: row[metric]},
+                        })
+        elif ev in ("quantum", "shuffle", "rank", "batch", "stfm_eval",
+                    "run_begin", "run_end"):
+            args = {k: v for k, v in event.items() if k not in ("ev", "ts")}
+            trace.append({
+                "ph": "i", "s": "p", "pid": _PID_POLICY, "tid": 0,
+                "ts": ts, "name": ev, "args": args,
+            })
+        # unknown events are dropped from the visual trace on purpose:
+        # the JSONL stream remains the lossless record
+
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def jsonl_to_perfetto(src_path, dst_path) -> int:
+    """Convert a JSONL trace file to Perfetto JSON; returns event count."""
+    events = []
+    with open(src_path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    with _open_creating_dirs(dst_path) as f:
+        json.dump(events_to_perfetto(events), f)
+    return len(events)

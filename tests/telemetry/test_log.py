@@ -1,0 +1,61 @@
+"""Logging wiring: hierarchy, idempotent configuration, CLI flag."""
+
+import argparse
+import io
+import logging
+
+from repro.telemetry.log import (
+    add_log_level_argument,
+    configure_logging,
+    get_logger,
+)
+
+
+class TestGetLogger:
+    def test_under_repro_namespace(self):
+        assert get_logger("campaign").name == "repro.campaign"
+
+    def test_already_qualified_not_doubled(self):
+        assert get_logger("repro.campaign").name == "repro.campaign"
+
+
+class TestConfigureLogging:
+    def teardown_method(self):
+        configure_logging("warning", stream=io.StringIO())
+
+    def test_level_applies(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        get_logger("t1").info("hello")
+        get_logger("t1").debug("hidden")
+        out = stream.getvalue()
+        assert "hello" in out
+        assert "hidden" not in out
+
+    def test_reconfigure_does_not_duplicate_handlers(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        configure_logging("info", stream=stream)
+        get_logger("t2").info("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_warning_is_default_floor(self):
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        root = logging.getLogger("repro")
+        assert root.level == logging.WARNING
+
+
+class TestCliFlag:
+    def test_choices_and_default(self):
+        parser = argparse.ArgumentParser()
+        add_log_level_argument(parser)
+        assert parser.parse_args([]).log_level == "warning"
+        assert parser.parse_args(
+            ["--log-level", "debug"]
+        ).log_level == "debug"
+
+    def test_custom_default(self):
+        parser = argparse.ArgumentParser()
+        add_log_level_argument(parser, default="info")
+        assert parser.parse_args([]).log_level == "info"

@@ -1,0 +1,75 @@
+"""Whole-run telemetry: registries across runs, reuse, and summaries."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.schedulers import make_scheduler
+from repro.sim import System
+from repro.telemetry import MetricsRegistry, Telemetry
+from repro.workloads.mixes import make_intensity_workload
+
+CFG = SimConfig(num_threads=4, run_cycles=20_000, quantum_cycles=10_000)
+
+
+def build(telemetry=None, seed=0):
+    workload = make_intensity_workload(0.5, num_threads=4, seed=3)
+    return System(workload, make_scheduler("tcm"), CFG, seed=seed,
+                  telemetry=telemetry)
+
+
+class TestSystemRegistry:
+    def test_every_system_has_metrics(self):
+        system = build()
+        assert system.metrics.value("scheduler.name") == "TCM"
+        system.run()
+        assert system.metrics.sum("dram.channel.serviced_requests") > 0
+        assert system.metrics.value("sim.quanta") == 2
+
+    def test_two_systems_have_independent_registries(self):
+        """Each run re-registers from scratch; no duplicate errors."""
+        a, b = build(), build()
+        a.run()
+        assert b.metrics.sum("cpu.instructions") == 0
+        assert a.metrics.sum("cpu.instructions") > 0
+
+    def test_registry_reset_between_runs(self):
+        """An explicit registry reused across runs is reset at bind."""
+        registry = MetricsRegistry()
+        telemetry = Telemetry(registry=registry)
+        first = build(telemetry).run()
+        stale = registry.sum("cpu.instructions")
+        assert stale > 0
+        second_system = build(telemetry)  # bind() resets the registry
+        second = second_system.run()
+        assert first.total_requests == second.total_requests
+        assert registry.sum("cpu.instructions") == stale
+
+    def test_double_registration_is_caught(self):
+        """A system registering twice into one registry is an error.
+
+        This is the guard that catches two live runs accidentally
+        sharing one registry (without going through Telemetry.bind).
+        """
+        system = build()
+        with pytest.raises(ValueError, match="already registered"):
+            system._register_metrics()
+
+
+class TestTelemetrySummary:
+    def test_summary_fields(self):
+        telemetry = Telemetry.in_memory()
+        build(telemetry).run()
+        summary = telemetry.summary()
+        assert summary["events"] > 0
+        assert summary["epochs"] == 2
+        assert summary["requests"] > 0
+        assert 0.0 <= summary["row_hit_rate"] <= 1.0
+        assert summary["quanta"] == 2
+
+    def test_sched_decisions_counted(self):
+        system = build()
+        system.run()
+        assert system.sched_decisions == system.metrics.value(
+            "scheduler.decisions"
+        )
+        assert system.sched_decisions > 0

@@ -1,0 +1,145 @@
+"""Tracer, schema validation and sink round-trips."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    JsonlSink,
+    MemorySink,
+    PerfettoSink,
+    SchemaError,
+    Tracer,
+    events_to_perfetto,
+    jsonl_to_perfetto,
+    memory_tracer,
+    validate_jsonl,
+)
+
+EVENTS = [
+    ("run_begin", 0, dict(workload="w", scheduler="TCM", seed=0, threads=2)),
+    ("sched_decision", 10, dict(ch=0, bank=1, tid=0, queued=2, row_hit=True)),
+    ("dram_cmd", 10, dict(ch=0, bank=1, row=7, tid=0, kind="hit",
+                          start=10, end=14)),
+    ("cluster", 50, dict(quantum=0, latency=[1], bandwidth=[0])),
+    ("shuffle", 60, dict(algo="random", order=[0])),
+    ("run_end", 100, dict(requests=1, row_hits=1)),
+]
+
+
+def emit_all(tracer):
+    for ev, ts, fields in EVENTS:
+        tracer.emit(ev, ts, **fields)
+
+
+class TestTracer:
+    def test_disabled_without_sinks(self):
+        tracer = Tracer([])
+        assert not tracer.enabled
+        tracer.emit("dram_cmd", 0, ch=0, bank=0, row=0, tid=0,
+                    kind="hit", start=0, end=4)
+        assert tracer.events_emitted == 1  # emit still counts if called
+
+    def test_memory_sink_collects(self):
+        tracer = memory_tracer()
+        emit_all(tracer)
+        events = tracer.sinks[0].events
+        assert [e["ev"] for e in events] == [e for e, _, _ in EVENTS]
+        assert events[1]["queued"] == 2
+
+    def test_validation_rejects_unknown_event(self):
+        tracer = memory_tracer(validate=True)
+        with pytest.raises(SchemaError):
+            tracer.emit("not_an_event", 0)
+
+    def test_validation_rejects_bad_field_type(self):
+        tracer = memory_tracer(validate=True)
+        with pytest.raises(SchemaError):
+            tracer.emit("sched_decision", 0, ch="zero", bank=0, tid=0,
+                        queued=1, row_hit=False)
+
+    def test_validation_rejects_negative_ts(self):
+        tracer = memory_tracer(validate=True)
+        with pytest.raises(SchemaError):
+            tracer.emit("shuffle", -1, algo="random", order=[])
+
+    def test_validation_rejects_bad_dram_kind(self):
+        tracer = memory_tracer(validate=True)
+        with pytest.raises(SchemaError):
+            tracer.emit("dram_cmd", 0, ch=0, bank=0, row=0, tid=0,
+                        kind="open", start=0, end=4)
+
+
+class TestJsonlRoundTrip:
+    def test_jsonl_write_validate_convert(self, tmp_path):
+        jsonl = tmp_path / "run.jsonl"
+        tracer = Tracer([JsonlSink(jsonl)])
+        emit_all(tracer)
+        tracer.close()
+
+        assert validate_jsonl(jsonl) == len(EVENTS)
+        lines = jsonl.read_text().splitlines()
+        assert len(lines) == len(EVENTS)
+        assert json.loads(lines[0])["ev"] == "run_begin"
+
+        perfetto = tmp_path / "run.json"
+        count = jsonl_to_perfetto(jsonl, perfetto)
+        assert count == len(EVENTS)
+        doc = json.loads(perfetto.read_text())
+        assert isinstance(doc["traceEvents"], list)
+
+    def test_validate_jsonl_reports_line(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"ev":"shuffle","ts":0,"algo":"x","order":[]}\n'
+                       '{"ev":"bogus","ts":1}\n')
+        with pytest.raises(SchemaError, match=r"bad\.jsonl:2:"):
+            validate_jsonl(bad)
+
+
+class TestPerfetto:
+    def test_dram_cmd_becomes_slice(self):
+        doc = events_to_perfetto(
+            [dict(ev="dram_cmd", ts=10, ch=0, bank=1, row=7, tid=0,
+                  kind="hit", start=10, end=14)]
+        )
+        slices = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert len(slices) == 1
+        assert slices[0]["name"] == "hit"
+        assert slices[0]["dur"] > 0
+
+    def test_sched_decision_becomes_instant(self):
+        doc = events_to_perfetto(
+            [dict(ev="sched_decision", ts=5, ch=0, bank=0, tid=3,
+                  queued=1, row_hit=False)]
+        )
+        instants = [e for e in doc["traceEvents"] if e.get("ph") == "i"]
+        assert any("t3" in e["name"] for e in instants)
+
+    def test_cluster_becomes_counter_track(self):
+        doc = events_to_perfetto(
+            [dict(ev="cluster", ts=0, quantum=0, latency=[0, 1],
+                  bandwidth=[2])]
+        )
+        counters = [e for e in doc["traceEvents"] if e.get("ph") == "C"]
+        assert counters
+
+    def test_sink_writes_on_close(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sink = PerfettoSink(path)
+        sink.write(dict(ev="shuffle", ts=0, algo="random", order=[1, 0]))
+        assert not path.exists()  # buffered until close
+        sink.close()
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+    def test_memory_and_jsonl_agree(self, tmp_path):
+        """The same events through either sink produce the same trace."""
+        jsonl = tmp_path / "a.jsonl"
+        mem = MemorySink()
+        tracer = Tracer([JsonlSink(jsonl), mem])
+        emit_all(tracer)
+        tracer.close()
+        from_mem = events_to_perfetto(mem.events)
+        out = tmp_path / "a.json"
+        jsonl_to_perfetto(jsonl, out)
+        assert json.loads(out.read_text()) == from_mem
