@@ -75,6 +75,30 @@ def test_tracing_does_not_change_results():
     assert len(telemetry.samples) > 0
 
 
+def test_oracle_does_not_change_results():
+    """The invariant oracle observes the run without perturbing it.
+
+    Same contract as telemetry: attaching the oracle (repro.validate)
+    must leave the simulated outcome bit-identical, and a system it
+    never touched must carry no oracle machinery at all.
+    """
+    from repro.validate import attach_oracle
+
+    plain = _system().run()
+
+    system = _system()
+    oracle = attach_oracle(system)
+    checked = system.run()
+    report = oracle.finish(checked)
+    assert _result_fingerprint(checked) == _result_fingerprint(plain)
+    assert report.ok and report.total_checks > BASELINE["requests"]
+
+    # Disabled path: a fresh system has no wrapped methods or tracer.
+    untouched = _system()
+    assert untouched._tracer is None
+    assert "select" not in vars(untouched.scheduler)
+
+
 def test_disabled_overhead_vs_baseline(benchmark):
     """Disabled-telemetry wall clock vs the committed pre-PR baseline.
 

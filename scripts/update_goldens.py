@@ -1,0 +1,75 @@
+"""Regenerate (or verify) the golden-run regression matrix.
+
+The golden matrix under ``tests/goldens/golden_matrix.json`` pins
+result fingerprints for every registered scheduler across three
+memory-intensity mixes (see :mod:`repro.validate.goldens`).  CI fails
+when the simulator's behaviour drifts from these fingerprints; after
+an *intended* behavioural change, rerun this script and commit the
+updated file together with the change that caused it (the diff report
+below belongs in the commit message).
+
+    PYTHONPATH=src python scripts/update_goldens.py           # regenerate
+    PYTHONPATH=src python scripts/update_goldens.py --check   # verify only
+
+``--check`` recomputes the matrix, prints a field-level drift report,
+and exits 1 on any drift (0 when clean) — this is what CI runs.
+"""
+import argparse
+import sys
+
+from repro.validate import (
+    GOLDEN_PATH,
+    check_goldens,
+    compare_fingerprints,
+    compute_golden_matrix,
+    format_drift_report,
+    load_goldens,
+    save_goldens,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="verify against the committed goldens instead "
+                             "of rewriting them; exit 1 on drift")
+    parser.add_argument("--path", default=None,
+                        help=f"golden matrix file (default {GOLDEN_PATH})")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-point progress output")
+    args = parser.parse_args()
+    path = args.path or GOLDEN_PATH
+    progress = not args.quiet
+
+    if args.check:
+        drifts = check_goldens(path, progress=progress)
+        if drifts:
+            print(format_drift_report(drifts))
+            print(
+                "\nIf this drift is an intended behavioural change, "
+                "regenerate with:\n"
+                "    PYTHONPATH=src python scripts/update_goldens.py"
+            )
+            return 1
+        print("goldens: no drift")
+        return 0
+
+    fresh = compute_golden_matrix(progress=progress)
+    try:
+        drifts = compare_fingerprints(load_goldens(path), fresh)
+    except (FileNotFoundError, ValueError):
+        drifts = None   # first generation or format change
+    where = save_goldens(fresh, path)
+    if drifts is None:
+        print(f"wrote {where} ({len(fresh)} points, no previous matrix)")
+    elif drifts:
+        print(format_drift_report(drifts))
+        print(f"\nwrote {where} ({len(fresh)} points, "
+              f"{len(drifts)} fields changed)")
+    else:
+        print(f"wrote {where} ({len(fresh)} points, unchanged)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ from repro.config import (
     PARBSParams,
     STFMParams,
     SimConfig,
+    StaticParams,
     TCMParams,
 )
 from repro.core.tcm import TCMScheduler
@@ -39,6 +40,7 @@ __all__ = [
     "RunResult",
     "STFMParams",
     "SimConfig",
+    "StaticParams",
     "System",
     "TCMParams",
     "TCMScheduler",

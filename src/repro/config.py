@@ -208,6 +208,18 @@ class ATLASParams:
 
 
 @dataclass(frozen=True)
+class StaticParams:
+    """Static-priority parameters: thread ids, highest priority first.
+
+    An empty order ranks every thread equally, which degenerates to
+    FR-FCFS (row-hit-first, oldest-first) — the identity baseline used
+    by the validation suite's differential checks.
+    """
+
+    order: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
 class PARBSParams:
     """PAR-BS parameters: BatchCap (marking cap per thread per bank)."""
 

@@ -176,14 +176,20 @@ class Channel:
                 return request
         return None
 
-    def start_write_service(self, request: MemoryRequest, now: int) -> int:
-        """Service a buffered write; returns the bank-busy end cycle."""
+    def start_write_service(
+        self, request: MemoryRequest, now: int
+    ) -> BankAccess:
+        """Service a buffered write; returns the access timing breakdown.
+
+        The bank is busy until ``access.data_end`` (writes have no
+        core-visible round trip, so there is no separate completion).
+        """
         self.write_buffer.remove(request)
         access = self._begin_access(request.bank_id, request.row, now)
         request.start_service = now
         request.completion = access.data_end
         self.serviced_writes += 1
-        return access.data_end
+        return access
 
     def idle_banks_with_work(self, now: int) -> List[int]:
         """Bank ids that are free now and have queued requests."""

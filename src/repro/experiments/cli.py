@@ -36,6 +36,17 @@ Telemetry subcommands observe a single traced run::
 7-style cluster timeline; ``trace`` writes (or converts a JSONL log
 into) a Chrome/Perfetto-loadable trace.  All commands accept
 ``--log-level {debug,...}``.
+
+Validation subcommands (see docs/VALIDATION.md)::
+
+    python -m repro.experiments.cli validate run --intensity 0.75
+    python -m repro.experiments.cli validate goldens
+    python -m repro.experiments.cli validate goldens --update
+
+``validate run`` executes the workload under every registered
+scheduler with the invariant oracle attached and exits non-zero on
+any violation; ``validate goldens`` recomputes the pinned golden
+matrix and fails on fingerprint drift (``--update`` regenerates it).
 """
 
 from __future__ import annotations
@@ -365,6 +376,74 @@ def _cmd_telemetry(args, config):
 
 
 # ----------------------------------------------------------------------
+# validate subcommands
+# ----------------------------------------------------------------------
+
+
+def _cmd_validate(args, config):
+    from repro.validate import (
+        OracleConfig,
+        check_goldens,
+        checked_run,
+        compute_golden_matrix,
+        format_drift_report,
+        save_goldens,
+    )
+
+    action = args.action or "run"
+    if action not in ("run", "goldens"):
+        raise SystemExit(
+            f"validate: unknown action {action!r} (run|goldens)"
+        )
+
+    if action == "goldens":
+        path = args.goldens_path or None
+        kwargs = {"path": path} if path else {}
+        if args.update:
+            matrix = compute_golden_matrix(progress=True)
+            where = save_goldens(matrix, **kwargs) if path else \
+                save_goldens(matrix)
+            print(f"wrote {where} ({len(matrix)} points)")
+            return
+        drifts = check_goldens(**kwargs, progress=True)
+        if drifts:
+            print(format_drift_report(drifts))
+            raise SystemExit(1)
+        print("goldens: no drift")
+        return
+
+    from repro.schedulers import SCHEDULERS
+
+    workload = _telemetry_workload(args, config)
+    names = (
+        tuple(args.schedulers.split(","))
+        if args.schedulers
+        else tuple(sorted(SCHEDULERS))
+    )
+    rows = []
+    failed = False
+    oracle_config = OracleConfig(raise_on_violation=False)
+    for name in names:
+        result, report = checked_run(
+            workload, name, config, seed=args.seed,
+            oracle_config=oracle_config,
+        )
+        rows.append([name, "ok" if report.ok else "FAIL",
+                     report.total_checks, result.total_requests])
+        for violation in report.violations:
+            failed = True
+            print(f"VIOLATION [{name}] {violation}")
+    print(
+        format_table(
+            ["scheduler", "oracle", "checks", "requests"], rows,
+            title=f"invariant oracle: workload {workload.name}",
+        )
+    )
+    if failed:
+        raise SystemExit(1)
+
+
+# ----------------------------------------------------------------------
 # campaign subcommands
 # ----------------------------------------------------------------------
 
@@ -444,6 +523,7 @@ def _cmd_campaign(args, config):
 _COMMANDS = {
     "campaign": _cmd_campaign,
     "telemetry": _cmd_telemetry,
+    "validate": _cmd_validate,
     "run": _cmd_run,
     "fig1": _cmd_fig1,
     "fig2": _cmd_fig2,
@@ -471,7 +551,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("command", choices=sorted(_COMMANDS))
     parser.add_argument("action", nargs="?", default=None,
                         help="campaign action: run | resume | status; "
-                             "telemetry action: report | trace")
+                             "telemetry action: report | trace; "
+                             "validate action: run | goldens")
     parser.add_argument("--cycles", type=int, default=400_000,
                         help="simulated cycles per run")
     parser.add_argument("--per-category", type=int, default=2,
@@ -515,6 +596,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-dir", default=None,
                         help="write per-point JSONL traces here "
                              "(campaign run)")
+    parser.add_argument("--update", action="store_true",
+                        help="regenerate the golden matrix instead of "
+                             "checking it (validate goldens)")
+    parser.add_argument("--goldens-path", default=None,
+                        help="golden matrix JSON path (validate goldens; "
+                             "default tests/goldens/golden_matrix.json)")
     add_log_level_argument(parser)
     return parser
 

@@ -4,13 +4,20 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from repro.config import ATLASParams, PARBSParams, STFMParams, TCMParams
+from repro.config import (
+    ATLASParams,
+    PARBSParams,
+    STFMParams,
+    StaticParams,
+    TCMParams,
+)
 from repro.schedulers.atlas import ATLASScheduler
 from repro.schedulers.base import Scheduler
 from repro.schedulers.fcfs import FCFSScheduler
 from repro.schedulers.fqm import FQMParams, FQMScheduler
 from repro.schedulers.frfcfs import FRFCFSScheduler
 from repro.schedulers.parbs import PARBSScheduler
+from repro.schedulers.static import StaticPriorityScheduler
 from repro.schedulers.stfm import STFMScheduler
 
 
@@ -31,6 +38,7 @@ SCHEDULERS: Dict[str, Callable[..., Scheduler]] = {
     "parbs": PARBSScheduler,
     "atlas": ATLASScheduler,
     "tcm": _tcm_factory,
+    "static": StaticPriorityScheduler,
 }
 
 #: The five schedulers evaluated head-to-head in the paper's figures.
@@ -53,6 +61,8 @@ def make_scheduler(name: str, params: Optional[object] = None) -> Scheduler:
         "parbs": "parbs",
         "atlas": "atlas",
         "tcm": "tcm",
+        "static": "static",
+        "staticpriority": "static",
     }
     if key not in aliases:
         raise KeyError(f"unknown scheduler {name!r}; options: {sorted(SCHEDULERS)}")
@@ -65,6 +75,7 @@ def make_scheduler(name: str, params: Optional[object] = None) -> Scheduler:
         "parbs": PARBSParams,
         "atlas": ATLASParams,
         "tcm": TCMParams,
+        "static": StaticParams,
     }.get(aliases[key])
     if expected is None:
         raise ValueError(f"scheduler {name!r} takes no parameters")

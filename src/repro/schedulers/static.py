@@ -8,8 +8,9 @@ than a streaming thread does.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
+from repro.config import StaticParams
 from repro.dram.request import MemoryRequest
 from repro.schedulers.base import Scheduler
 
@@ -17,17 +18,24 @@ from repro.schedulers.base import Scheduler
 class StaticPriorityScheduler(Scheduler):
     """Strictly prioritises threads in a fixed order, forever.
 
-    ``order`` lists thread ids from highest priority to lowest.
-    Requests of equal thread priority fall back to row-hit-first,
-    oldest-first (FR-FCFS).
+    ``order`` lists thread ids from highest priority to lowest; threads
+    not listed (or an empty order) rank lowest and equal, so with no
+    order at all the policy degenerates to FR-FCFS.  Accepts either a
+    raw sequence or a :class:`~repro.config.StaticParams`.
     """
 
     name = "static"
 
-    def __init__(self, order: Sequence[int]):
+    def __init__(
+        self, order: Optional[Sequence[int]] = None
+    ):
         super().__init__()
+        if isinstance(order, StaticParams):
+            order = order.order
+        order = tuple(order or ())
         if len(set(order)) != len(order):
             raise ValueError("duplicate thread ids in priority order")
+        self.order = order
         self._rank: Dict[int, int] = {
             tid: len(order) - pos for pos, tid in enumerate(order)
         }

@@ -277,15 +277,17 @@ class System:
             if self.config.model_writes:
                 write = channel.next_write_for(bank_id)
                 if write is not None:
-                    busy_until = channel.start_write_service(write, self.now)
+                    access = channel.start_write_service(write, self.now)
                     if self._tracer is not None:
                         self._tracer.emit(
                             "dram_cmd", self.now,
                             ch=channel_id, bank=bank_id, row=write.row,
-                            tid=write.thread_id, kind="closed",
-                            start=self.now, end=busy_until, write=True,
+                            tid=write.thread_id, kind=access.kind,
+                            start=self.now, end=access.data_end, write=True,
                         )
-                    self._push(busy_until, _EV_BANK_FREE, channel_id, bank_id)
+                    self._push(
+                        access.data_end, _EV_BANK_FREE, channel_id, bank_id
+                    )
             return
         queued = len(channel.queues[bank_id])
         request = self.scheduler.select(channel, bank_id, self.now)

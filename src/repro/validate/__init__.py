@@ -1,0 +1,98 @@
+"""repro.validate — the simulator's correctness-tooling subsystem.
+
+Three pillars, none of which touch a simulation that does not opt in:
+
+* :mod:`repro.validate.oracle` — a **runtime invariant oracle** that
+  attaches to one :class:`~repro.sim.system.System` and checks request
+  conservation, DRAM timing legality, row-buffer state consistency,
+  bounded starvation and per-scheduler policy invariants as the run
+  executes.
+* :mod:`repro.validate.differential` — **differential and metamorphic
+  validation**: the same workload through every scheduler with
+  scheduler-independent assertions, plus transform-based checks (seed
+  determinism, thread-permutation equivariance).
+* :mod:`repro.validate.goldens` — a **golden-run regression harness**:
+  compact result fingerprints for a pinned (scheduler x mix x seed)
+  matrix, committed under ``tests/goldens/`` and compared in CI.
+
+See docs/VALIDATION.md for the full catalogue of checks and the golden
+regeneration policy.
+"""
+
+from __future__ import annotations
+
+from repro.validate.differential import (
+    RANK_REDUCIBLE,
+    assert_permutation_equivariance,
+    assert_seed_determinism,
+    assert_single_thread_consistency,
+    differential_groups,
+    permute_workload,
+    run_matrix,
+    run_outcome,
+    single_thread_matrix,
+    thread_outcome,
+)
+from repro.validate.fingerprint import (
+    FLOAT_DIGITS,
+    Drift,
+    compare_fingerprints,
+    fingerprint_run,
+    format_drift_report,
+)
+from repro.validate.goldens import (
+    GOLDEN_CONFIG,
+    GOLDEN_PATH,
+    GOLDEN_SCHEDULERS,
+    GOLDEN_SEEDS,
+    check_goldens,
+    compute_golden_matrix,
+    golden_document,
+    golden_key,
+    golden_mixes,
+    load_goldens,
+    save_goldens,
+)
+from repro.validate.oracle import (
+    InvariantOracle,
+    InvariantViolation,
+    OracleConfig,
+    OracleReport,
+    attach_oracle,
+    checked_run,
+)
+
+__all__ = [
+    "Drift",
+    "FLOAT_DIGITS",
+    "GOLDEN_CONFIG",
+    "GOLDEN_PATH",
+    "GOLDEN_SCHEDULERS",
+    "GOLDEN_SEEDS",
+    "InvariantOracle",
+    "InvariantViolation",
+    "OracleConfig",
+    "OracleReport",
+    "RANK_REDUCIBLE",
+    "assert_permutation_equivariance",
+    "assert_seed_determinism",
+    "assert_single_thread_consistency",
+    "attach_oracle",
+    "check_goldens",
+    "checked_run",
+    "compare_fingerprints",
+    "compute_golden_matrix",
+    "differential_groups",
+    "fingerprint_run",
+    "format_drift_report",
+    "golden_document",
+    "golden_key",
+    "golden_mixes",
+    "load_goldens",
+    "permute_workload",
+    "run_matrix",
+    "run_outcome",
+    "save_goldens",
+    "single_thread_matrix",
+    "thread_outcome",
+]

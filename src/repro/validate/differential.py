@@ -1,0 +1,212 @@
+"""Differential and metamorphic validation.
+
+**Differential** testing runs the *same* workload through several
+schedulers and asserts facts that no scheduling policy may change:
+
+* request conservation holds under every policy (delegated to the
+  invariant oracle);
+* a single-thread run is identical under every *ranking* policy —
+  with one thread, every rank/cluster/victim term in a priority tuple
+  is constant across the queue, so TCM, ATLAS, STFM, FQM, PAR-BS and
+  static all collapse to FR-FCFS's row-hit-first/oldest-first order.
+  (Plain FCFS genuinely differs: it ignores the row buffer.)
+
+**Metamorphic** testing applies input transforms with known output
+relations:
+
+* same seed ⇒ bit-identical :class:`~repro.sim.results.RunResult`;
+* permuting thread placement permutes per-thread results but does not
+  change them (a benchmark behaves identically whichever core it lands
+  on — the rng streams are keyed by benchmark identity, not thread id);
+* campaign worker count never changes campaign output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SimConfig
+from repro.sim.results import RunResult
+from repro.workloads.mixes import Workload, workload_from_specs
+
+#: Schedulers whose single-thread behaviour provably reduces to
+#: FR-FCFS: with one thread every thread-indexed term of the priority
+#: tuple (rank, cluster, victim flag, virtual time) is constant across
+#: the queue, leaving (row_hit, -arrival).  ATLAS also carries a
+#: starvation flag and PAR-BS a marking bit that *can* reorder
+#: same-thread requests, so they are checked empirically but not
+#: guaranteed here; FCFS is genuinely different.
+RANK_REDUCIBLE = ("frfcfs", "static", "stfm", "fqm", "tcm")
+
+
+def thread_outcome(result: RunResult, tid: int) -> Tuple:
+    """Position-independent digest of one thread's results."""
+    t = result.threads[tid]
+    return (
+        t.benchmark, t.instructions, t.misses, t.ipc, t.mpki,
+        t.blp, t.rbl, t.service_cycles, t.avg_latency,
+    )
+
+
+def run_outcome(result: RunResult) -> Tuple:
+    """Digest of a whole run, with threads as an unordered multiset."""
+    return (
+        result.cycles,
+        result.total_requests,
+        result.row_hits,
+        result.row_conflicts,
+        result.row_closed,
+        result.quantum_count,
+        tuple(sorted(
+            thread_outcome(result, tid)
+            for tid in range(len(result.threads))
+        )),
+    )
+
+
+def run_matrix(
+    workload: Workload,
+    scheduler_names: Sequence[str],
+    config: Optional[SimConfig] = None,
+    seed: int = 0,
+    check: bool = True,
+) -> Dict[str, RunResult]:
+    """Run one workload under several schedulers.
+
+    With ``check=True`` every run is oracle-checked (conservation,
+    timing, row state, policy invariants) — a differential sweep is
+    also a sweep of the runtime oracle across the registry.
+    """
+    from repro.experiments.runner import run_shared
+    from repro.validate.oracle import checked_run
+
+    config = config or SimConfig()
+    results: Dict[str, RunResult] = {}
+    for name in scheduler_names:
+        if check:
+            results[name], _ = checked_run(workload, name, config, seed=seed)
+        else:
+            results[name] = run_shared(workload, name, config, seed=seed)
+    return results
+
+
+def single_thread_matrix(
+    benchmark_name: str,
+    scheduler_names: Sequence[str],
+    config: Optional[SimConfig] = None,
+    seed: int = 0,
+) -> Dict[str, RunResult]:
+    """Run one benchmark alone under several schedulers."""
+    from repro.workloads.spec import benchmark
+
+    workload = workload_from_specs(
+        f"solo-{benchmark_name}", (benchmark(benchmark_name),)
+    )
+    return run_matrix(workload, scheduler_names, config, seed)
+
+
+def differential_groups(
+    results: Dict[str, RunResult]
+) -> List[Tuple[Tuple, List[str]]]:
+    """Group schedulers by identical run outcome (largest group first)."""
+    groups: Dict[Tuple, List[str]] = {}
+    for name, result in results.items():
+        groups.setdefault(run_outcome(result), []).append(name)
+    return sorted(
+        ((outcome, sorted(names)) for outcome, names in groups.items()),
+        key=lambda item: (-len(item[1]), item[1]),
+    )
+
+
+def assert_single_thread_consistency(
+    benchmark_name: str,
+    config: Optional[SimConfig] = None,
+    seed: int = 0,
+    scheduler_names: Sequence[str] = RANK_REDUCIBLE,
+) -> Dict[str, RunResult]:
+    """Every rank-reducible policy must run a solo thread identically."""
+    results = single_thread_matrix(
+        benchmark_name, scheduler_names, config, seed
+    )
+    reference_name = scheduler_names[0]
+    reference = run_outcome(results[reference_name])
+    for name in scheduler_names[1:]:
+        outcome = run_outcome(results[name])
+        if outcome != reference:
+            raise AssertionError(
+                f"single-thread divergence: {name} != {reference_name} "
+                f"for solo {benchmark_name} (seed {seed}): "
+                f"{outcome[:6]} vs {reference[:6]}"
+            )
+    return results
+
+
+# ----------------------------------------------------------------------
+# metamorphic transforms
+# ----------------------------------------------------------------------
+
+
+def assert_seed_determinism(
+    workload: Workload,
+    scheduler_name: str,
+    config: Optional[SimConfig] = None,
+    seed: int = 0,
+) -> RunResult:
+    """Same inputs twice ⇒ bit-identical RunResult (dataclass equality)."""
+    from repro.experiments.runner import run_shared
+
+    config = config or SimConfig()
+    first = run_shared(workload, scheduler_name, config, seed=seed)
+    second = run_shared(workload, scheduler_name, config, seed=seed)
+    if first != second:
+        raise AssertionError(
+            f"nondeterminism: {scheduler_name} on {workload.name} "
+            f"(seed {seed}) produced two different results"
+        )
+    return first
+
+
+def permute_workload(workload: Workload, perm: Sequence[int]) -> Workload:
+    """Reorder a workload's threads by ``perm`` (new position i takes
+    old thread ``perm[i]``)."""
+    if sorted(perm) != list(range(workload.num_threads)):
+        raise ValueError(f"{perm!r} is not a permutation of "
+                         f"0..{workload.num_threads - 1}")
+    specs = workload.specs
+    weights = workload.weights
+    return workload_from_specs(
+        f"{workload.name}-perm",
+        tuple(specs[p] for p in perm),
+        tuple(weights[p] for p in perm) if weights is not None else None,
+    )
+
+
+def assert_permutation_equivariance(
+    workload: Workload,
+    scheduler_name: str,
+    perm: Sequence[int],
+    config: Optional[SimConfig] = None,
+    seed: int = 0,
+) -> Tuple[RunResult, RunResult]:
+    """Thread placement must not matter.
+
+    Running a permuted copy of the workload must produce the *same
+    multiset* of per-thread outcomes (each benchmark instance keeps its
+    exact instructions/misses/IPC, just on a different core) and
+    identical aggregate counters.
+    """
+    from repro.experiments.runner import run_shared
+
+    config = config or SimConfig()
+    base = run_shared(workload, scheduler_name, config, seed=seed)
+    permuted = run_shared(
+        permute_workload(workload, perm), scheduler_name, config, seed=seed
+    )
+    base_digest = run_outcome(base)
+    perm_digest = run_outcome(permuted)
+    if base_digest != perm_digest:
+        raise AssertionError(
+            f"permutation changed results for {scheduler_name} on "
+            f"{workload.name} (seed {seed}, perm {list(perm)})"
+        )
+    return base, permuted

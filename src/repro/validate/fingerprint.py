@@ -1,0 +1,141 @@
+"""Compact, comparable fingerprints of simulation results.
+
+A fingerprint captures everything a scheduler-quality regression could
+plausibly move — per-thread IPC/MPKI, instruction and miss counts,
+request/row-buffer totals, weighted speedup and maximum slowdown —
+as plain JSON-serialisable data.  Floats are rounded to
+:data:`FLOAT_DIGITS` decimals so fingerprints are stable to store,
+diff, and compare across machines while still pinning results to
+(far) below any behaviourally meaningful change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.results import RunResult
+
+#: Decimal places kept in fingerprinted floats.  The simulator is
+#: bit-deterministic, so this is generosity towards cross-platform
+#: libm differences, not towards behaviour drift.
+FLOAT_DIGITS = 9
+
+
+def _round(value: float) -> float:
+    return round(float(value), FLOAT_DIGITS)
+
+
+def fingerprint_run(
+    result: RunResult,
+    alone_ipcs: Optional[List[float]] = None,
+) -> Dict:
+    """Fingerprint one :class:`RunResult`.
+
+    ``alone_ipcs`` (per-thread alone-run IPCs, see
+    :func:`repro.experiments.runner.alone_ipcs`) adds the paper's
+    headline metrics — weighted speedup and maximum slowdown — to the
+    fingerprint.
+    """
+    fp: Dict = {
+        "scheduler": result.scheduler,
+        "workload": result.workload,
+        "cycles": result.cycles,
+        "total_requests": result.total_requests,
+        "row_hits": result.row_hits,
+        "row_conflicts": result.row_conflicts,
+        "row_closed": result.row_closed,
+        "quantum_count": result.quantum_count,
+        "threads": [
+            {
+                "benchmark": t.benchmark,
+                "instructions": t.instructions,
+                "misses": t.misses,
+                "ipc": _round(t.ipc),
+                "mpki": _round(t.mpki),
+                "avg_latency": _round(t.avg_latency),
+            }
+            for t in result.threads
+        ],
+    }
+    if alone_ipcs is not None:
+        from repro.metrics import maximum_slowdown, weighted_speedup
+
+        fp["weighted_speedup"] = _round(
+            weighted_speedup(alone_ipcs, result.ipcs)
+        )
+        fp["maximum_slowdown"] = _round(
+            maximum_slowdown(alone_ipcs, result.ipcs)
+        )
+    return fp
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One divergence between a golden and a fresh fingerprint."""
+
+    key: str          # matrix entry, e.g. "mix-50pct/tcm/s11"
+    path: str         # field path, e.g. "threads[3].ipc"
+    golden: object
+    fresh: object
+
+    def __str__(self) -> str:
+        return f"{self.key}: {self.path}: {self.golden!r} -> {self.fresh!r}"
+
+
+def _walk(key: str, path: str, golden, fresh, out: List[Drift]) -> None:
+    if isinstance(golden, dict) and isinstance(fresh, dict):
+        for name in sorted(set(golden) | set(fresh)):
+            child = f"{path}.{name}" if path else name
+            if name not in golden:
+                out.append(Drift(key, child, "<absent>", fresh[name]))
+            elif name not in fresh:
+                out.append(Drift(key, child, golden[name], "<absent>"))
+            else:
+                _walk(key, child, golden[name], fresh[name], out)
+    elif isinstance(golden, list) and isinstance(fresh, list):
+        if len(golden) != len(fresh):
+            out.append(Drift(key, f"{path}.length", len(golden), len(fresh)))
+            return
+        for index, (g, f) in enumerate(zip(golden, fresh)):
+            _walk(key, f"{path}[{index}]", g, f, out)
+    else:
+        if golden != fresh:
+            out.append(Drift(key, path, golden, fresh))
+
+
+def compare_fingerprints(
+    golden: Dict[str, Dict], fresh: Dict[str, Dict]
+) -> List[Drift]:
+    """Field-level diff of two fingerprint matrices (empty = identical)."""
+    drifts: List[Drift] = []
+    for key in sorted(set(golden) | set(fresh)):
+        if key not in golden:
+            drifts.append(Drift(key, "", "<absent>", "<new entry>"))
+        elif key not in fresh:
+            drifts.append(Drift(key, "", "<entry>", "<absent>"))
+        else:
+            _walk(key, "", golden[key], fresh[key], drifts)
+    return drifts
+
+
+def format_drift_report(drifts: List[Drift], limit: int = 40) -> str:
+    """Human-readable drift report (what changed, entry by entry)."""
+    if not drifts:
+        return "goldens match: no drift"
+    lines = [f"{len(drifts)} drifting field(s):"]
+    by_key: Dict[str, List[Drift]] = {}
+    for drift in drifts:
+        by_key.setdefault(drift.key, []).append(drift)
+    shown = 0
+    for key in sorted(by_key):
+        lines.append(f"  {key}:")
+        for drift in by_key[key]:
+            if shown >= limit:
+                lines.append(f"  ... and {len(drifts) - shown} more")
+                return "\n".join(lines)
+            lines.append(
+                f"    {drift.path}: {drift.golden!r} -> {drift.fresh!r}"
+            )
+            shown += 1
+    return "\n".join(lines)

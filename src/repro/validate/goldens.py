@@ -1,0 +1,148 @@
+"""Golden-run regression harness.
+
+A pinned matrix of (scheduler x workload mix x seed) runs is
+fingerprinted (see :mod:`repro.validate.fingerprint`) and committed
+under ``tests/goldens/``.  Any behavioural change to the simulator —
+intended or not — shows up as fingerprint drift; CI fails until the
+goldens are regenerated *deliberately* with
+``scripts/update_goldens.py`` (see docs/VALIDATION.md for when that is
+legitimate).
+
+The matrix is sized to stay cheap (a few seconds) while covering every
+registered scheduler, three memory-intensity classes, and several
+quanta of TCM clustering/shuffling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SimConfig
+from repro.validate.fingerprint import (
+    Drift,
+    compare_fingerprints,
+    fingerprint_run,
+)
+from repro.workloads.mixes import Workload, make_intensity_workload
+
+#: Fingerprint format version; bump on layout changes.
+GOLDEN_VERSION = 1
+
+#: Default location of the committed golden matrix.
+GOLDEN_PATH = (
+    Path(__file__).resolve().parents[3] / "tests" / "goldens"
+    / "golden_matrix.json"
+)
+
+#: Every scheduler in the registry, pinned alphabetically.
+GOLDEN_SCHEDULERS: Tuple[str, ...] = (
+    "atlas", "fcfs", "fqm", "frfcfs", "parbs", "static", "stfm", "tcm",
+)
+
+#: Workload mixes: one per memory-intensity class, 8 threads each.
+GOLDEN_MIX_INTENSITIES: Tuple[float, ...] = (0.25, 0.5, 1.0)
+GOLDEN_MIX_SEED = 7
+GOLDEN_THREADS = 8
+
+#: Run seeds per (scheduler, mix) point.
+GOLDEN_SEEDS: Tuple[int, ...] = (11,)
+
+#: Small but non-trivial config: 3 quanta, default geometry, so TCM
+#: clusters and shuffles and ATLAS completes ranking epochs.
+GOLDEN_CONFIG = SimConfig(run_cycles=150_000)
+
+
+def golden_mixes() -> List[Workload]:
+    """The pinned workload mixes of the golden matrix."""
+    return [
+        make_intensity_workload(
+            intensity, num_threads=GOLDEN_THREADS, seed=GOLDEN_MIX_SEED
+        )
+        for intensity in GOLDEN_MIX_INTENSITIES
+    ]
+
+
+def golden_key(workload: Workload, scheduler: str, seed: int) -> str:
+    return f"{workload.name}/{scheduler}/s{seed}"
+
+
+def compute_golden_matrix(
+    config: Optional[SimConfig] = None,
+    schedulers: Sequence[str] = GOLDEN_SCHEDULERS,
+    mixes: Optional[Sequence[Workload]] = None,
+    seeds: Sequence[int] = GOLDEN_SEEDS,
+    progress: bool = False,
+) -> Dict[str, Dict]:
+    """Run the pinned matrix and fingerprint every point.
+
+    Alone runs (for weighted speedup / maximum slowdown) are memoised
+    per benchmark by the runner, so the whole matrix costs
+    ``len(schedulers) * len(mixes) * len(seeds)`` shared runs plus one
+    alone run per distinct benchmark.
+    """
+    from repro.experiments.runner import alone_ipcs, run_shared
+
+    config = config or GOLDEN_CONFIG
+    matrix: Dict[str, Dict] = {}
+    for workload in (mixes if mixes is not None else golden_mixes()):
+        for seed in seeds:
+            alones = alone_ipcs(workload, config, seed)
+            for scheduler in schedulers:
+                key = golden_key(workload, scheduler, seed)
+                if progress:
+                    print(f"  golden {key}", flush=True)
+                result = run_shared(
+                    workload, scheduler, config, seed=seed
+                )
+                matrix[key] = fingerprint_run(result, alones)
+    return matrix
+
+
+def golden_document(matrix: Dict[str, Dict]) -> Dict:
+    """Wrap a matrix with its pinned parameters for the JSON file."""
+    return {
+        "version": GOLDEN_VERSION,
+        "config": {
+            "run_cycles": GOLDEN_CONFIG.run_cycles,
+            "quantum_cycles": GOLDEN_CONFIG.quantum_cycles,
+            "num_threads": GOLDEN_THREADS,
+            "mix_intensities": list(GOLDEN_MIX_INTENSITIES),
+            "mix_seed": GOLDEN_MIX_SEED,
+            "seeds": list(GOLDEN_SEEDS),
+        },
+        "matrix": matrix,
+    }
+
+
+def save_goldens(matrix: Dict[str, Dict], path=GOLDEN_PATH) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(golden_document(matrix), indent=1, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def load_goldens(path=GOLDEN_PATH) -> Dict[str, Dict]:
+    document = json.loads(Path(path).read_text())
+    if document.get("version") != GOLDEN_VERSION:
+        raise ValueError(
+            f"golden file {path} has version {document.get('version')}, "
+            f"expected {GOLDEN_VERSION} — regenerate with "
+            "scripts/update_goldens.py"
+        )
+    return document["matrix"]
+
+
+def check_goldens(
+    path=GOLDEN_PATH, progress: bool = False
+) -> List[Drift]:
+    """Recompute the matrix and diff it against the committed goldens.
+
+    Returns the drift list (empty = regression-free).
+    """
+    golden = load_goldens(path)
+    fresh = compute_golden_matrix(progress=progress)
+    return compare_fingerprints(golden, fresh)

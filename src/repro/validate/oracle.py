@@ -1,0 +1,667 @@
+"""Runtime invariant oracle — checks a live simulation against its model.
+
+The oracle attaches to one :class:`repro.sim.System` *before* ``run()``
+and verifies, request by request, that the simulation obeys the
+guarantees the rest of the repo silently assumes:
+
+* **Request conservation** — every request that enters a controller
+  queue is scheduled exactly once, and every scheduled request either
+  completes at its stamped completion cycle or is still in flight at
+  the horizon.  Nothing leaks, nothing is serviced twice.
+* **Bank timing legality** — at most one request in service per bank
+  (service intervals never overlap); service occupancy matches the
+  Table-3 service-time model exactly (hit / closed / conflict =
+  burst / tRCD+burst / tRP+tRCD+burst bank cycles, 200/300/400-class
+  round trips with the fixed overhead); at most one burst on a
+  channel's data bus at a time.
+* **Row-buffer state-machine consistency** — the oracle replays its
+  own shadow row-buffer per bank and requires every access's
+  hit/closed/conflict classification to match.
+* **Bounded starvation** — optionally, no request (queued or serviced)
+  may wait longer than ``starvation_cap`` cycles.
+* **Policy invariants** — the selected request must maximise the
+  scheduler's own priority tuple over the queue (for every scheduler
+  using the base ``select``); TCM must never service a
+  bandwidth-cluster demand request while a latency-cluster demand
+  request waits at the same bank; ATLAS must service starving requests
+  first.
+
+Attachment is entirely per-instance (bound-method wrapping plus a
+telemetry sink); a system without an oracle runs byte-identically to
+one that never imported this module — the disabled path costs nothing,
+not even a branch.
+
+Usage::
+
+    system = System(workload, make_scheduler("tcm"), cfg, seed=0)
+    oracle = attach_oracle(system)
+    result = system.run()
+    report = oracle.finish(result)   # raises InvariantViolation on drift
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dram.request import MemoryRequest
+from repro.schedulers.base import Scheduler
+from repro.telemetry.sinks import Sink
+from repro.telemetry.tracer import Tracer
+
+
+class InvariantViolation(AssertionError):
+    """A runtime invariant did not hold."""
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """What the oracle checks and how it reacts.
+
+    ``starvation_cap`` bounds the queueing delay of any request; the
+    default (None) disables the check because strict-priority policies
+    (``static``) legitimately starve deprioritised threads for as long
+    as high-priority traffic lasts.
+    """
+
+    check_conservation: bool = True
+    check_timing: bool = True
+    check_row_state: bool = True
+    check_policy: bool = True
+    starvation_cap: Optional[int] = None
+    #: raise at the first violation (default) or collect them all into
+    #: the report for post-mortem inspection.
+    raise_on_violation: bool = True
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one oracle-checked run."""
+
+    scheduler: str = ""
+    workload: str = ""
+    #: number of checks evaluated, per category
+    checks: Dict[str, int] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def total_checks(self) -> int:
+        return sum(self.checks.values())
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        cats = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.checks.items())
+        )
+        return (
+            f"oracle[{self.scheduler}/{self.workload}] {status} "
+            f"({self.total_checks} checks: {cats})"
+        )
+
+
+class _OracleSink(Sink):
+    """Telemetry sink feeding the event stream into the oracle."""
+
+    def __init__(self, oracle: "InvariantOracle"):
+        self._oracle = oracle
+
+    def write(self, event: dict) -> None:
+        self._oracle.on_event(event)
+
+    def close(self) -> None:  # pragma: no cover - nothing to flush
+        pass
+
+
+class _BankState:
+    """The oracle's independent model of one bank."""
+
+    __slots__ = ("busy_until", "open_row")
+
+    def __init__(self) -> None:
+        self.busy_until = 0
+        self.open_row: Optional[int] = None
+
+
+class InvariantOracle:
+    """Checks one system's run against the invariants above.
+
+    Build via :func:`attach_oracle`; do not construct directly unless
+    you call :meth:`attach` yourself before the run starts.
+    """
+
+    #: request lifecycle states
+    _QUEUED, _SERVICED, _COMPLETED = "queued", "serviced", "completed"
+
+    def __init__(self, system, config: Optional[OracleConfig] = None):
+        self.system = system
+        self.config = config or OracleConfig()
+        self.report = OracleReport(
+            scheduler=system.scheduler.name,
+            workload=system.workload.name,
+        )
+        simcfg = system.config
+        self._timings = simcfg.timings
+        # independent shadow state, never shared with the simulator
+        self._banks: Dict[Tuple[int, int], _BankState] = {
+            (ch, b): _BankState()
+            for ch in range(simcfg.num_channels)
+            for b in range(simcfg.banks_per_channel)
+        }
+        self._bus_free: List[int] = [0] * simcfg.num_channels
+        # request ledger: id -> (state, request)
+        self._ledger: Dict[int, Tuple[str, MemoryRequest]] = {}
+        self._write_arrivals = 0
+        self._write_services = 0
+        self._serviced_reads = 0
+        self._kind_counts = {"hit": 0, "closed": 0, "conflict": 0}
+        self._last_event_ts = 0
+        self._last_quantum_index: Optional[int] = None
+        self._originals: List[Tuple[object, str, object, bool]] = []
+        self._sink: Optional[_OracleSink] = None
+        self._created_tracer = False
+        self._attached = False
+        self._generic_select = type(system.scheduler).select is Scheduler.select
+
+    # ------------------------------------------------------------------
+    # bookkeeping helpers
+    # ------------------------------------------------------------------
+
+    def _count(self, category: str) -> None:
+        checks = self.report.checks
+        checks[category] = checks.get(category, 0) + 1
+
+    def _violate(self, category: str, message: str) -> None:
+        text = f"[{category}] {message}"
+        self.report.violations.append(text)
+        if self.config.raise_on_violation:
+            raise InvariantViolation(text)
+
+    def _expect(self, condition: bool, category: str, message: str) -> None:
+        self._count(category)
+        if not condition:
+            self._violate(category, message)
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+
+    def _wrap(self, obj, name: str, wrapper) -> None:
+        original = getattr(obj, name)
+        self._originals.append((obj, name, original, name in vars(obj)))
+        setattr(obj, name, wrapper)
+
+    def attach(self) -> "InvariantOracle":
+        """Install per-instance hooks; must run before ``system.run()``."""
+        if self._attached:
+            return self
+        system = self.system
+        for channel in system.channels:
+            self._wrap(channel, "enqueue",
+                       self._make_enqueue(channel, channel.enqueue))
+            self._wrap(channel, "enqueue_write",
+                       self._make_enqueue_write(channel.enqueue_write))
+            self._wrap(channel, "start_service",
+                       self._make_start_service(channel,
+                                                channel.start_service))
+            self._wrap(
+                channel, "start_write_service",
+                self._make_start_write_service(channel,
+                                               channel.start_write_service),
+            )
+        scheduler = system.scheduler
+        self._wrap(scheduler, "select",
+                   self._make_select(scheduler, scheduler.select))
+        self._wrap(scheduler, "on_request_complete",
+                   self._make_complete(scheduler.on_request_complete))
+        # subscribe to the telemetry event stream (creating a tracer if
+        # the run is otherwise untraced) for stream-level checks
+        self._sink = _OracleSink(self)
+        tracer = system._tracer
+        if tracer is None:
+            self._created_tracer = True
+            system._tracer = Tracer([self._sink])
+        else:
+            self._created_tracer = False
+            tracer.add_sink(self._sink)
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        """Restore every wrapped method and remove the telemetry sink."""
+        for obj, name, original, was_instance in reversed(self._originals):
+            if was_instance:
+                setattr(obj, name, original)
+            else:
+                # the original was the class method: drop the wrapper so
+                # the instance is indistinguishable from a fresh one
+                delattr(obj, name)
+        self._originals.clear()
+        tracer = self.system._tracer
+        if tracer is not None and self._sink in tracer.sinks:
+            tracer.sinks.remove(self._sink)
+            if self._created_tracer and not tracer.sinks:
+                self.system._tracer = None
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # direct hooks
+    # ------------------------------------------------------------------
+
+    def _make_enqueue(self, channel, original):
+        def enqueue(request: MemoryRequest) -> None:
+            if self.config.check_conservation:
+                self._expect(
+                    request.request_id not in self._ledger,
+                    "conservation",
+                    f"{request!r} enqueued twice",
+                )
+                self._ledger[request.request_id] = (self._QUEUED, request)
+            original(request)
+        return enqueue
+
+    def _make_enqueue_write(self, original):
+        def enqueue_write(request: MemoryRequest) -> bool:
+            self._write_arrivals += 1
+            return original(request)
+        return enqueue_write
+
+    def _service_checks(self, channel, request, now: int,
+                        kind: str, data_start: int, data_end: int) -> None:
+        """Timing/row-state checks shared by the read and write paths."""
+        t = self._timings
+        state = self._banks[(channel.channel_id, request.bank_id)]
+        if self.config.check_timing:
+            # one request in service per bank: intervals may not overlap
+            self._expect(
+                now >= state.busy_until,
+                "timing",
+                f"bank ch{channel.channel_id}/b{request.bank_id} double-"
+                f"booked: service at {now} overlaps busy-until "
+                f"{state.busy_until}",
+            )
+            # one burst on the channel data bus at a time
+            bus_free = self._bus_free[channel.channel_id]
+            self._expect(
+                data_start >= bus_free,
+                "timing",
+                f"channel {channel.channel_id} bus double-booked: burst "
+                f"at {data_start} before bus free {bus_free}",
+            )
+            self._expect(
+                data_end == data_start + t.burst,
+                "timing",
+                f"burst length {data_end - data_start} != {t.burst}",
+            )
+            if not t.detailed:
+                # Table-3 service-time model, exactly: the burst starts
+                # the moment the row is ready and the bus is free.
+                prep = {
+                    "hit": 0,
+                    "closed": t.t_rcd,
+                    "conflict": t.t_rp + t.t_rcd,
+                }[kind]
+                expected_start = max(now + prep, bus_free)
+                self._expect(
+                    data_start == expected_start,
+                    "timing",
+                    f"{kind} access at {now}: burst starts {data_start}, "
+                    f"expected {expected_start} "
+                    f"(prep {prep}, bus free {bus_free})",
+                )
+            else:
+                # detailed timings add tRAS/tRC/tRRD/tFAW/refresh waits
+                # that can only push the burst later, never earlier
+                self._expect(
+                    data_start >= now,
+                    "timing",
+                    f"burst at {data_start} before service start {now}",
+                )
+        if self.config.check_row_state:
+            expected = (
+                "closed" if state.open_row is None
+                else ("hit" if state.open_row == request.row else "conflict")
+            )
+            self._expect(
+                kind == expected,
+                "row_state",
+                f"access to ch{channel.channel_id}/b{request.bank_id} "
+                f"row {request.row} classified {kind!r}, shadow state "
+                f"says {expected!r} (open row {state.open_row})",
+            )
+        if self.config.starvation_cap is not None:
+            waited = now - request.arrival
+            self._expect(
+                waited <= self.config.starvation_cap,
+                "starvation",
+                f"{request!r} waited {waited} cycles for service "
+                f"(cap {self.config.starvation_cap})",
+            )
+        # advance the shadow model
+        state.busy_until = data_end
+        state.open_row = (
+            None if t.page_policy == "closed" else request.row
+        )
+        self._bus_free[channel.channel_id] = data_end
+
+    def _make_start_service(self, channel, original):
+        def start_service(request: MemoryRequest, now: int):
+            if self.config.check_conservation:
+                entry = self._ledger.get(request.request_id)
+                self._expect(
+                    entry is not None and entry[0] == self._QUEUED,
+                    "conservation",
+                    f"{request!r} serviced but "
+                    f"{'never arrived' if entry is None else entry[0]}",
+                )
+                self._expect(
+                    request in channel.queues[request.bank_id],
+                    "conservation",
+                    f"{request!r} serviced while absent from its queue",
+                )
+                self._ledger[request.request_id] = (self._SERVICED, request)
+            access, completion = original(request, now)
+            self._serviced_reads += 1
+            self._kind_counts[access.kind] += 1
+            self._service_checks(
+                channel, request, now,
+                access.kind, access.data_start, access.data_end,
+            )
+            if self.config.check_timing:
+                self._expect(
+                    completion == access.data_end
+                    + self._timings.fixed_overhead,
+                    "timing",
+                    f"completion {completion} != data end {access.data_end}"
+                    f" + fixed overhead {self._timings.fixed_overhead}",
+                )
+            return access, completion
+        return start_service
+
+    def _make_start_write_service(self, channel, original):
+        def start_write_service(request: MemoryRequest, now: int):
+            access = original(request, now)
+            self._write_services += 1
+            self._kind_counts[access.kind] += 1
+            self._service_checks(
+                channel, request, now,
+                access.kind, access.data_start, access.data_end,
+            )
+            return access
+        return start_write_service
+
+    def _make_complete(self, original):
+        def on_request_complete(request: MemoryRequest, now: int) -> None:
+            if self.config.check_conservation:
+                entry = self._ledger.get(request.request_id)
+                self._expect(
+                    entry is not None and entry[0] == self._SERVICED,
+                    "conservation",
+                    f"{request!r} completed but "
+                    f"{'never arrived' if entry is None else entry[0]}",
+                )
+                self._expect(
+                    request.completion == now,
+                    "conservation",
+                    f"{request!r} completed at {now}, stamped "
+                    f"{request.completion}",
+                )
+                self._ledger[request.request_id] = (self._COMPLETED, request)
+            original(request, now)
+        return on_request_complete
+
+    # ------------------------------------------------------------------
+    # policy invariants (select-time)
+    # ------------------------------------------------------------------
+
+    def _make_select(self, scheduler, original):
+        def select(channel, bank_id: int, now: int) -> MemoryRequest:
+            chosen = original(channel, bank_id, now)
+            if self.config.check_policy:
+                self._check_policy(scheduler, channel, bank_id, now, chosen)
+            return chosen
+        return select
+
+    def _check_policy(self, scheduler, channel, bank_id: int, now: int,
+                      chosen: MemoryRequest) -> None:
+        queue = channel.queues[bank_id]
+        if self._generic_select:
+            # the chosen request must maximise the scheduler's own
+            # priority tuple (re-evaluated; priority() is pure)
+            open_row = channel.banks[bank_id].open_row
+
+            def key(r: MemoryRequest):
+                return (not r.is_prefetch,) + tuple(
+                    scheduler.priority(r, r.row == open_row, now)
+                )
+
+            best = max(key(r) for r in queue)
+            self._expect(
+                key(chosen) == best,
+                "policy",
+                f"{scheduler.name} chose {chosen!r} with priority "
+                f"{key(chosen)}, but a queued request has {best}",
+            )
+        self._check_tcm(scheduler, queue, chosen)
+        self._check_atlas(scheduler, queue, chosen, now)
+
+    def _check_tcm(self, scheduler, queue, chosen: MemoryRequest) -> None:
+        """TCM: latency-cluster demand beats bandwidth-cluster demand."""
+        clustering = getattr(scheduler, "clustering", None)
+        if clustering is None or chosen.is_prefetch:
+            return
+        latency = set(clustering.latency_cluster)
+        if chosen.thread_id not in set(clustering.bandwidth_cluster):
+            return
+        waiting_latency = [
+            r for r in queue
+            if r is not chosen
+            and not r.is_prefetch
+            and r.thread_id in latency
+        ]
+        self._expect(
+            not waiting_latency,
+            "policy",
+            f"TCM serviced bandwidth-cluster {chosen!r} while "
+            f"latency-cluster demand {waiting_latency[0]!r} waited"
+            if waiting_latency else "",
+        )
+
+    def _check_atlas(self, scheduler, queue, chosen: MemoryRequest,
+                     now: int) -> None:
+        """ATLAS: requests past the starvation threshold go first."""
+        params = getattr(scheduler, "params", None)
+        threshold = getattr(params, "starvation_threshold", None)
+        if threshold is None or not hasattr(scheduler, "_attained"):
+            return
+        if chosen.is_prefetch or (now - chosen.arrival) > threshold:
+            return
+        starving = [
+            r for r in queue
+            if r is not chosen
+            and not r.is_prefetch
+            and (now - r.arrival) > threshold
+        ]
+        self._expect(
+            not starving,
+            "policy",
+            f"ATLAS serviced fresh {chosen!r} while starving "
+            f"{starving[0]!r} waited" if starving else "",
+        )
+
+    # ------------------------------------------------------------------
+    # telemetry event stream
+    # ------------------------------------------------------------------
+
+    def on_event(self, event: dict) -> None:
+        """Stream-level checks over the telemetry events of the run."""
+        ts = event.get("ts", 0)
+        self._expect(
+            ts >= self._last_event_ts,
+            "stream",
+            f"event {event.get('ev')!r} at ts {ts} after ts "
+            f"{self._last_event_ts}",
+        )
+        self._last_event_ts = ts
+        if event.get("ev") == "quantum":
+            index = event.get("index")
+            expected = (
+                0 if self._last_quantum_index is None
+                else self._last_quantum_index + 1
+            )
+            self._expect(
+                index == expected,
+                "stream",
+                f"quantum index {index}, expected {expected}",
+            )
+            self._last_quantum_index = index
+            n = self.system.workload.num_threads
+            self._expect(
+                all(
+                    len(event.get(k, ())) == n
+                    for k in ("mpki", "bw", "blp", "rbl")
+                ),
+                "stream",
+                f"quantum metrics not sized to {n} threads",
+            )
+
+    # ------------------------------------------------------------------
+    # end-of-run accounting
+    # ------------------------------------------------------------------
+
+    def finish(self, result=None) -> OracleReport:
+        """Run end-of-run conservation checks and return the report.
+
+        Raises :class:`InvariantViolation` (unless configured to
+        collect) if any check failed during the run or at the end.
+        ``result`` is the :class:`~repro.sim.results.RunResult`; when
+        passed, its aggregate counters are cross-checked against the
+        oracle's independent ledger.
+        """
+        system = self.system
+        horizon = system.now
+        if self.config.check_conservation:
+            states = {self._QUEUED: 0, self._SERVICED: 0, self._COMPLETED: 0}
+            for state, request in self._ledger.values():
+                states[state] += 1
+                if state == self._QUEUED:
+                    self._expect(
+                        any(
+                            request in ch.queues[request.bank_id]
+                            for ch in system.channels
+                            if ch.channel_id == request.channel_id
+                        ),
+                        "conservation",
+                        f"{request!r} neither serviced nor still queued "
+                        "at run end (leaked)",
+                    )
+                elif state == self._SERVICED:
+                    # in flight at the horizon: its data must be due
+                    # strictly after the run ended, else the completion
+                    # event was lost
+                    self._expect(
+                        request.completion is not None
+                        and request.completion > horizon,
+                        "conservation",
+                        f"{request!r} serviced (completion "
+                        f"{request.completion}) but never completed "
+                        f"by horizon {horizon}",
+                    )
+            queued_now = sum(ch.pending_requests() for ch in system.channels)
+            self._expect(
+                states[self._QUEUED] == queued_now,
+                "conservation",
+                f"ledger says {states[self._QUEUED]} queued, channels "
+                f"hold {queued_now}",
+            )
+            serviced = sum(ch.serviced_requests for ch in system.channels)
+            self._expect(
+                serviced == self._serviced_reads,
+                "conservation",
+                f"channels serviced {serviced}, oracle saw "
+                f"{self._serviced_reads}",
+            )
+            # write-path conservation (counts; ids are not tracked
+            # because a full buffer legally drops the oldest write)
+            buffered = sum(len(ch.write_buffer) for ch in system.channels)
+            dropped = sum(ch.dropped_writes for ch in system.channels)
+            self._expect(
+                self._write_arrivals
+                == self._write_services + buffered + dropped,
+                "conservation",
+                f"write ledger: {self._write_arrivals} buffered != "
+                f"{self._write_services} serviced + {buffered} pending "
+                f"+ {dropped} dropped",
+            )
+        if result is not None and self.config.check_conservation:
+            self._expect(
+                result.total_requests == self._serviced_reads,
+                "conservation",
+                f"result.total_requests {result.total_requests} != "
+                f"oracle count {self._serviced_reads}",
+            )
+            for kind, attr in (
+                ("hit", "row_hits"),
+                ("conflict", "row_conflicts"),
+                ("closed", "row_closed"),
+            ):
+                # bank counters (what the result aggregates) tally read
+                # and write accesses alike, as does the oracle
+                self._expect(
+                    getattr(result, attr) == self._kind_counts[kind],
+                    "conservation",
+                    f"result.{attr} {getattr(result, attr)} != oracle "
+                    f"{kind} count {self._kind_counts[kind]}",
+                )
+        if self.config.starvation_cap is not None:
+            for ch in system.channels:
+                for queue in ch.queues:
+                    for request in queue:
+                        waited = horizon - request.arrival
+                        self._expect(
+                            waited <= self.config.starvation_cap,
+                            "starvation",
+                            f"{request!r} still queued after waiting "
+                            f"{waited} cycles "
+                            f"(cap {self.config.starvation_cap})",
+                        )
+        return self.report
+
+
+def attach_oracle(system, config: Optional[OracleConfig] = None
+                  ) -> InvariantOracle:
+    """Attach a fresh :class:`InvariantOracle` to ``system`` and return it."""
+    return InvariantOracle(system, config).attach()
+
+
+def checked_run(
+    workload,
+    scheduler_name: str,
+    config=None,
+    seed: int = 0,
+    params=None,
+    oracle_config: Optional[OracleConfig] = None,
+    cycles: Optional[int] = None,
+):
+    """Run one oracle-checked simulation; returns (result, report).
+
+    Raises :class:`InvariantViolation` if any invariant fails (unless
+    ``oracle_config.raise_on_violation`` is False).
+    """
+    from repro.config import SimConfig
+    from repro.schedulers import make_scheduler
+    from repro.sim.system import System
+
+    system = System(
+        workload,
+        make_scheduler(scheduler_name, params),
+        config or SimConfig(),
+        seed=seed,
+    )
+    oracle = attach_oracle(system, oracle_config)
+    result = system.run(cycles)
+    report = oracle.finish(result)
+    return result, report

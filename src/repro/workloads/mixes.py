@@ -88,12 +88,6 @@ def workload_from_specs(
         custom_specs=tuple(specs),
     )
 
-    @property
-    def intensity(self) -> float:
-        """Fraction of memory-intensive benchmarks in the mix."""
-        intensive = sum(1 for s in self.specs if s.memory_intensive)
-        return intensive / self.num_threads
-
 
 def _expand(counts: Sequence[Tuple[str, int]]) -> List[str]:
     names: List[str] = []

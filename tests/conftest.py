@@ -1,0 +1,51 @@
+"""Shared test fixtures: state hygiene and hypothesis profiles.
+
+The simulator keeps a small amount of process-global state — the
+scheduler registry (``repro.schedulers.registry.SCHEDULERS``) and the
+experiment runner's alone-run store hook
+(:func:`repro.experiments.runner.set_alone_store`).  Tests that mutate
+either (registering a toy scheduler, pointing alone runs at a temp
+store) must not leak into later tests, so both are snapshotted and
+restored around every test automatically.
+
+The alone-run *L1 cache* is deliberately not cleared per test: it is
+keyed by the full config (benchmark spec, SimConfig fields, seed), so
+entries can never alias, and sharing it keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.experiments import runner
+from repro.schedulers import registry
+
+# Pinned, derandomised hypothesis profile: identical example sequences
+# on every run and machine, so property tests can never flake in CI.
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(autouse=True)
+def _registry_guard():
+    """Snapshot and restore the scheduler registry around every test."""
+    snapshot = dict(registry.SCHEDULERS)
+    yield
+    registry.SCHEDULERS.clear()
+    registry.SCHEDULERS.update(snapshot)
+
+
+@pytest.fixture(autouse=True)
+def _alone_store_guard():
+    """Never let a test leave a persistent alone-run store installed."""
+    previous = runner.set_alone_store(None)
+    runner.set_alone_store(previous)
+    yield
+    runner.set_alone_store(previous)

@@ -1,0 +1,93 @@
+"""Property tests for Algorithm 1 (thread clustering).
+
+Whatever the measured metrics, clustering must always (a) partition
+the thread set, and (b) keep the latency cluster's summed bandwidth
+within the ClusterThresh share of total bandwidth (modulo the
+algorithm's walk-stops-at-first-overflow admission rule).
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.clustering import cluster_threads
+from repro.core.monitor import QuantumSnapshot, ThreadMetrics
+
+pytestmark = pytest.mark.property
+
+metrics = st.builds(
+    ThreadMetrics,
+    mpki=st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    bw_usage=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    blp=st.floats(min_value=0.0, max_value=16.0, allow_nan=False),
+    rbl=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+snapshots = st.builds(
+    QuantumSnapshot,
+    quantum_index=st.integers(min_value=0, max_value=100),
+    metrics=st.lists(metrics, min_size=1, max_size=24).map(tuple),
+)
+
+thresholds = st.floats(min_value=0.01, max_value=0.99, allow_nan=False)
+
+
+class TestPartition:
+    @given(snapshots, thresholds)
+    def test_clusters_partition_threads(self, snap, thresh):
+        result = cluster_threads(snap, cluster_thresh=thresh)
+        latency, bandwidth = set(result.latency_cluster), set(
+            result.bandwidth_cluster
+        )
+        assert latency | bandwidth == set(range(len(snap.metrics)))
+        assert latency & bandwidth == set()
+
+    @given(snapshots, thresholds)
+    def test_no_duplicates_within_clusters(self, snap, thresh):
+        result = cluster_threads(snap, cluster_thresh=thresh)
+        assert len(result.latency_cluster) == len(set(result.latency_cluster))
+        assert len(result.bandwidth_cluster) == len(
+            set(result.bandwidth_cluster)
+        )
+
+    @given(snapshots, thresholds)
+    def test_contains_agrees_with_membership(self, snap, thresh):
+        result = cluster_threads(snap, cluster_thresh=thresh)
+        for tid in range(len(snap.metrics)):
+            side = result.contains(tid)
+            assert (tid in result.latency_cluster) == (side == "latency")
+            assert (tid in result.bandwidth_cluster) == (side == "bandwidth")
+
+
+class TestThreshold:
+    @given(snapshots, thresholds)
+    def test_latency_cluster_respects_bandwidth_budget(self, snap, thresh):
+        """Admitted threads' total bandwidth never exceeds the
+        ClusterThresh share of the quantum's total bandwidth."""
+        result = cluster_threads(snap, cluster_thresh=thresh)
+        total = sum(m.bw_usage for m in snap.metrics)
+        used = sum(
+            snap.metrics[tid].bw_usage for tid in result.latency_cluster
+        )
+        assert used <= thresh * total + 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.0, 500.0, allow_nan=False),
+                      st.integers(0, 10**6)),
+            min_size=1, max_size=24,
+        )
+    )
+    def test_full_threshold_admits_everyone(self, pairs):
+        """thresh=1 means the whole bandwidth budget: every thread
+        fits, so the bandwidth cluster is empty.  Integer bandwidths
+        keep the running sum exact (float accumulation order could
+        otherwise overshoot the budget by an ulp)."""
+        snap = QuantumSnapshot(
+            quantum_index=0,
+            metrics=tuple(
+                ThreadMetrics(mpki=m, bw_usage=float(b), blp=1.0, rbl=0.5)
+                for m, b in pairs
+            ),
+        )
+        result = cluster_threads(snap, cluster_thresh=1.0)
+        assert result.bandwidth_cluster == ()

@@ -1,0 +1,81 @@
+"""Property tests: the address mapper is a bijection over its space."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import SimConfig
+from repro.dram.address import AddressMapper, PhysicalLocation
+
+pytestmark = pytest.mark.property
+
+CONFIGS = [
+    SimConfig(),                                     # paper baseline
+    SimConfig(num_channels=1, banks_per_channel=2, num_rows=64),
+    SimConfig(num_channels=8, banks_per_channel=16, num_rows=256),
+]
+
+
+@st.composite
+def mapper_and_address(draw):
+    mapper = AddressMapper(draw(st.sampled_from(CONFIGS)))
+    addr = draw(st.integers(min_value=0, max_value=mapper.blocks_total - 1))
+    return mapper, addr
+
+
+@st.composite
+def mapper_and_location(draw):
+    config = draw(st.sampled_from(CONFIGS))
+    mapper = AddressMapper(config)
+    loc = PhysicalLocation(
+        channel=draw(st.integers(0, config.num_channels - 1)),
+        bank=draw(st.integers(0, config.banks_per_channel - 1)),
+        row=draw(st.integers(0, config.num_rows - 1)),
+        column=draw(st.integers(0, AddressMapper.COLUMNS_PER_ROW - 1)),
+    )
+    return mapper, loc
+
+
+class TestBijection:
+    @given(mapper_and_address())
+    def test_encode_inverts_decode(self, pair):
+        mapper, addr = pair
+        assert mapper.encode(mapper.decode(addr)) == addr
+
+    @given(mapper_and_location())
+    def test_decode_inverts_encode(self, pair):
+        mapper, loc = pair
+        assert mapper.decode(mapper.encode(loc)) == loc
+
+    @given(mapper_and_address())
+    def test_decode_stays_in_bounds(self, pair):
+        mapper, addr = pair
+        loc = mapper.decode(addr)
+        assert 0 <= loc.channel < mapper._num_channels
+        assert 0 <= loc.bank < mapper._banks_per_channel
+        assert 0 <= loc.row < mapper._num_rows
+        assert 0 <= loc.column < AddressMapper.COLUMNS_PER_ROW
+
+    @given(mapper_and_address())
+    def test_consecutive_blocks_interleave_channels(self, pair):
+        """Channel striping at block granularity: the next block lands
+        on the next channel (mod channels)."""
+        mapper, addr = pair
+        if addr + 1 >= mapper.blocks_total:
+            return
+        here, there = mapper.decode(addr), mapper.decode(addr + 1)
+        assert there.channel == (here.channel + 1) % mapper._num_channels
+
+
+class TestRejection:
+    def test_out_of_range_address(self):
+        mapper = AddressMapper(CONFIGS[1])
+        with pytest.raises(ValueError):
+            mapper.decode(mapper.blocks_total)
+        with pytest.raises(ValueError):
+            mapper.decode(-1)
+
+    def test_out_of_range_location(self):
+        mapper = AddressMapper(CONFIGS[1])
+        with pytest.raises(ValueError):
+            mapper.encode(PhysicalLocation(channel=1, bank=0, row=0,
+                                           column=0))

@@ -1,0 +1,100 @@
+"""Tests for the static thread-priority scheduler (paper Figure 2)."""
+
+import pytest
+
+from repro.config import SimConfig, StaticParams
+from repro.dram.request import MemoryRequest
+from repro.schedulers import make_scheduler
+from repro.schedulers.static import StaticPriorityScheduler
+from repro.sim import System
+from repro.workloads import make_intensity_workload
+
+
+def req(thread=0, row=1, arrival=0):
+    return MemoryRequest(
+        thread_id=thread, channel_id=0, bank_id=0, row=row, arrival=arrival
+    )
+
+
+class TestPriorityOrdering:
+    def test_rank_dominates_row_hit_and_age(self):
+        scheduler = StaticPriorityScheduler([1, 0])
+        favoured_miss = req(thread=1, row=2, arrival=100)
+        unfavoured_hit = req(thread=0, row=1, arrival=0)
+        assert scheduler.priority(favoured_miss, False, 200) > (
+            scheduler.priority(unfavoured_hit, True, 200)
+        )
+
+    def test_order_position_is_strict(self):
+        scheduler = StaticPriorityScheduler([2, 0, 1])
+        ranks = [
+            scheduler.priority(req(thread=t), False, 0)[0] for t in (2, 0, 1)
+        ]
+        assert ranks == sorted(ranks, reverse=True)
+
+    def test_unlisted_threads_rank_lowest_and_equal(self):
+        scheduler = StaticPriorityScheduler([5])
+        a = scheduler.priority(req(thread=0, arrival=10), True, 50)
+        b = scheduler.priority(req(thread=1, arrival=10), True, 50)
+        assert a == b
+        assert scheduler.priority(req(thread=5), False, 50)[0] > a[0]
+
+    def test_equal_rank_falls_back_to_frfcfs(self):
+        scheduler = StaticPriorityScheduler([])
+        frfcfs = make_scheduler("frfcfs")
+        for r, row_hit in ((req(arrival=3, row=2), False),
+                           (req(arrival=9), True)):
+            assert scheduler.priority(r, row_hit, 50)[1:] == (
+                frfcfs.priority(r, row_hit, 50)
+            )
+
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(ValueError):
+            StaticPriorityScheduler([1, 1])
+
+
+class TestRegistryRoundTrip:
+    def test_constructs_by_name(self):
+        scheduler = make_scheduler("static")
+        assert isinstance(scheduler, StaticPriorityScheduler)
+        assert scheduler.order == ()
+
+    def test_alias(self):
+        assert isinstance(
+            make_scheduler("static-priority"), StaticPriorityScheduler
+        )
+
+    def test_params_round_trip(self):
+        scheduler = make_scheduler("static", StaticParams(order=(3, 1)))
+        assert scheduler.order == (3, 1)
+        assert scheduler.priority(req(thread=3), False, 0)[0] > (
+            scheduler.priority(req(thread=1), False, 0)[0]
+        )
+
+    def test_wrong_param_type_rejected(self):
+        from repro.config import TCMParams
+
+        with pytest.raises(TypeError):
+            make_scheduler("static", TCMParams())
+
+
+class TestEndToEnd:
+    def test_prioritised_thread_suffers_less(self):
+        """The Figure-2 mechanism: under contention the top-priority
+        thread keeps most of its throughput; the bottom thread pays.
+        Four copies of the same benchmark isolate the priority effect
+        from benchmark behaviour."""
+        from repro.workloads import workload_from_specs
+        from repro.workloads.spec import benchmark
+
+        cfg = SimConfig(run_cycles=60_000, num_threads=4)
+        workload = workload_from_specs("mcf-x4", (benchmark("mcf"),) * 4)
+        result = System(
+            workload,
+            make_scheduler("static", StaticParams(order=(0, 1, 2, 3))),
+            cfg, seed=11,
+        ).run()
+        assert all(t.ipc > 0 for t in result.threads)
+        top, bottom = result.threads[0], result.threads[3]
+        assert top.avg_latency < bottom.avg_latency
+        assert top.ipc > bottom.ipc

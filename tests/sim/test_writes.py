@@ -54,7 +54,7 @@ class TestWriteBuffer:
         channel = Channel(0, WRITE_CFG)
         channel.enqueue_write(write_req())
         write = channel.next_write_for(0)
-        busy_until = channel.start_write_service(write, now=0)
+        busy_until = channel.start_write_service(write, now=0).data_end
         assert busy_until > 0
         assert not channel.banks[0].is_idle(busy_until - 1)
         assert channel.serviced_writes == 1

@@ -14,6 +14,10 @@ from repro.workloads import make_intensity_workload
 
 CFG = SimConfig(run_cycles=400_000)
 
+# The heaviest fixture in the repo (~20s of simulation); deselectable
+# for quick iteration with `-m "not slow"`.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def suite_scores():

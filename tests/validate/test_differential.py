@@ -1,0 +1,89 @@
+"""Tests for repro.validate.differential — cross-scheduler assertions."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.schedulers import SCHEDULERS
+from repro.validate import (
+    RANK_REDUCIBLE,
+    assert_single_thread_consistency,
+    differential_groups,
+    run_matrix,
+    run_outcome,
+    single_thread_matrix,
+    thread_outcome,
+)
+from repro.workloads import make_intensity_workload
+
+pytestmark = pytest.mark.validate
+
+# One full quantum (50k cycles) plus slack, so quantum-based policies
+# (TCM clustering/shuffling, ATLAS ranking) are actually active.
+CFG = SimConfig(run_cycles=60_000, num_threads=8)
+MIX = make_intensity_workload(0.5, num_threads=8, seed=7)
+
+
+class TestSingleThreadConsistency:
+    @pytest.mark.parametrize("bench", ["mcf", "libquantum", "omnetpp"])
+    def test_rank_reducible_policies_collapse(self, bench):
+        """With one thread, every rank-based policy is FR-FCFS."""
+        results = assert_single_thread_consistency(bench, CFG)
+        assert set(results) == set(RANK_REDUCIBLE)
+
+    def test_fcfs_coincides_solo_but_not_shared(self):
+        """A solo trace's same-row accesses are contiguous in arrival
+        order, so row-hit-first never reorders them and FCFS *happens*
+        to match FR-FCFS; interleaved threads break that immediately.
+        (This pins the reason FCFS is excluded from RANK_REDUCIBLE as
+        an empirical rather than structural equality.)"""
+        solo = single_thread_matrix("mcf", ("frfcfs", "fcfs"), CFG)
+        assert run_outcome(solo["frfcfs"]) == run_outcome(solo["fcfs"])
+        shared = run_matrix(MIX, ("frfcfs", "fcfs"), CFG, seed=11,
+                            check=False)
+        assert run_outcome(shared["frfcfs"]) != run_outcome(shared["fcfs"])
+
+    def test_groups_structure(self):
+        results = run_matrix(
+            MIX, ("frfcfs", "static", "fcfs", "tcm"), CFG, seed=11,
+            check=False,
+        )
+        groups = differential_groups(results)
+        assert groups[0][1] == ["frfcfs", "static"]
+        assert ["fcfs"] in [names for _, names in groups]
+        assert ["tcm"] in [names for _, names in groups]
+
+
+class TestSharedRunMatrix:
+    def test_full_registry_oracle_checked(self):
+        """One shared mix through every scheduler, all oracle-checked;
+        scheduler-independent facts must agree across the registry."""
+        results = run_matrix(MIX, sorted(SCHEDULERS), CFG, seed=11)
+        cycles = {r.cycles for r in results.values()}
+        assert cycles == {CFG.run_cycles}
+        for name, result in results.items():
+            assert result.total_requests > 0, name
+            assert (result.row_hits + result.row_conflicts
+                    + result.row_closed) == result.total_requests, name
+            assert all(t.ipc > 0 for t in result.threads), name
+
+    def test_static_with_empty_order_equals_frfcfs(self):
+        """The registry's parameterless static scheduler ranks every
+        thread equally — exactly FR-FCFS."""
+        results = run_matrix(MIX, ("frfcfs", "static"), CFG, seed=11,
+                             check=False)
+        assert run_outcome(results["frfcfs"]) == run_outcome(
+            results["static"]
+        )
+
+
+class TestOutcomeDigests:
+    def test_thread_outcome_is_position_independent_fields_only(self):
+        results = run_matrix(MIX, ("frfcfs",), CFG, seed=11, check=False)
+        digest = thread_outcome(results["frfcfs"], 0)
+        assert digest[0] == results["frfcfs"].threads[0].benchmark
+        assert len(digest) == 9
+
+    def test_run_outcome_distinguishes_schedulers(self):
+        results = run_matrix(MIX, ("frfcfs", "tcm"), CFG, seed=11,
+                             check=False)
+        assert run_outcome(results["frfcfs"]) != run_outcome(results["tcm"])

@@ -1,0 +1,100 @@
+"""Unit tests for repro.validate.fingerprint (no simulation needed
+beyond one tiny run)."""
+
+import copy
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments.runner import alone_ipcs, run_shared
+from repro.validate import (
+    Drift,
+    compare_fingerprints,
+    fingerprint_run,
+    format_drift_report,
+)
+from repro.workloads import make_intensity_workload
+
+CFG = SimConfig(run_cycles=20_000, num_threads=4)
+MIX = make_intensity_workload(0.5, num_threads=4, seed=7)
+
+
+@pytest.fixture(scope="module")
+def fingerprint():
+    result = run_shared(MIX, "frfcfs", CFG, seed=11)
+    return fingerprint_run(result, alone_ipcs(MIX, CFG, 11))
+
+
+class TestFingerprintRun:
+    def test_shape(self, fingerprint):
+        assert fingerprint["scheduler"] == "FR-FCFS"
+        assert fingerprint["cycles"] == CFG.run_cycles
+        assert len(fingerprint["threads"]) == 4
+        assert set(fingerprint["threads"][0]) == {
+            "benchmark", "instructions", "misses", "ipc", "mpki",
+            "avg_latency",
+        }
+        assert fingerprint["weighted_speedup"] > 0
+        assert fingerprint["maximum_slowdown"] >= 1.0
+
+    def test_json_round_trip_stable(self, fingerprint):
+        import json
+
+        reloaded = json.loads(json.dumps(fingerprint))
+        assert compare_fingerprints({"k": fingerprint}, {"k": reloaded}) == []
+
+    def test_without_alone_ipcs_no_headline_metrics(self):
+        result = run_shared(MIX, "frfcfs", CFG, seed=11)
+        fp = fingerprint_run(result)
+        assert "weighted_speedup" not in fp
+
+
+class TestCompareFingerprints:
+    def test_identical_is_clean(self, fingerprint):
+        assert compare_fingerprints(
+            {"a": fingerprint}, {"a": copy.deepcopy(fingerprint)}
+        ) == []
+
+    def test_nested_field_drift_has_precise_path(self, fingerprint):
+        fresh = copy.deepcopy(fingerprint)
+        fresh["threads"][2]["ipc"] += 0.001
+        drifts = compare_fingerprints({"a": fingerprint}, {"a": fresh})
+        assert len(drifts) == 1
+        assert drifts[0].key == "a"
+        assert drifts[0].path == "threads[2].ipc"
+
+    def test_missing_and_new_entries(self, fingerprint):
+        drifts = compare_fingerprints({"old": fingerprint},
+                                      {"new": fingerprint})
+        paths = {(d.key, d.fresh) for d in drifts}
+        assert ("old", "<absent>") in paths
+        assert ("new", "<new entry>") in paths
+
+    def test_list_length_change(self, fingerprint):
+        fresh = copy.deepcopy(fingerprint)
+        fresh["threads"].pop()
+        drifts = compare_fingerprints({"a": fingerprint}, {"a": fresh})
+        assert any(d.path == "threads.length" for d in drifts)
+
+    def test_removed_field(self, fingerprint):
+        fresh = copy.deepcopy(fingerprint)
+        del fresh["row_hits"]
+        drifts = compare_fingerprints({"a": fingerprint}, {"a": fresh})
+        assert any(
+            d.path == "row_hits" and d.fresh == "<absent>" for d in drifts
+        )
+
+
+class TestDriftReport:
+    def test_empty_report(self):
+        assert "no drift" in format_drift_report([])
+
+    def test_report_groups_by_key_and_limits(self):
+        drifts = [
+            Drift("mix/tcm/s1", f"threads[{i}].ipc", 1.0, 2.0)
+            for i in range(50)
+        ]
+        text = format_drift_report(drifts, limit=10)
+        assert "50 drifting field(s)" in text
+        assert "mix/tcm/s1" in text
+        assert "... and 40 more" in text

@@ -1,0 +1,86 @@
+"""Metamorphic tests: input transforms with known output relations."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.validate import (
+    assert_permutation_equivariance,
+    assert_seed_determinism,
+    permute_workload,
+    run_outcome,
+)
+from repro.workloads import make_intensity_workload
+
+pytestmark = pytest.mark.validate
+
+CFG = SimConfig(run_cycles=60_000, num_threads=8)
+MIX = make_intensity_workload(0.5, num_threads=8, seed=7)
+PERM = [3, 1, 4, 0, 6, 2, 7, 5]
+
+
+class TestSeedDeterminism:
+    @pytest.mark.parametrize("name", ["frfcfs", "tcm", "atlas"])
+    def test_same_seed_bit_identical(self, name):
+        assert_seed_determinism(MIX, name, CFG, seed=5)
+
+    def test_different_seeds_differ(self):
+        from repro.experiments.runner import run_shared
+
+        a = run_shared(MIX, "tcm", CFG, seed=5)
+        b = run_shared(MIX, "tcm", CFG, seed=6)
+        assert run_outcome(a) != run_outcome(b)
+
+
+class TestPermutationEquivariance:
+    """Thread placement must not matter for thread-oblivious policies.
+
+    (Thread-aware schedulers break *exact* equivariance through
+    tid-indexed tie-breaks — TCM's shuffler permutes tid-ascending
+    cluster tuples, ATLAS ties on tid — so only the oblivious
+    schedulers are pinned here.)
+    """
+
+    @pytest.mark.parametrize("name", ["frfcfs", "fcfs"])
+    def test_oblivious_schedulers_exact(self, name):
+        assert_permutation_equivariance(MIX, name, PERM, CFG, seed=11)
+
+    def test_identity_permutation_everywhere(self):
+        identity = list(range(MIX.num_threads))
+        for name in ("tcm", "atlas", "parbs"):
+            assert_permutation_equivariance(MIX, name, identity, CFG,
+                                            seed=11)
+
+    def test_permute_workload_moves_specs(self):
+        permuted = permute_workload(MIX, PERM)
+        assert permuted.num_threads == MIX.num_threads
+        assert [s.name for s in permuted.specs] == [
+            MIX.specs[p].name for p in PERM
+        ]
+
+    def test_permute_workload_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            permute_workload(MIX, [0, 0, 1, 2, 3, 4, 5, 6])
+
+
+class TestWorkerCountInvariance:
+    def test_campaign_output_identical_across_worker_counts(self, tmp_path):
+        """Sharding a campaign across processes must not change any
+        result (the engine's sharding is pure work distribution)."""
+        from repro.campaign import execute_plan, grid_plan
+
+        cfg = SimConfig(run_cycles=15_000)
+        workloads = [
+            make_intensity_workload(0.5, num_threads=2, seed=s)
+            for s in (0, 1)
+        ]
+        plan = grid_plan("meta", workloads, ("frfcfs", "tcm"),
+                         configs=[cfg])
+        serial = execute_plan(plan, tmp_path / "serial", progress=False)
+        sharded = execute_plan(plan, tmp_path / "sharded", workers=2,
+                               progress=False)
+        assert [r.key for r in serial.results] == [
+            r.key for r in sharded.results
+        ]
+        for a, b in zip(serial.results, sharded.results):
+            assert a.weighted_speedup == b.weighted_speedup
+            assert a.maximum_slowdown == b.maximum_slowdown
