@@ -24,6 +24,10 @@ class Bank:
         self.bank_id = bank_id
         self.timings = timings
         self.open_row: Optional[int] = None
+        #: thread that opened the currently latched row (None when no row
+        #: is open); lets observability attribute a row-conflict penalty
+        #: to the thread whose row had to be precharged.
+        self.open_row_owner: Optional[int] = None
         self.busy_until: int = 0
         self.last_activate: int = -(10 ** 9)   # effectively "long ago"
         # statistics
@@ -57,6 +61,7 @@ class Bank:
         now: int,
         bus_free_until: int,
         activate_not_before: int = 0,
+        thread_id: Optional[int] = None,
     ) -> "BankAccess":
         """Start servicing an access; returns the timing breakdown.
 
@@ -69,6 +74,10 @@ class Bank:
         activate), tRC (same-bank activate spacing) and any
         channel-level bound passed via ``activate_not_before``
         (tRRD/tFAW/refresh).
+
+        ``thread_id`` (optional) records provenance: a conflict access
+        carries ``row_blocker`` — the thread whose open row forced the
+        precharge — and the bank remembers the new row's owner.
         """
         if not self.is_idle(now):
             raise RuntimeError(
@@ -77,6 +86,7 @@ class Bank:
             )
         t = self.timings
         kind = self.classify(row)
+        row_blocker = self.open_row_owner if kind == "conflict" else None
         activate_time = None
         if kind == "hit":
             prep_done = now
@@ -103,6 +113,7 @@ class Bank:
         # the next access is always a "closed" activate (never a
         # conflict, never a hit)
         self.open_row = None if t.page_policy == "closed" else row
+        self.open_row_owner = None if t.page_policy == "closed" else thread_id
         self.busy_until = data_end
         self.busy_cycles += data_end - now
         if kind == "hit":
@@ -116,6 +127,8 @@ class Bank:
             data_start=data_start,
             data_end=data_end,
             activate_time=activate_time,
+            prep_done=prep_done,
+            row_blocker=row_blocker,
         )
 
     def reset_stats(self) -> None:
@@ -143,9 +156,22 @@ class Bank:
 
 
 class BankAccess:
-    """Timing outcome of a single bank access."""
+    """Timing outcome of a single bank access.
 
-    __slots__ = ("kind", "data_start", "data_end", "activate_time")
+    Beyond the timing boundaries themselves, an access carries the
+    *provenance* of each wait it suffered, filled in by the bank and
+    channel that produced it:
+
+    * ``prep_done`` — cycle the row was ready (burst could start as far
+      as the bank is concerned; any later ``data_start`` is bus wait);
+    * ``row_blocker`` — for a conflict access, the thread whose open
+      row forced the precharge (None otherwise);
+    * ``bus_blocker`` — the thread whose burst delayed this one on the
+      channel data bus (None when the bus imposed no wait).
+    """
+
+    __slots__ = ("kind", "data_start", "data_end", "activate_time",
+                 "prep_done", "row_blocker", "bus_blocker")
 
     def __init__(
         self,
@@ -153,11 +179,17 @@ class BankAccess:
         data_start: int,
         data_end: int,
         activate_time: Optional[int] = None,
+        prep_done: Optional[int] = None,
+        row_blocker: Optional[int] = None,
+        bus_blocker: Optional[int] = None,
     ):
         self.kind = kind
         self.data_start = data_start
         self.data_end = data_end
         self.activate_time = activate_time
+        self.prep_done = data_start if prep_done is None else prep_done
+        self.row_blocker = row_blocker
+        self.bus_blocker = bus_blocker
 
     @property
     def is_row_hit(self) -> bool:

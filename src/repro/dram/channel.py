@@ -34,6 +34,9 @@ class Channel:
             [] for _ in range(config.banks_per_channel)
         ]
         self.bus_free_until: int = 0
+        #: thread whose burst last reserved the data bus (observability:
+        #: a burst that waits for ``bus_free_until`` waits on this thread)
+        self.bus_owner: Optional[int] = None
         self.serviced_requests = 0
         # write path (paper Table 3: 64-entry write data buffer; reads
         # prioritised over writes) — populated only when the system
@@ -116,20 +119,30 @@ class Channel:
                 bound = max(bound, self._recent_activates[-4] + t.t_faw)
         return bound
 
-    def _begin_access(self, bank_id: int, row: int, now: int) -> BankAccess:
+    def _begin_access(
+        self, bank_id: int, row: int, now: int,
+        thread_id: Optional[int] = None,
+    ) -> BankAccess:
         """Shared read/write access path with optional detailed timing."""
         bank = self.banks[bank_id]
         if not self.config.timings.detailed:
-            access = bank.begin_access(row, now, self.bus_free_until)
+            access = bank.begin_access(row, now, self.bus_free_until,
+                                       thread_id=thread_id)
         else:
             now = self._apply_refresh(now)
             access = bank.begin_access(
                 row, now, self.bus_free_until,
                 activate_not_before=self._activate_bound(),
+                thread_id=thread_id,
             )
             if access.activate_time is not None:
                 self._recent_activates.append(access.activate_time)
                 del self._recent_activates[:-4]
+        if access.data_start > access.prep_done:
+            # the burst waited for the bus: the wait belongs to the
+            # thread whose burst was occupying it
+            access.bus_blocker = self.bus_owner
+        self.bus_owner = thread_id
         self.bus_free_until = access.data_end
         return access
 
@@ -143,7 +156,8 @@ class Channel:
         """
         queue = self.queues[request.bank_id]
         queue.remove(request)
-        access = self._begin_access(request.bank_id, request.row, now)
+        access = self._begin_access(request.bank_id, request.row, now,
+                                    request.thread_id)
         request.start_service = now
         completion = access.data_end + self.config.timings.fixed_overhead
         request.completion = completion
@@ -185,7 +199,8 @@ class Channel:
         core-visible round trip, so there is no separate completion).
         """
         self.write_buffer.remove(request)
-        access = self._begin_access(request.bank_id, request.row, now)
+        access = self._begin_access(request.bank_id, request.row, now,
+                                    request.thread_id)
         request.start_service = now
         request.completion = access.data_end
         self.serviced_writes += 1

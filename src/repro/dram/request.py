@@ -29,7 +29,10 @@ class MemoryRequest:
         start_service: cycle at which the bank began servicing, if started.
         completion: cycle at which data was returned to the core, if done.
         interference: cycles of queueing delay attributed to other
-            threads (used by STFM's slowdown estimation).
+            threads.  Maintained by the scheduler-independent span
+            mechanism (:mod:`repro.obs.spans`) whenever a run carries a
+            span collector — every scheduler, not just STFM, whose
+            slowdown estimation consumes the same accounting.
     """
 
     thread_id: int

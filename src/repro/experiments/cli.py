@@ -37,6 +37,21 @@ Telemetry subcommands observe a single traced run::
 into) a Chrome/Perfetto-loadable trace.  All commands accept
 ``--log-level {debug,...}``.
 
+Observability subcommands (see docs/OBSERVABILITY.md)::
+
+    python -m repro.experiments.cli obs report --intensity 0.75
+    python -m repro.experiments.cli obs attribution --scheduler stfm
+    python -m repro.experiments.cli obs dashboard --out run.html
+    python -m repro.experiments.cli obs dashboard --store fig4-store \\
+        --out campaign.html
+
+``obs report`` runs one workload with request-lifecycle spans enabled
+and prints the interference-attribution matrix (who delayed whom, in
+cycles), per-thread cause breakdowns, and slowdown estimates;
+``attribution`` prints just the matrix; ``dashboard`` renders a
+self-contained HTML page for the run — or, with ``--store``, for a
+whole campaign.
+
 Validation subcommands (see docs/VALIDATION.md)::
 
     python -m repro.experiments.cli validate run --intensity 0.75
@@ -376,6 +391,72 @@ def _cmd_telemetry(args, config):
 
 
 # ----------------------------------------------------------------------
+# obs subcommands
+# ----------------------------------------------------------------------
+
+
+def _cmd_obs(args, config):
+    from repro.obs.aggregate import observe_campaign, observe_run
+    from repro.obs.attribution import render_matrix_text
+    from repro.obs.dashboard import (
+        render_campaign_dashboard,
+        render_run_dashboard,
+        write_dashboard,
+    )
+
+    action = args.action or "report"
+    if action not in ("report", "attribution", "dashboard"):
+        raise SystemExit(
+            f"obs: unknown action {action!r} (report|attribution|dashboard)"
+        )
+
+    if action == "dashboard" and args.store:
+        # campaign page straight from a result store: no simulation
+        obs = observe_campaign(args.store)
+        html = render_campaign_dashboard(obs, title=str(args.store))
+        out = args.out or "obs_campaign.html"
+        print(f"wrote {write_dashboard(html, out)}")
+        return
+
+    workload = _telemetry_workload(args, config)
+    scheduler = args.scheduler or "tcm"
+    obs = observe_run(workload, scheduler, config, seed=args.seed,
+                      epoch_cycles=args.epoch_cycles)
+    if action == "dashboard":
+        html = render_run_dashboard(obs)
+        out = args.out or "obs_run.html"
+        print(f"wrote {write_dashboard(html, out)}")
+        return
+
+    print(f"workload {obs.workload} under {obs.scheduler} "
+          f"(seed {obs.seed}, {obs.cycles} cycles)")
+    print()
+    print(render_matrix_text(obs.report, benchmarks=obs.benchmarks))
+    print()
+    print("reconciliation: "
+          + ", ".join(f"{k}={v}" for k, v in obs.report.checks.items()))
+    if action == "report":
+        if obs.report.causes is not None:
+            rows = [
+                [f"t{t}:{obs.benchmarks[t]}", row["queue"], row["row"],
+                 row["bus"], row["queue_partial"]]
+                for t, row in enumerate(obs.report.causes)
+            ]
+            print()
+            print(format_table(
+                ["thread", "queueing", "row-conflict", "bus", "partial"],
+                rows, title="other-inflicted delay by cause (cycles)",
+            ))
+        if obs.metrics:
+            print()
+            print(f"WS={obs.metrics['ws']:.3f}  "
+                  f"MS={obs.metrics['ms']:.3f}  "
+                  f"HS={obs.metrics['hs']:.3f}  "
+                  f"requests={obs.total_requests}  "
+                  f"row-hit={obs.row_hit_rate:.1%}")
+
+
+# ----------------------------------------------------------------------
 # validate subcommands
 # ----------------------------------------------------------------------
 
@@ -522,6 +603,7 @@ def _cmd_campaign(args, config):
 
 _COMMANDS = {
     "campaign": _cmd_campaign,
+    "obs": _cmd_obs,
     "telemetry": _cmd_telemetry,
     "validate": _cmd_validate,
     "run": _cmd_run,
@@ -552,7 +634,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("action", nargs="?", default=None,
                         help="campaign action: run | resume | status; "
                              "telemetry action: report | trace; "
-                             "validate action: run | goldens")
+                             "validate action: run | goldens; "
+                             "obs action: report | attribution | dashboard")
     parser.add_argument("--cycles", type=int, default=400_000,
                         help="simulated cycles per run")
     parser.add_argument("--per-category", type=int, default=2,
@@ -596,6 +679,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-dir", default=None,
                         help="write per-point JSONL traces here "
                              "(campaign run)")
+    parser.add_argument("--out", default=None,
+                        help="output HTML path (obs dashboard; default "
+                             "obs_run.html / obs_campaign.html)")
     parser.add_argument("--update", action="store_true",
                         help="regenerate the golden matrix instead of "
                              "checking it (validate goldens)")

@@ -1,0 +1,60 @@
+"""repro.obs — request-lifecycle spans, interference attribution, dashboards.
+
+The observability layer over :mod:`repro.telemetry`'s raw events:
+
+* :mod:`repro.obs.spans` — decompose every request's latency into
+  cause-tagged, culprit-tagged wait intervals, generalising STFM's
+  interference accounting into a scheduler-independent mechanism;
+* :mod:`repro.obs.attribution` — fold spans into a T×T
+  ``delay[victim][culprit]`` matrix with per-thread cause breakdowns
+  and attribution-derived slowdown estimates;
+* :mod:`repro.obs.aggregate` — collect dashboard-ready data from a
+  single run or a whole campaign store;
+* :mod:`repro.obs.dashboard` — render self-contained HTML (inline SVG,
+  no JS dependencies) for either.
+
+Typical use::
+
+    from repro.telemetry import Telemetry
+    from repro.obs import attribution_report
+
+    telemetry = Telemetry.observing()
+    system = System(workload, make_scheduler("tcm"), cfg,
+                    telemetry=telemetry)
+    result = system.run()
+    report = attribution_report(telemetry.spans)
+"""
+
+from repro.obs.spans import (
+    CAUSE_BUS,
+    CAUSE_QUEUE,
+    CAUSE_ROW,
+    CAUSE_SERVICE,
+    CAUSES,
+    RequestSpan,
+    SpanCollector,
+    WaitInterval,
+    attach_spans,
+    ensure_accounting,
+)
+from repro.obs.attribution import (
+    AttributionReport,
+    attribution_report,
+    reconcile,
+)
+
+__all__ = [
+    "AttributionReport",
+    "CAUSE_BUS",
+    "CAUSE_QUEUE",
+    "CAUSE_ROW",
+    "CAUSE_SERVICE",
+    "CAUSES",
+    "RequestSpan",
+    "SpanCollector",
+    "WaitInterval",
+    "attach_spans",
+    "attribution_report",
+    "ensure_accounting",
+    "reconcile",
+]

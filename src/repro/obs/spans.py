@@ -1,0 +1,379 @@
+"""Request-lifecycle spans and scheduler-independent interference accounting.
+
+Every memory request's round trip decomposes into *waits*, each of
+which has a cause and — crucially for the paper's argument — a
+**culprit thread**:
+
+* ``queue`` — the bank was servicing someone else's request.  The
+  culprit is the thread being serviced.  These are the cycles STFM's
+  interference accounting estimates (Mutlu & Moscibroda, MICRO 2007);
+  the span mechanism generalises that accounting to every scheduler.
+* ``row`` — the access was a row-buffer conflict: the precharge
+  penalty is charged to the thread whose open row had to be closed.
+* ``bus`` — the burst waited for the channel data bus behind another
+  thread's burst.
+* ``service`` — intrinsic service the request would pay alone
+  (activate, burst, fixed round-trip overhead) plus self-inflicted
+  waits, charged to the request's own thread.
+
+The :class:`SpanCollector` is bound to a :class:`repro.sim.System`
+before the run (``System(..., telemetry=Telemetry(spans=...))`` or
+:func:`attach_spans`).  The simulator's hot path pays exactly one
+``is None`` branch per emit site when no collector is bound — the same
+contract as the telemetry tracer — and collectors never mutate
+simulation state, so spans on/off runs are bit-identical.
+
+Two accounting tiers share one class:
+
+* **lite** (``record_intervals=False``) — per-request ``interference``
+  cycles, per-thread totals and the T×T victim/culprit matrix, all
+  maintained with STFM's original grant-time rule: when a request is
+  granted service, every *other* thread's request still waiting at that
+  bank is delayed by the full service occupancy.  STFM binds a lite
+  collector automatically (its fairness policy consumes these totals),
+  so ``t_interference`` here matches STFM's private ``_t_interference``
+  cross-check *exactly*, by construction.
+* **full** (``record_intervals=True``, the default) — additionally
+  records, per request, the wait intervals themselves: disjoint,
+  cause-tagged, culprit-tagged, and tiling the request's entire
+  latency from arrival to completion (an invariant the
+  :mod:`repro.validate` oracle checks).  Full spans also capture the
+  *partial* interval a request spends behind a service that was already
+  underway when it arrived; those cycles complete the latency tiling
+  but are kept out of the matrix so the matrix stays STFM-comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.dram.request import MemoryRequest
+
+#: wait-interval causes
+CAUSE_QUEUE = "queue"      # bank busy with another request
+CAUSE_ROW = "row"          # precharge penalty from a conflicting open row
+CAUSE_BUS = "bus"          # burst serialised behind another burst
+CAUSE_SERVICE = "service"  # intrinsic service / self-inflicted wait
+
+CAUSES = (CAUSE_QUEUE, CAUSE_ROW, CAUSE_BUS, CAUSE_SERVICE)
+
+
+class WaitInterval(NamedTuple):
+    """One cause-tagged slice of a request's latency.
+
+    ``partial`` marks a queue interval whose blocking service was
+    already underway when the victim arrived: it counts toward the
+    latency tiling but not toward the grant-rule attribution matrix.
+    """
+
+    start: int
+    end: int
+    culprit: int
+    cause: str
+    partial: bool = False
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start
+
+
+class RequestSpan:
+    """The decomposed lifecycle of one memory request."""
+
+    __slots__ = (
+        "request_id", "thread_id", "channel_id", "bank_id", "row",
+        "arrival", "start_service", "completion", "kind", "is_prefetch",
+        "intervals",
+    )
+
+    def __init__(self, request: MemoryRequest):
+        self.request_id = request.request_id
+        self.thread_id = request.thread_id
+        self.channel_id = request.channel_id
+        self.bank_id = request.bank_id
+        self.row = request.row
+        self.arrival = request.arrival
+        self.start_service: Optional[int] = None
+        self.completion: Optional[int] = None
+        self.kind: Optional[str] = None
+        self.is_prefetch = request.is_prefetch
+        self.intervals: List[WaitInterval] = []
+
+    @property
+    def latency(self) -> Optional[int]:
+        if self.completion is None:
+            return None
+        return self.completion - self.arrival
+
+    @property
+    def queueing(self) -> Optional[int]:
+        """Cycles between arrival and the start of bank service."""
+        if self.start_service is None:
+            return None
+        return self.start_service - self.arrival
+
+    def cycles_by_cause(self) -> Dict[str, int]:
+        """Total cycles per cause (all intervals, culprits included)."""
+        out = {cause: 0 for cause in CAUSES}
+        for interval in self.intervals:
+            out[interval.cause] += interval.end - interval.start
+        return out
+
+    def interference_cycles(self) -> int:
+        """Cycles attributable to *other* threads (any cause)."""
+        return sum(
+            i.end - i.start
+            for i in self.intervals
+            if i.culprit != self.thread_id
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RequestSpan(t{self.thread_id} ch{self.channel_id} "
+            f"b{self.bank_id} {self.kind} @{self.arrival}"
+            f"->{self.completion}, {len(self.intervals)} intervals)"
+        )
+
+
+class SpanCollector:
+    """Accumulates spans and interference attribution for one run.
+
+    Bound to a system either via the :class:`repro.telemetry.Telemetry`
+    bundle (``Telemetry(spans=SpanCollector())``) or with
+    :func:`attach_spans`.  All hooks are driven by the system's event
+    loop; the collector is strictly read-only with respect to
+    simulation state (it mutates only ``request.interference``, which
+    no scheduling decision of any registered policy reads before
+    writing — STFM consumes the collector's totals instead).
+    """
+
+    def __init__(self, record_intervals: bool = True,
+                 keep_spans: bool = True):
+        self.record_intervals = record_intervals
+        self.keep_spans = keep_spans and record_intervals
+        self.num_threads = 0
+        #: grant-rule queueing cycles charged to other threads, per victim
+        self.t_interference: List[int] = []
+        #: total request latency (arrival -> completion), per thread
+        self.t_shared: List[int] = []
+        #: grant-rule delay matrix: ``matrix[victim][culprit]``
+        self.matrix: List[List[int]] = []
+        #: sum of all off-diagonal matrix entries
+        self.total_attributed = 0
+        self.spans: List[RequestSpan] = []
+        self.requests_completed = 0
+        self._open: Dict[int, RequestSpan] = {}
+        #: (channel, bank) -> (busy-until, occupant thread)
+        self._bank_busy: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self._fixed_overhead = 0
+        self._t_rcd = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def bind(self, system) -> "SpanCollector":
+        """Size per-thread state for ``system`` and reset the run."""
+        n = system.workload.num_threads
+        self.num_threads = n
+        self.t_interference = [0] * n
+        self.t_shared = [0] * n
+        self.matrix = [[0] * n for _ in range(n)]
+        self.total_attributed = 0
+        self.spans = []
+        self.requests_completed = 0
+        self._open = {}
+        self._bank_busy = {}
+        timings = system.config.timings
+        self._fixed_overhead = timings.fixed_overhead
+        self._t_rcd = timings.t_rcd
+        return self
+
+    # ------------------------------------------------------------------
+    # hot-path hooks (called by System behind an ``is None`` guard)
+    # ------------------------------------------------------------------
+
+    def on_arrival(self, request: MemoryRequest, now: int) -> None:
+        """A read/prefetch request entered a controller queue."""
+        if not self.record_intervals:
+            return
+        span = RequestSpan(request)
+        self._open[request.request_id] = span
+        occupied = self._bank_busy.get(
+            (request.channel_id, request.bank_id)
+        )
+        if occupied is not None and occupied[0] > now:
+            # the bank is mid-service: the victim waits out the tail of
+            # a grant it never witnessed (partial => not in the matrix)
+            span.intervals.append(WaitInterval(
+                now, occupied[0], occupied[1], CAUSE_QUEUE, partial=True,
+            ))
+
+    def on_scheduled(self, request: MemoryRequest, waiting, access,
+                     completion: int, now: int) -> None:
+        """``request`` was granted bank service; ``waiting`` still queue.
+
+        Applies the grant-time attribution rule (identical to STFM's
+        original accounting: full service occupancy charged to every
+        waiting request of another thread) and, in full mode, records
+        the granted request's own service-side intervals.
+        """
+        tid = request.thread_id
+        end = access.data_end
+        busy = end - now
+        record = self.record_intervals
+        t_interference = self.t_interference
+        matrix = self.matrix
+        for other in waiting:
+            other_tid = other.thread_id
+            if other_tid != tid:
+                other.interference += busy
+                t_interference[other_tid] += busy
+                matrix[other_tid][tid] += busy
+                self.total_attributed += busy
+                if record:
+                    span = self._open.get(other.request_id)
+                    if span is not None:
+                        span.intervals.append(WaitInterval(
+                            now, end, tid, CAUSE_QUEUE,
+                        ))
+            elif record:
+                # self-interference: needed for the latency tiling,
+                # never part of the (zero-diagonal) matrix
+                span = self._open.get(other.request_id)
+                if span is not None:
+                    span.intervals.append(WaitInterval(
+                        now, end, tid, CAUSE_QUEUE,
+                    ))
+        if record:
+            self._bank_busy[(request.channel_id, request.bank_id)] = (
+                end, tid,
+            )
+            span = self._open.get(request.request_id)
+            if span is not None:
+                span.start_service = now
+                span.kind = access.kind
+                self._service_intervals(span, access, completion, now)
+
+    def on_write_scheduled(self, request: MemoryRequest, access,
+                           now: int) -> None:
+        """A buffered write was drained; the bank is busy on its behalf."""
+        if not self.record_intervals:
+            return
+        self._bank_busy[(request.channel_id, request.bank_id)] = (
+            access.data_end, request.thread_id,
+        )
+
+    def on_complete(self, request: MemoryRequest, now: int) -> None:
+        """``request`` returned its data; finalise and file the span."""
+        self.t_shared[request.thread_id] += now - request.arrival
+        self.requests_completed += 1
+        if not self.record_intervals:
+            return
+        span = self._open.pop(request.request_id, None)
+        if span is not None:
+            span.completion = now
+            if self.keep_spans:
+                self.spans.append(span)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    def all_spans(self) -> List[RequestSpan]:
+        """Completed spans plus those still open at the horizon.
+
+        The grant-rule totals include delays charged to requests that
+        never completed within the run, so reconciliation against the
+        matrix must see open spans too.
+        """
+        return self.spans + list(self._open.values())
+
+    # ------------------------------------------------------------------
+    # service-side decomposition
+    # ------------------------------------------------------------------
+
+    def _service_intervals(self, span: RequestSpan, access,
+                           completion: int, now: int) -> None:
+        """Tile [grant, completion) with cause-tagged intervals.
+
+        Boundaries come straight from the access's timing breakdown, so
+        the tiling is exact under both the Table-3 model and detailed
+        timings (tRAS/tRC/tFAW/refresh only shift the boundaries, never
+        reorder them).
+        """
+        tid = span.thread_id
+        intervals = span.intervals
+        activate = access.activate_time
+        prep_done = access.prep_done
+        if activate is not None:
+            if activate > now:
+                if access.kind == "conflict":
+                    culprit = (access.row_blocker
+                               if access.row_blocker is not None else tid)
+                    intervals.append(WaitInterval(
+                        now, activate, culprit, CAUSE_ROW,
+                    ))
+                else:
+                    # a "closed" activate delayed by channel-level
+                    # bounds (tRRD/tFAW/refresh): self-charged service
+                    intervals.append(WaitInterval(
+                        now, activate, tid, CAUSE_SERVICE,
+                    ))
+            if prep_done > activate:
+                intervals.append(WaitInterval(
+                    activate, prep_done, tid, CAUSE_SERVICE,
+                ))
+        elif prep_done > now:
+            # row hit shifted by a refresh window (detailed timings)
+            intervals.append(WaitInterval(
+                now, prep_done, tid, CAUSE_SERVICE,
+            ))
+        if access.data_start > prep_done:
+            culprit = (access.bus_blocker
+                       if access.bus_blocker is not None else tid)
+            intervals.append(WaitInterval(
+                prep_done, access.data_start, culprit, CAUSE_BUS,
+            ))
+        intervals.append(WaitInterval(
+            access.data_start, access.data_end, tid, CAUSE_SERVICE,
+        ))
+        if completion > access.data_end:
+            intervals.append(WaitInterval(
+                access.data_end, completion, tid, CAUSE_SERVICE,
+            ))
+
+
+def ensure_accounting(system) -> SpanCollector:
+    """The system's bound collector, creating a lite one if absent.
+
+    Schedulers whose *policy* consumes interference totals (STFM) call
+    this at attach time: if the run already carries a full collector it
+    is shared; otherwise a lite (intervals-off) collector is bound so
+    the totals exist on every run at STFM's original bookkeeping cost.
+    """
+    collector = getattr(system, "_spans", None)
+    if collector is None:
+        collector = SpanCollector(record_intervals=False,
+                                  keep_spans=False).bind(system)
+        system._spans = collector
+    return collector
+
+
+def attach_spans(system, collector: Optional[SpanCollector] = None
+                 ) -> SpanCollector:
+    """Bind a (full, by default) collector to ``system`` before its run.
+
+    Replaces any collector bound earlier in construction — e.g. the
+    lite accountant STFM installs at attach time — which is safe before
+    the run starts because a full collector maintains a superset of the
+    lite counters under the identical accounting rule.  Consumers
+    (STFM) always read ``system._spans`` live, so they follow the
+    replacement.
+    """
+    if getattr(system, "now", 0):
+        raise RuntimeError("attach_spans must be called before system.run()")
+    collector = collector or SpanCollector()
+    collector.bind(system)
+    system._spans = collector
+    return collector

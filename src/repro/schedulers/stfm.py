@@ -11,6 +11,13 @@ request is serviced, every other thread's requests waiting at that bank
 are being delayed by the service duration; those cycles are what the
 thread would *not* have waited alone and are subtracted from its shared
 memory time.
+
+The accounting itself lives in :mod:`repro.obs.spans` — a
+scheduler-independent mechanism this policy binds at attach time (see
+:meth:`repro.schedulers.base.Scheduler.interference_accounting`).  STFM
+keeps a private shadow of the per-victim totals, maintained with the
+same grant-time rule, purely as a cross-check that the shared mechanism
+it decides from never drifts from the paper's bookkeeping.
 """
 
 from __future__ import annotations
@@ -52,10 +59,22 @@ class STFMScheduler(Scheduler):
         self._t_interference = [0] * n
         self._victim = None
         self._next_eval = self.params.interval_length
+        self.interference_accounting()
 
     # ------------------------------------------------------------------
     # interference accounting
     # ------------------------------------------------------------------
+
+    @property
+    def accounting(self):
+        """The run's shared interference accounting (``system._spans``).
+
+        Read live rather than cached at attach time: a full span
+        collector attached later in construction (``attach_spans``)
+        replaces the lite one this policy bound, and both maintain the
+        totals under the identical grant-time rule.
+        """
+        return self.system._spans
 
     def on_request_scheduled(
         self,
@@ -64,9 +83,10 @@ class STFMScheduler(Scheduler):
         busy_cycles: int,
         now: int,
     ) -> None:
+        # private shadow of the shared grant-rule accounting; the spans
+        # mechanism is the source of truth, this is the cross-check
         for other in waiting:
             if other.thread_id != request.thread_id:
-                other.interference += busy_cycles
                 self._t_interference[other.thread_id] += busy_cycles
 
     def on_request_complete(self, request: MemoryRequest, now: int) -> None:
@@ -81,10 +101,11 @@ class STFMScheduler(Scheduler):
 
     def slowdown_estimate(self, tid: int) -> float:
         """Estimated memory slowdown of thread ``tid`` (>= 1.0)."""
-        shared = self._t_shared[tid]
+        accounting = self.accounting
+        shared = accounting.t_shared[tid]
         if shared < _MIN_SHARED_CYCLES:
             return 1.0
-        alone = max(1, shared - self._t_interference[tid])
+        alone = max(1, shared - accounting.t_interference[tid])
         return shared / alone
 
     def _reevaluate(self, now: int = 0) -> None:

@@ -126,6 +126,11 @@ class System:
             else None
         )
         self._sampler = telemetry.sampler if telemetry is not None else None
+        # span collector (repro.obs): bound before scheduler attach so a
+        # policy that consumes interference accounting (STFM) shares it;
+        # None costs one branch per emit site, like the tracer.
+        spans = getattr(telemetry, "spans", None)
+        self._spans = spans.bind(self) if spans is not None else None
         self._sample_period = 0
         self._register_metrics()
         if self.config.prefetch_degree > 0:
@@ -231,6 +236,8 @@ class System:
             episode_id=thread.issued,
         )
         self.channels[channel_id].enqueue(request)
+        if self._spans is not None:
+            self._spans.on_arrival(request, self.now)
         self.monitor.on_request_arrival(request, self.now)
         self.scheduler.on_request_arrival(request, self.now)
         if (
@@ -263,6 +270,8 @@ class System:
                 is_prefetch=True,
             )
             self.channels[p_channel].enqueue(prefetch)
+            if self._spans is not None:
+                self._spans.on_arrival(prefetch, self.now)
             self.scheduler.on_request_arrival(prefetch, self.now)
             self._try_schedule(p_channel, p_bank)
 
@@ -278,6 +287,8 @@ class System:
                 write = channel.next_write_for(bank_id)
                 if write is not None:
                     access = channel.start_write_service(write, self.now)
+                    if self._spans is not None:
+                        self._spans.on_write_scheduled(write, access, self.now)
                     if self._tracer is not None:
                         self._tracer.emit(
                             "dram_cmd", self.now,
@@ -307,6 +318,10 @@ class System:
                 start=self.now, end=access.data_end,
             )
         self.monitor.on_request_service(request, busy_cycles)
+        if self._spans is not None:
+            self._spans.on_scheduled(
+                request, channel.queues[bank_id], access, completion, self.now
+            )
         self.scheduler.on_request_scheduled(
             request, channel.queues[bank_id], busy_cycles, self.now
         )
@@ -315,6 +330,10 @@ class System:
 
     def _complete_request(self, request: MemoryRequest) -> None:
         tid = request.thread_id
+        if self._spans is not None:
+            # before the scheduler's hook, so a policy reading the shared
+            # accounting (STFM's re-evaluation) sees this request included
+            self._spans.on_complete(request, self.now)
         if request.is_prefetch:
             # prefetch fills go to the prefetch buffer, waking any
             # demand misses that merged with this prefetch

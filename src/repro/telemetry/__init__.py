@@ -65,10 +65,14 @@ class Telemetry:
 
     def __init__(self, tracer: Optional[Tracer] = None,
                  sampler: Optional[EpochSampler] = None,
-                 registry: Optional[MetricsRegistry] = None) -> None:
+                 registry: Optional[MetricsRegistry] = None,
+                 spans=None) -> None:
         self.tracer = tracer
         self.sampler = sampler
         self.registry = registry
+        #: optional repro.obs.spans.SpanCollector; the system binds it
+        #: at construction and drives it from the hot path
+        self.spans = spans
         self.system = None
 
     # -- construction helpers -------------------------------------------
@@ -97,6 +101,23 @@ class Telemetry:
         return cls(
             tracer=Tracer([MemorySink()], validate=validate),
             sampler=EpochSampler(epoch_cycles),
+        )
+
+    @classmethod
+    def observing(cls, epoch_cycles: Optional[int] = None,
+                  validate: bool = False) -> "Telemetry":
+        """In-memory telemetry plus a full request-span collector.
+
+        The bundle :mod:`repro.obs` consumers want: events and epoch
+        samples in memory, and every request's lifecycle decomposed
+        into cause-tagged wait intervals (``telemetry.spans``).
+        """
+        from repro.obs.spans import SpanCollector
+
+        return cls(
+            tracer=Tracer([MemorySink()], validate=validate),
+            sampler=EpochSampler(epoch_cycles),
+            spans=SpanCollector(),
         )
 
     # -- lifecycle ------------------------------------------------------
@@ -129,6 +150,8 @@ class Telemetry:
                        if self.tracer is not None else 0),
             "epochs": len(self.samples),
         }
+        if self.spans is not None:
+            out["spans"] = self.spans.requests_completed
         if self.system is not None:
             reg = self.system.metrics
             out["requests"] = int(reg.sum("dram.channel.serviced_requests"))

@@ -19,6 +19,15 @@ guarantees the rest of the repo silently assumes:
   hit/closed/conflict classification to match.
 * **Bounded starvation** — optionally, no request (queued or serviced)
   may wait longer than ``starvation_cap`` cycles.
+* **Span legality** — when the run carries a full
+  :class:`repro.obs.spans.SpanCollector`, every completed request span
+  must tile ``[arrival, completion)`` exactly with disjoint,
+  contiguous wait intervals, and every culprit tag must refer to a
+  request the oracle actually saw in service: a ``queue`` wait names
+  the grant occupying the bank over exactly that interval, a ``bus``
+  wait names the burst whose data occupied the channel until the wait
+  ended, and a ``row`` wait names a thread that had been serviced at
+  that bank earlier.
 * **Policy invariants** — the selected request must maximise the
   scheduler's own priority tuple over the queue (for every scheduler
   using the base ``select``); TCM must never service a
@@ -68,6 +77,9 @@ class OracleConfig:
     check_timing: bool = True
     check_row_state: bool = True
     check_policy: bool = True
+    #: validate request-lifecycle spans against the oracle's own
+    #: service log (no-op unless the run has a full span collector)
+    check_spans: bool = True
     starvation_cap: Optional[int] = None
     #: raise at the first violation (default) or collect them all into
     #: the report for post-mortem inspection.
@@ -157,6 +169,18 @@ class InvariantOracle:
         self._write_arrivals = 0
         self._write_services = 0
         self._serviced_reads = 0
+        # span-legality evidence: what was *actually* in service.
+        # services: (ch, bank) -> {occupancy end: (grant cycle, thread)}
+        # (bank occupancies never share an end cycle: each grant needs
+        # an idle bank, so ends are strictly increasing per bank);
+        # earliest_service: (ch, bank) -> {thread: earliest occupancy end}
+        # (evidence for row-blame: the culprit used the bank earlier);
+        # bus: channel -> {burst end: thread} (bursts serialise, so
+        # data ends are strictly increasing per channel too)
+        self._services: Dict[Tuple[int, int],
+                             Dict[int, Tuple[int, int]]] = {}
+        self._earliest_service: Dict[Tuple[int, int], Dict[int, int]] = {}
+        self._bus_bursts: Dict[int, Dict[int, int]] = {}
         self._kind_counts = {"hit": 0, "closed": 0, "conflict": 0}
         self._last_event_ts = 0
         self._last_quantum_index: Optional[int] = None
@@ -346,6 +370,16 @@ class InvariantOracle:
             None if t.page_policy == "closed" else request.row
         )
         self._bus_free[channel.channel_id] = data_end
+        if self.config.check_spans:
+            key = (channel.channel_id, request.bank_id)
+            tid = request.thread_id
+            self._services.setdefault(key, {})[data_end] = (now, tid)
+            earliest = self._earliest_service.setdefault(key, {})
+            if tid not in earliest:
+                earliest[tid] = data_end
+            self._bus_bursts.setdefault(
+                channel.channel_id, {}
+            )[data_end] = tid
 
     def _make_start_service(self, channel, original):
         def start_service(request: MemoryRequest, now: int):
@@ -493,6 +527,100 @@ class InvariantOracle:
         )
 
     # ------------------------------------------------------------------
+    # span legality (end-of-run, against the oracle's own service log)
+    # ------------------------------------------------------------------
+
+    def _finish_spans(self) -> None:
+        """Validate every completed request span the run collected."""
+        collector = getattr(self.system, "_spans", None)
+        if (
+            collector is None
+            or not getattr(collector, "record_intervals", False)
+            or not getattr(collector, "keep_spans", False)
+        ):
+            return
+        for span in collector.spans:
+            self._check_span(span)
+
+    def _check_span(self, span) -> None:
+        from repro.obs.spans import CAUSE_BUS, CAUSE_QUEUE, CAUSE_ROW
+
+        # intervals, in recorded order, must chain without gap or
+        # overlap from arrival to completion
+        cursor = span.arrival
+        tiled = True
+        for interval in span.intervals:
+            if interval.start != cursor or interval.end <= interval.start:
+                tiled = False
+                break
+            cursor = interval.end
+        self._expect(
+            tiled and cursor == span.completion,
+            "spans",
+            f"{span!r} intervals do not tile [arrival, completion): "
+            f"chain broke at {cursor} "
+            f"({[tuple(i) for i in span.intervals]})",
+        )
+        total = sum(i.end - i.start for i in span.intervals)
+        self._expect(
+            total == span.latency,
+            "spans",
+            f"{span!r} interval cycles {total} != latency {span.latency}",
+        )
+        key = (span.channel_id, span.bank_id)
+        services = self._services.get(key, {})
+        tid = span.thread_id
+        # the span's own grant must be a service the oracle witnessed
+        own = services.get(span.completion - self._timings.fixed_overhead)
+        self._expect(
+            own is not None and own == (span.start_service, tid),
+            "spans",
+            f"{span!r} claims service at {span.start_service}, oracle "
+            f"saw {own}",
+        )
+        earliest = self._earliest_service.get(key, {})
+        bursts = self._bus_bursts.get(span.channel_id, {})
+        for interval in span.intervals:
+            culprit = interval.culprit
+            if culprit == tid:
+                continue
+            if interval.cause == CAUSE_QUEUE:
+                entry = services.get(interval.end)
+                if interval.partial:
+                    # the blocking grant predates the victim's arrival
+                    legal = (
+                        entry is not None
+                        and entry[1] == culprit
+                        and entry[0] <= interval.start
+                    )
+                else:
+                    legal = entry == (interval.start, culprit)
+                self._expect(
+                    legal,
+                    "spans",
+                    f"{span!r} blames t{culprit} for queue wait "
+                    f"[{interval.start}, {interval.end}), but the bank's "
+                    f"service there was {entry}",
+                )
+            elif interval.cause == CAUSE_BUS:
+                self._expect(
+                    bursts.get(interval.end) == culprit,
+                    "spans",
+                    f"{span!r} blames t{culprit} for bus wait ending "
+                    f"{interval.end}, but that burst belonged to "
+                    f"t{bursts.get(interval.end)}",
+                )
+            elif interval.cause == CAUSE_ROW:
+                first = earliest.get(culprit)
+                self._expect(
+                    first is not None and first <= interval.start,
+                    "spans",
+                    f"{span!r} blames t{culprit} for a row conflict at "
+                    f"{interval.start}, but t{culprit} was never "
+                    f"serviced at that bank before then",
+                )
+
+    # ------------------------------------------------------------------
     # telemetry event stream
     # ------------------------------------------------------------------
 
@@ -616,6 +744,8 @@ class InvariantOracle:
                     f"result.{attr} {getattr(result, attr)} != oracle "
                     f"{kind} count {self._kind_counts[kind]}",
                 )
+        if self.config.check_spans:
+            self._finish_spans()
         if self.config.starvation_cap is not None:
             for ch in system.channels:
                 for queue in ch.queues:
@@ -645,11 +775,14 @@ def checked_run(
     params=None,
     oracle_config: Optional[OracleConfig] = None,
     cycles: Optional[int] = None,
+    spans: bool = False,
 ):
     """Run one oracle-checked simulation; returns (result, report).
 
     Raises :class:`InvariantViolation` if any invariant fails (unless
-    ``oracle_config.raise_on_violation`` is False).
+    ``oracle_config.raise_on_violation`` is False).  With ``spans`` a
+    full :class:`repro.obs.spans.SpanCollector` is attached and every
+    completed span is validated against the oracle's service log.
     """
     from repro.config import SimConfig
     from repro.schedulers import make_scheduler
@@ -661,6 +794,10 @@ def checked_run(
         config or SimConfig(),
         seed=seed,
     )
+    if spans:
+        from repro.obs.spans import attach_spans
+
+        attach_spans(system)
     oracle = attach_oracle(system, oracle_config)
     result = system.run(cycles)
     report = oracle.finish(result)

@@ -1,0 +1,132 @@
+"""Tests for repro.obs.dashboard — self-contained HTML pages.
+
+The acceptance bar: ``obs dashboard`` emits valid, fully
+self-contained HTML (inline SVG + CSS, zero JavaScript, dark-mode
+aware) for a single run *and* for a campaign store, verified here by
+parsing the output.
+"""
+
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.config import SimConfig
+from repro.obs.aggregate import observe_campaign, observe_run
+from repro.obs.dashboard import (
+    render_campaign_dashboard,
+    render_run_dashboard,
+    write_dashboard,
+)
+from repro.workloads import (
+    RANDOM_ACCESS,
+    STREAMING,
+    workload_from_specs,
+)
+
+from tests.obs.test_aggregate import seeded_store
+
+PAIR = workload_from_specs("pair", [RANDOM_ACCESS, STREAMING])
+CFG = SimConfig(run_cycles=40_000, num_threads=2)
+
+VOID = {"br", "hr", "img", "input", "meta", "link", "col", "wbr",
+        "circle", "rect", "line", "polyline", "polygon", "path",
+        "stop", "use"}
+
+
+class StructureAudit(HTMLParser):
+    """Checks tag balance and inventories the page."""
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack = []
+        self.errors = []
+        self.counts = {}
+
+    def handle_starttag(self, tag, attrs):
+        self.counts[tag] = self.counts.get(tag, 0) + 1
+        if tag not in VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if tag in VOID:
+            return
+        if not self.stack:
+            self.errors.append(f"stray </{tag}>")
+        elif self.stack[-1] != tag:
+            self.errors.append(
+                f"mismatched </{tag}>, open is <{self.stack[-1]}>"
+            )
+        else:
+            self.stack.pop()
+
+
+def audited(html):
+    audit = StructureAudit()
+    audit.feed(html)
+    audit.close()
+    assert audit.errors == [], audit.errors[:5]
+    assert audit.stack == [], f"unclosed tags: {audit.stack}"
+    return audit
+
+
+def assert_self_contained(html, audit):
+    assert audit.counts.get("script", 0) == 0
+    assert "http://" not in html and "https://" not in html
+    assert "@media (prefers-color-scheme: dark)" in html
+    assert audit.counts.get("style", 0) >= 1
+
+
+@pytest.fixture(scope="module")
+def run_page():
+    obs = observe_run(PAIR, "frfcfs", CFG, seed=5, epoch_cycles=10_000)
+    return render_run_dashboard(obs)
+
+
+class TestRunDashboard:
+    def test_valid_and_self_contained(self, run_page):
+        audit = audited(run_page)
+        assert_self_contained(run_page, audit)
+
+    def test_carries_every_panel(self, run_page):
+        audit = audited(run_page)
+        # heatmap + histograms + cause bars + slowdowns + timeline
+        assert audit.counts["svg"] >= 5
+        assert audit.counts.get("title", 0) > 4  # SVG tooltips + <head>
+        # every chart offers a no-JS table view
+        assert audit.counts.get("details", 0) >= 3
+        assert audit.counts.get("table", 0) >= 3
+        assert "random-access" in run_page
+        assert "streaming" in run_page
+        assert "Interference attribution" in run_page
+
+    def test_reconciliation_badge(self, run_page):
+        assert "reconciled" in run_page.lower()
+
+
+class TestCampaignDashboard:
+    def test_valid_and_self_contained(self, tmp_path):
+        obs = observe_campaign(seeded_store(tmp_path))
+        html = render_campaign_dashboard(obs, title="t")
+        audit = audited(html)
+        assert_self_contained(html, audit)
+        # WS + MS trajectories for two schedulers
+        assert audit.counts.get("polyline", 0) >= 4
+        assert "tcm" in html and "atlas" in html
+        # the failure table names the broken point
+        assert "mix-c" in html and "ValueError" in html
+
+    def test_empty_store_still_renders(self, tmp_path):
+        from repro.campaign.store import CampaignStore
+
+        obs = observe_campaign(CampaignStore(tmp_path / "empty"))
+        html = render_campaign_dashboard(obs, title="empty")
+        audited(html)
+
+
+class TestWriteDashboard:
+    def test_writes_file(self, tmp_path, run_page):
+        out = tmp_path / "sub" / "run.html"
+        path = write_dashboard(run_page, out)
+        text = out.read_text()
+        assert str(path) == str(out)
+        assert text == run_page

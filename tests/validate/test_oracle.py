@@ -87,7 +87,8 @@ class TestInjectedBugs:
         """A bank that returns data 10 cycles early violates Table 3."""
         original = Bank.begin_access
 
-        def hasty(self, row, now, bus_free_until, activate_not_before=0):
+        def hasty(self, row, now, bus_free_until, activate_not_before=0,
+                  thread_id=None):
             access = original(self, row, now, bus_free_until,
                               activate_not_before)
             return BankAccess(access.kind, access.data_start - 10,
@@ -104,7 +105,8 @@ class TestInjectedBugs:
         row-buffer replay (timing checks off so the lie is isolated)."""
         original = Bank.begin_access
 
-        def liar(self, row, now, bus_free_until, activate_not_before=0):
+        def liar(self, row, now, bus_free_until, activate_not_before=0,
+                 thread_id=None):
             access = original(self, row, now, bus_free_until,
                               activate_not_before)
             return BankAccess("hit", access.data_start, access.data_end,
@@ -260,7 +262,8 @@ class TestAttachment:
     def test_collect_mode_gathers_instead_of_raising(self, monkeypatch):
         original = Bank.begin_access
 
-        def hasty(self, row, now, bus_free_until, activate_not_before=0):
+        def hasty(self, row, now, bus_free_until, activate_not_before=0,
+                  thread_id=None):
             access = original(self, row, now, bus_free_until,
                               activate_not_before)
             return BankAccess(access.kind, access.data_start - 10,
