@@ -2,38 +2,121 @@
 
 Not a paper experiment — tracks the event-driven engine's own speed
 (the practical limit on how closely the paper's 100M-cycle scale can
-be approached).  Uses multiple pytest-benchmark rounds, unlike the
-experiment benches which run their (multi-second) drivers once.
+be approached).  Three layers:
+
+* **Per-scheduler speed** — every policy in the registry, not just the
+  former frfcfs/tcm/parbs trio; TCM's shuffle path and PAR-BS's
+  batch-ranking are the likely hot spots and were previously
+  unmeasured.  Each bench attaches ``repro.prof`` component shares as
+  ``extra_info`` so the artifact says *where* the cycles went, and
+  appends a ``repro.prof.history`` record when ``REPRO_BENCH_RECORD=1``.
+* **Profiler identity** — a profiled run returns a ``RunResult`` equal
+  to the plain run's (the wrapping idiom must never perturb the
+  simulation).
+* **Off-path overhead guard** — best-of-5 plain-run wall clock against
+  the committed ``BENCH_history.json`` record for ``engine_speed[tcm]``
+  via :func:`repro.prof.history.compare` at 3% tolerance.  Asserted
+  only under ``REPRO_BENCH_STRICT=1`` *and* a matching machine
+  fingerprint (fingerprint mismatch is a warn-verdict by design); the
+  ratio lands in ``extra_info`` either way.
 """
 
+import os
+import statistics
+import time
+
+import pytest
+
+from conftest import REPO_ROOT, record_history
 from repro import SimConfig, System, make_scheduler
+from repro.prof import history as prof_history
+from repro.prof import profile_run
+from repro.schedulers.registry import SCHEDULERS
 from repro.workloads import make_intensity_workload
 
 CYCLES = 60_000
+THREADS = 24
+ROUNDS = 3
+STRICT = os.environ.get("REPRO_BENCH_STRICT") == "1"
+#: profiler off-path budget vs the committed engine-speed record
+OFF_PATH_TOLERANCE = 1.03
 
 
-def _run(scheduler_name):
+def _workload():
+    return make_intensity_workload(0.75, num_threads=THREADS, seed=0)
+
+
+def _system(scheduler_name):
     cfg = SimConfig(run_cycles=CYCLES)
-    workload = make_intensity_workload(0.75, num_threads=24, seed=0)
-    system = System(workload, make_scheduler(scheduler_name), cfg, seed=0)
-    return system.run()
+    return System(_workload(), make_scheduler(scheduler_name), cfg, seed=0)
 
 
-def test_engine_speed_frfcfs(benchmark):
-    result = benchmark.pedantic(
-        lambda: _run("frfcfs"), rounds=3, iterations=1
-    )
+def _timed_run(scheduler_name):
+    system = _system(scheduler_name)
+    t0 = time.perf_counter()
+    result = system.run()
+    return time.perf_counter() - t0, result, system
+
+
+@pytest.mark.parametrize("name", sorted(SCHEDULERS))
+def test_engine_speed(benchmark, name):
+    """Engine speed and component shares for one registered policy."""
+    rounds, result, events = [], None, 0
+    for _ in range(ROUNDS):
+        dt, result, system = _timed_run(name)
+        rounds.append(dt)
+        events = system._seq
     assert result.total_requests > 500
+    median = statistics.median(rounds)
+
+    # Where the cycles go: one profiled run (not a timed round — the
+    # wrappers cost wall time by design).  Also the identity check.
+    prof_result, report = profile_run(
+        _workload(), name, SimConfig(run_cycles=CYCLES), seed=0
+    )
+    assert prof_result == result, "profiler changed the simulated outcome"
+    shares = {k: round(v, 4) for k, v in report.component_shares().items()}
+
     benchmark.extra_info["requests"] = result.total_requests
     benchmark.extra_info["cycles"] = CYCLES
+    benchmark.extra_info["events_per_sec"] = round(events / median)
+    benchmark.extra_info["requests_per_sec"] = round(
+        result.total_requests / median
+    )
+    benchmark.extra_info["component_shares"] = shares
+    record_history(
+        f"engine_speed[{name}]", "engine_speed", rounds,
+        requests=result.total_requests,
+        cycles=CYCLES,
+        events=events,
+        events_per_sec=round(events / median),
+        requests_per_sec=round(result.total_requests / median),
+        extra={"component_shares": shares},
+    )
+    benchmark.pedantic(lambda: _system(name).run(), rounds=1, iterations=1)
 
 
-def test_engine_speed_tcm(benchmark):
-    result = benchmark.pedantic(lambda: _run("tcm"), rounds=3, iterations=1)
-    assert result.total_requests > 500
-    benchmark.extra_info["requests"] = result.total_requests
+def test_prof_off_path_overhead_vs_history(benchmark):
+    """Plain (profiler-off) wall clock vs the committed history record.
 
+    The profiler's off path is the unwrapped original code plus two
+    ``is None`` branches in ``System.run``; best-of-5 against the
+    committed ``engine_speed[tcm]`` median must stay within 3% on the
+    machine that recorded it.
+    """
+    committed = prof_history.load(REPO_ROOT / prof_history.DEFAULT_HISTORY)
+    baseline = prof_history.latest(committed, "engine_speed[tcm]")
+    if baseline is None:
+        pytest.skip("no committed engine_speed[tcm] record yet")
 
-def test_engine_speed_parbs(benchmark):
-    result = benchmark.pedantic(lambda: _run("parbs"), rounds=3, iterations=1)
-    assert result.total_requests > 500
+    rounds = [_timed_run("tcm")[0] for _ in range(5)]
+    fresh = prof_history.make_record("engine_speed[tcm]", "engine_speed",
+                                     rounds)
+    verdict = prof_history.compare(baseline, fresh,
+                                   tolerance=OFF_PATH_TOLERANCE)
+    benchmark.extra_info["verdict"] = verdict.verdict
+    benchmark.extra_info["ratio"] = verdict.ratio
+    benchmark.extra_info["message"] = verdict.message
+    benchmark.pedantic(lambda: _system("tcm").run(), rounds=1, iterations=1)
+    if STRICT and verdict.comparable:
+        assert not verdict.failed, verdict.message

@@ -62,6 +62,25 @@ Validation subcommands (see docs/VALIDATION.md)::
 scheduler with the invariant oracle attached and exits non-zero on
 any violation; ``validate goldens`` recomputes the pinned golden
 matrix and fails on fingerprint drift (``--update`` regenerates it).
+
+Self-profiling subcommands (see docs/PROFILING.md)::
+
+    python -m repro.experiments.cli prof run --scheduler tcm
+    python -m repro.experiments.cli prof run --deep
+    python -m repro.experiments.cli prof flame --out flame.svg \\
+        --collapsed flame.txt
+    python -m repro.experiments.cli prof history
+    python -m repro.experiments.cli prof compare --against new.json
+    python -m repro.experiments.cli prof dashboard --out perf.html
+
+``prof run`` profiles the *simulator itself* on one workload and
+prints component wall-time shares plus the slowest stack paths
+(``--deep`` adds a cProfile table); ``flame`` writes a self-contained
+SVG flame graph (and optionally Brendan Gregg collapsed stacks);
+``history`` lists the BENCH_history.json records; ``compare`` checks
+the latest records against a baseline history and exits non-zero on a
+same-machine regression under ``REPRO_BENCH_STRICT=1`` or
+``--strict``; ``dashboard`` renders the perf trajectory page.
 """
 
 from __future__ import annotations
@@ -525,6 +544,107 @@ def _cmd_validate(args, config):
 
 
 # ----------------------------------------------------------------------
+# prof subcommands
+# ----------------------------------------------------------------------
+
+
+def _cmd_prof(args, config):
+    from repro.prof import (
+        compare_histories,
+        load,
+        profile_run,
+        render_flame_svg,
+        strict_mode,
+        write_flame_svg,
+    )
+
+    action = args.action or "run"
+    if action not in ("run", "flame", "history", "compare", "dashboard"):
+        raise SystemExit(
+            f"prof: unknown action {action!r} "
+            "(run|flame|history|compare|dashboard)"
+        )
+    history_path = args.history or "BENCH_history.json"
+
+    if action == "history":
+        records = load(history_path)
+        print(
+            format_table(
+                ["bench", "date", "sha", "median s", "best s", "events/s"],
+                [[r.get("bench", "?"), r.get("recorded_on", "?"),
+                  (r.get("git_sha") or "?")[:9],
+                  round(r["wall_s"]["median"], 4),
+                  round(r["wall_s"]["best"], 4),
+                  (round(r["events_per_sec"])
+                   if r.get("events_per_sec") else "-")]
+                 for r in records],
+                title=f"{history_path} ({len(records)} records)",
+            )
+        )
+        return
+
+    if action == "compare":
+        against = args.against or history_path
+        verdicts = compare_histories(history_path, against,
+                                     tolerance=args.tolerance)
+        if not verdicts:
+            print("prof compare: no overlapping benches to compare")
+            return
+        rows = [[v.bench, v.verdict,
+                 f"{v.ratio:.3f}x" if v.ratio is not None else "-",
+                 v.message]
+                for v in verdicts]
+        print(format_table(["bench", "verdict", "ratio", "detail"], rows,
+                           title=f"{history_path} vs {against}"))
+        regressions = [v for v in verdicts if v.failed]
+        if regressions and (args.strict or strict_mode()):
+            raise SystemExit(
+                f"prof compare: {len(regressions)} regression(s)"
+            )
+        return
+
+    # run | flame | dashboard all profile one run
+    workload = _telemetry_workload(args, config)
+    scheduler = args.scheduler or "tcm"
+    result, report = profile_run(
+        workload, scheduler, config, seed=args.seed, deep=args.deep
+    )
+
+    if action == "run":
+        print(report.format_text())
+        return
+
+    title = (f"repro.prof — {workload.name} under {scheduler} "
+             f"({result.cycles} cycles)")
+    if action == "flame":
+        out = args.out or "flame.svg"
+        print(f"wrote {write_flame_svg(report, out, title=title)}")
+        if args.collapsed:
+            from pathlib import Path
+
+            from repro.prof import render_collapsed
+
+            Path(args.collapsed).write_text(render_collapsed(report),
+                                            encoding="utf-8")
+            print(f"wrote {args.collapsed}")
+        return
+
+    from repro.obs.dashboard import write_dashboard
+    from repro.prof.dashboard import render_perf_dashboard
+
+    try:
+        records = load(history_path)
+    except (ValueError, OSError):
+        records = []
+    html = render_perf_dashboard(
+        records, report=report,
+        flame_svg=render_flame_svg(report, title=title),
+    )
+    out = args.out or "perf.html"
+    print(f"wrote {write_dashboard(html, out)}")
+
+
+# ----------------------------------------------------------------------
 # campaign subcommands
 # ----------------------------------------------------------------------
 
@@ -604,6 +724,7 @@ def _cmd_campaign(args, config):
 _COMMANDS = {
     "campaign": _cmd_campaign,
     "obs": _cmd_obs,
+    "prof": _cmd_prof,
     "telemetry": _cmd_telemetry,
     "validate": _cmd_validate,
     "run": _cmd_run,
@@ -635,7 +756,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="campaign action: run | resume | status; "
                              "telemetry action: report | trace; "
                              "validate action: run | goldens; "
-                             "obs action: report | attribution | dashboard")
+                             "obs action: report | attribution | dashboard; "
+                             "prof action: run | flame | history | "
+                             "compare | dashboard")
     parser.add_argument("--cycles", type=int, default=400_000,
                         help="simulated cycles per run")
     parser.add_argument("--per-category", type=int, default=2,
@@ -682,6 +805,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--out", default=None,
                         help="output HTML path (obs dashboard; default "
                              "obs_run.html / obs_campaign.html)")
+    parser.add_argument("--deep", action="store_true",
+                        help="prof run/flame: add cProfile deep mode")
+    parser.add_argument("--collapsed", default=None,
+                        help="prof flame: also write Brendan Gregg "
+                             "collapsed stacks to this path")
+    parser.add_argument("--history", default=None,
+                        help="prof: benchmark history file (default "
+                             "BENCH_history.json)")
+    parser.add_argument("--against", default=None,
+                        help="prof compare: newer history file to check "
+                             "against --history (default: compare the "
+                             "last two records per bench in --history)")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="prof compare: regression tolerance on the "
+                             "median ratio (default: the baseline "
+                             "record's own, then 1.05)")
+    parser.add_argument("--strict", action="store_true",
+                        help="prof compare: exit non-zero on regression "
+                             "even without REPRO_BENCH_STRICT=1")
     parser.add_argument("--update", action="store_true",
                         help="regenerate the golden matrix instead of "
                              "checking it (validate goldens)")

@@ -1,0 +1,83 @@
+"""repro.prof — the simulator profiling itself.
+
+Where :mod:`repro.telemetry` and :mod:`repro.obs` measure the
+*simulated* machine, this package measures the *simulator*: which
+engine component burns the wall-clock, how fast the event loop runs,
+and whether either regressed since the last commit.
+
+Three cooperating pieces:
+
+* :class:`Profiler` / :func:`profile_run` — phase-scoped wall-time
+  attribution over explicit instrumentation points (event dispatch,
+  per-scheduler grant/rank paths, DRAM service, CPU retire, attached
+  telemetry/obs overhead), attached per-instance so an unprofiled run
+  executes byte-identical code; optional cProfile deep mode.
+* :mod:`repro.prof.flame` — collapsed-stack text (Brendan Gregg
+  format, exact round-trip) and a self-contained no-JS SVG flame
+  graph.
+* :mod:`repro.prof.history` — the append-only ``BENCH_history.json``
+  record format with ``load``/``append``/``compare`` and
+  median-of-rounds regression verdicts (warn by default, fail under
+  ``REPRO_BENCH_STRICT=1``).
+
+CLI: ``python -m repro.experiments.cli prof run|flame|history|``
+``compare|dashboard`` — see docs/PROFILING.md.
+"""
+
+from repro.prof.flame import (
+    parse_collapsed,
+    render_collapsed,
+    render_flame_svg,
+    write_flame_svg,
+)
+from repro.prof.history import (
+    DEFAULT_HISTORY,
+    DEFAULT_TOLERANCE,
+    Verdict,
+    append,
+    compare,
+    compare_histories,
+    git_sha,
+    latest,
+    load,
+    load_baseline,
+    machine_fingerprint,
+    make_record,
+    same_machine,
+    strict_mode,
+)
+from repro.prof.profiler import (
+    ProfileNode,
+    ProfileReport,
+    Profiler,
+    attach_profiler,
+    component_of,
+    profile_run,
+)
+
+__all__ = [
+    "DEFAULT_HISTORY",
+    "DEFAULT_TOLERANCE",
+    "ProfileNode",
+    "ProfileReport",
+    "Profiler",
+    "Verdict",
+    "append",
+    "attach_profiler",
+    "compare",
+    "compare_histories",
+    "component_of",
+    "git_sha",
+    "latest",
+    "load",
+    "load_baseline",
+    "machine_fingerprint",
+    "make_record",
+    "parse_collapsed",
+    "profile_run",
+    "render_collapsed",
+    "render_flame_svg",
+    "same_machine",
+    "strict_mode",
+    "write_flame_svg",
+]

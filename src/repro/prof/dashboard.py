@@ -1,0 +1,218 @@
+"""Perf dashboard: the simulator's own speed trajectory as one page.
+
+Reuses the ``repro.obs`` dashboard infrastructure (page shell, CSS
+themes, tiles, details-tables) and follows the same contract: one
+self-contained HTML file, inline SVG, light/dark via CSS custom
+properties, no JavaScript.
+
+Sections:
+
+* per-benchmark **trajectory sparklines** — median wall-time across
+  the history's records (newest right), best-round band;
+* **component-share stacked bars** — where each benchmark's wall-time
+  goes (engine / scheduler / dram / cpu / telemetry / obs), from the
+  latest record carrying ``extra.component_shares``;
+* **slowest-phase table** — top self-time stack paths of a fresh
+  profile, when one is supplied;
+* optionally an embedded flame graph SVG.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.dashboard import (  # shared page infra (obs PR)
+    _CSS,
+    _details_table,
+    _fmt,
+    _legend,
+    _page,
+    _series_color,
+    _tiles,
+)
+from repro.prof.history import benches
+from repro.prof.profiler import ProfileReport
+
+#: component -> palette slot (matches flame.py's hues)
+_COMPONENT_SLOTS = {"engine": 0, "scheduler": 1, "dram": 2, "cpu": 3,
+                    "telemetry": 4, "obs": 6, "other": 7}
+
+assert _CSS  # re-exported page shell carries the stylesheet
+
+
+def _sparkline(rounds: List[dict], width: int = 280,
+               height: int = 54) -> str:
+    """One bench's median wall-time across records, newest right."""
+    medians = [r["wall_s"]["median"] for r in rounds]
+    bests = [r["wall_s"]["best"] for r in rounds]
+    lo = min(bests) * 0.95
+    hi = max(medians) * 1.05
+    span = (hi - lo) or 1.0
+    n = len(medians)
+
+    def sx(i: int) -> float:
+        return 4 + (i / max(1, n - 1)) * (width - 8)
+
+    def sy(v: float) -> float:
+        return 4 + (1 - (v - lo) / span) * (height - 8)
+
+    parts = [f'<svg width="{width}" height="{height + 14}">']
+    if n > 1:
+        path = " ".join(f"{sx(i):.1f},{sy(v):.1f}"
+                        for i, v in enumerate(medians))
+        parts.append(f'<polyline points="{path}" fill="none" '
+                     f'stroke="var(--s1)" stroke-width="2"/>')
+    for i, record in enumerate(rounds):
+        sha = (record.get("git_sha") or "?")[:9]
+        parts.append(
+            f'<circle cx="{sx(i):.1f}" cy="{sy(medians[i]):.1f}" r="3.5" '
+            f'fill="var(--s1)" stroke="var(--surface-1)" stroke-width="1.5">'
+            f"<title>{escape(record.get('recorded_on', '?'))} @ "
+            f"{escape(sha)}: median {medians[i]:.4f}s "
+            f"(best {bests[i]:.4f}s)</title></circle>"
+        )
+    parts.append(
+        f'<text x="4" y="{height + 11}" fill="var(--muted)">'
+        f"{medians[0]:.3f}s</text>"
+        f'<text x="{width - 4}" y="{height + 11}" text-anchor="end" '
+        f'fill="var(--muted)">{medians[-1]:.3f}s</text>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _trajectories(records: List[dict]) -> str:
+    facets, rows = [], []
+    for bench in benches(records):
+        history = [r for r in records if r.get("bench") == bench]
+        facets.append(
+            f'<div class="facet"><div class="fl">{escape(bench)} '
+            f"· {len(history)} record(s)</div>"
+            f"{_sparkline(history)}</div>"
+        )
+        for record in history:
+            rows.append([
+                bench, record.get("recorded_on", "?"),
+                (record.get("git_sha") or "?")[:9],
+                round(record["wall_s"]["median"], 4),
+                round(record["wall_s"]["best"], 4),
+                record.get("events_per_sec"),
+            ])
+    table = _details_table(
+        ["bench", "date", "sha", "median s", "best s", "events/s"],
+        rows, left_cols=3,
+    )
+    return ("<h2>Wall-time trajectory per benchmark "
+            "(median of rounds, newest right)</h2>"
+            f'<div class="facets">{"".join(facets)}</div>' + table)
+
+
+def _share_bars(records: List[dict]) -> str:
+    """Latest component shares per bench as stacked horizontal bars."""
+    latest_shares: List = []
+    for bench in benches(records):
+        for record in reversed(records):
+            if record.get("bench") != bench:
+                continue
+            shares = (record.get("extra") or {}).get("component_shares")
+            if shares:
+                latest_shares.append((bench, shares))
+            break
+    if not latest_shares:
+        return ""
+    components = sorted(
+        {c for _, shares in latest_shares for c in shares},
+        key=lambda c: _COMPONENT_SLOTS.get(c, 7),
+    )
+    w, bh, gap, left = 520, 20, 10, 190
+    height = len(latest_shares) * (bh + gap) + 4
+    parts = [f'<svg width="{w + left + 16}" height="{height}" role="img" '
+             f'aria-label="component shares per benchmark">']
+    rows = []
+    for i, (bench, shares) in enumerate(latest_shares):
+        y = i * (bh + gap)
+        parts.append(f'<text x="{left - 8}" y="{y + bh - 5}" '
+                     f'text-anchor="end" fill="var(--muted)">'
+                     f"{escape(bench)}</text>")
+        x = float(left)
+        for component in components:
+            share = shares.get(component, 0.0)
+            seg = share * w
+            if seg > 1.5:
+                slot = _COMPONENT_SLOTS.get(component, 7)
+                parts.append(
+                    f'<rect x="{x:.1f}" y="{y}" width="{seg - 1:.1f}" '
+                    f'height="{bh}" rx="3" fill="{_series_color(slot)}">'
+                    f"<title>{escape(bench)} — {escape(component)}: "
+                    f"{share:.1%}</title></rect>"
+                )
+            x += seg
+        rows.append([bench] + [f"{shares.get(c, 0.0):.1%}"
+                               for c in components])
+    parts.append("</svg>")
+    legend = _legend([(c, _series_color(_COMPONENT_SLOTS.get(c, 7)))
+                      for c in components])
+    table = _details_table(["bench"] + components, rows)
+    return ("<h2>Where the wall-time goes — component shares "
+            "(latest record per bench)</h2>"
+            + "".join(parts) + legend + table)
+
+
+def _slowest_table(report: ProfileReport, limit: int = 12) -> str:
+    selfs = report.self_times()
+    rows = [
+        [";".join(node.path), round(selfs.get(node.path, 0.0) * 1e3, 3),
+         node.calls]
+        for node in report.slowest(limit)
+    ]
+    head = "".join(
+        f'<th class="{"l" if i == 0 else ""}">{h}</th>'
+        for i, h in enumerate(["stack path", "self ms", "calls"])
+    )
+    cells = "".join(
+        "<tr>" + "".join(
+            f'<td class="{"l" if i == 0 else ""}">{escape(_fmt(c))}</td>'
+            for i, c in enumerate(row)) + "</tr>"
+        for row in rows
+    )
+    return (f"<h2>Slowest phases — "
+            f"{escape(report.workload or '?')} under "
+            f"{escape(report.scheduler or '?')}</h2>"
+            f"<table><tr>{head}</tr>{cells}</table>")
+
+
+def render_perf_dashboard(
+    records: Sequence[dict],
+    report: Optional[ProfileReport] = None,
+    flame_svg: Optional[str] = None,
+    title: str = "repro.prof — simulator performance",
+) -> str:
+    """The perf page as a self-contained HTML string."""
+    records = list(records)
+    machines = {tuple(sorted((r.get("machine") or {}).items()))
+                for r in records}
+    last = records[-1] if records else {}
+    tiles = [
+        ("records", _fmt(len(records))),
+        ("benchmarks", _fmt(len(benches(records)))),
+        ("machines", _fmt(len(machines))),
+        ("latest sha", (last.get("git_sha") or "?")[:9]),
+    ]
+    if report is not None:
+        tiles += [("events/s", f"{report.events_per_sec():,.0f}"),
+                  ("requests/s", f"{report.requests_per_sec():,.0f}")]
+    body = [_tiles(tiles)]
+    if records:
+        body.append(f'<div class="card">{_trajectories(records)}</div>')
+        bars = _share_bars(records)
+        if bars:
+            body.append(f'<div class="card">{bars}</div>')
+    if report is not None:
+        body.append(f'<div class="card">{_slowest_table(report)}</div>')
+    if flame_svg:
+        body.append('<div class="card"><h2>Flame graph</h2>'
+                    f"{flame_svg}</div>")
+    subtitle = (f"{len(records)} history record(s) · append-only "
+                "BENCH_history.json · medians of rounds")
+    return _page(title, subtitle, "".join(body))

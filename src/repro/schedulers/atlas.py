@@ -65,9 +65,14 @@ class ATLASScheduler(Scheduler):
     ) -> None:
         self._quantum_service[request.thread_id] += busy_cycles
 
-    def on_timer(self, now: int, key: str) -> None:
-        if key != "atlas-quantum":
-            return
+    def prof_points(self):
+        # end-of-quantum attained-service decay + re-ranking
+        return super().prof_points() + [
+            ("sched.rank[ATLAS]", "_recompute_ranks"),
+        ]
+
+    def _recompute_ranks(self) -> None:
+        """Decay attained service and re-rank (least attained first)."""
         alpha = self.params.history_weight
         n = len(self._attained)
         for tid in range(n):
@@ -82,6 +87,11 @@ class ATLASScheduler(Scheduler):
             key=lambda tid: (self._attained[tid] / self._weights[tid], tid),
         )
         self._rank = {tid: n - pos for pos, tid in enumerate(order)}
+
+    def on_timer(self, now: int, key: str) -> None:
+        if key != "atlas-quantum":
+            return
+        self._recompute_ranks()
         self.quanta_completed += 1
         self.trace(
             "rank", now,

@@ -53,6 +53,12 @@ class STFMScheduler(Scheduler):
         registry.register("stfm.evaluations", lambda: self.evaluations)
         registry.register("stfm.unfairness", lambda: self.last_unfairness)
 
+    def prof_points(self):
+        # periodic slowdown re-estimation over all threads
+        return super().prof_points() + [
+            ("sched.eval[STFM]", "_reevaluate"),
+        ]
+
     def on_attach(self) -> None:
         n = self.system.workload.num_threads
         self._t_shared = [0] * n

@@ -131,6 +131,10 @@ class System:
         # None costs one branch per emit site, like the tracer.
         spans = getattr(telemetry, "spans", None)
         self._spans = spans.bind(self) if spans is not None else None
+        # self-profiler (repro.prof): attached per-instance via
+        # Profiler.attach, exactly like the invariant oracle; when None
+        # (the default everywhere) the run pays two branches total.
+        self._prof = None
         self._sample_period = 0
         self._register_metrics()
         if self.config.prefetch_degree > 0:
@@ -402,6 +406,8 @@ class System:
         if self._sampler is not None:
             self._sample_period = self._sampler.resolve_period(self)
             self._push_sample(self._sample_period)
+        if self._prof is not None:
+            self._prof.begin_run(self)
 
         events = self._events
         while events and events[0][0] <= horizon:
@@ -423,6 +429,8 @@ class System:
             elif kind == _EV_SAMPLE:
                 self._take_sample()
         self.now = horizon
+        if self._prof is not None:
+            self._prof.end_run(self, horizon)
         for thread in self.threads:
             thread.finalize(horizon)
 

@@ -1,0 +1,1 @@
+"""Tests for repro.prof — self-profiling, flame graphs, perf history."""

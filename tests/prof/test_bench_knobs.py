@@ -1,0 +1,77 @@
+"""Regression guard: benchmark scale knobs are read lazily.
+
+``benchmarks/conftest.py`` once read ``REPRO_BENCH_*`` at import time,
+so setting the environment after pytest had imported the conftest (it
+imports every conftest up front) silently used the defaults.  The
+knobs must be read inside the fixtures, at call time.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+BENCH_CONFTEST = (Path(__file__).resolve().parents[2]
+                  / "benchmarks" / "conftest.py")
+
+
+@pytest.fixture()
+def bench_conftest():
+    """Import benchmarks/conftest.py under a private module name."""
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest_under_test", BENCH_CONFTEST
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestLazyKnobs:
+    def test_env_set_after_import_takes_effect(self, bench_conftest,
+                                               monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_WORKLOADS", "7")
+        monkeypatch.setenv("REPRO_BENCH_CYCLES", "12345")
+        monkeypatch.setenv("REPRO_BENCH_SEED", "99")
+        assert bench_conftest.bench_workloads() == 7
+        assert bench_conftest.bench_cycles() == 12345
+        assert bench_conftest.bench_seed() == 99
+
+    def test_defaults_without_env(self, bench_conftest, monkeypatch):
+        for name in ("REPRO_BENCH_WORKLOADS", "REPRO_BENCH_CYCLES",
+                     "REPRO_BENCH_SEED"):
+            monkeypatch.delenv(name, raising=False)
+        assert bench_conftest.bench_workloads() == 2
+        assert bench_conftest.bench_cycles() == 300_000
+        assert bench_conftest.bench_seed() == 0
+
+    def test_no_knob_constants_frozen_at_import(self, bench_conftest):
+        # the old import-time constants must not come back
+        for stale in ("PER_CATEGORY", "RUN_CYCLES", "BASE_SEED"):
+            assert not hasattr(bench_conftest, stale)
+
+
+class TestRecordHistory:
+    def test_noop_without_opt_in(self, bench_conftest, monkeypatch,
+                                 tmp_path):
+        target = tmp_path / "hist.json"
+        monkeypatch.delenv("REPRO_BENCH_RECORD", raising=False)
+        monkeypatch.setenv("REPRO_BENCH_HISTORY", str(target))
+        bench_conftest.record_history("b", "f", [0.1])
+        assert not target.exists()
+
+    def test_appends_when_opted_in(self, bench_conftest, monkeypatch,
+                                   tmp_path):
+        from repro.prof import history
+
+        target = tmp_path / "hist.json"
+        monkeypatch.setenv("REPRO_BENCH_RECORD", "1")
+        monkeypatch.setenv("REPRO_BENCH_HISTORY", str(target))
+        bench_conftest.record_history(
+            "engine_speed[tcm]", "engine_speed", [0.2, 0.1],
+            requests=42, extra={"component_shares": {"cpu": 1.0}},
+        )
+        records = history.load(target)
+        assert len(records) == 1
+        assert records[0]["requests"] == 42
+        assert records[0]["extra"] == {"component_shares": {"cpu": 1.0}}
+        assert records[0]["wall_s"]["best"] == 0.1

@@ -1,0 +1,95 @@
+"""CLI smoke tests for the five ``prof`` actions."""
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.prof import history
+
+FAST = ["--cycles", "25000", "--intensity", "0.75"]
+
+
+def _seed_history(path, rounds_pairs):
+    for rounds in rounds_pairs:
+        history.append(path, history.make_record(
+            "engine_speed[tcm]", "engine_speed", list(rounds),
+            events_per_sec=100_000,
+        ))
+
+
+class TestProfRun:
+    def test_prints_component_table(self, capsys):
+        assert main(["prof", "run", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "component" in out
+        assert "engine" in out and "scheduler" in out
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["prof", "juggle"])
+
+
+class TestProfFlame:
+    def test_writes_svg_and_collapsed(self, capsys, tmp_path):
+        svg = tmp_path / "flame.svg"
+        collapsed = tmp_path / "stacks.txt"
+        assert main(["prof", "flame", *FAST, "--out", str(svg),
+                     "--collapsed", str(collapsed)]) == 0
+        assert svg.read_text(encoding="utf-8").rstrip().endswith("</svg>")
+        first = collapsed.read_text(encoding="utf-8").splitlines()[0]
+        assert first.startswith("run")
+
+
+class TestProfHistory:
+    def test_lists_records(self, capsys, tmp_path):
+        path = tmp_path / "hist.json"
+        _seed_history(path, [(0.10, 0.11)])
+        assert main(["prof", "history", "--history", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "engine_speed[tcm]" in out
+        assert "1 records" in out
+
+
+class TestProfCompare:
+    def test_in_file_trajectory(self, capsys, tmp_path):
+        path = tmp_path / "hist.json"
+        _seed_history(path, [(0.10,), (0.25,)])
+        assert main(["prof", "compare", "--history", str(path)]) == 0
+        assert "regression" in capsys.readouterr().out
+
+    def test_strict_regression_exits_nonzero(self, tmp_path):
+        path = tmp_path / "hist.json"
+        _seed_history(path, [(0.10,), (0.25,)])
+        with pytest.raises(SystemExit):
+            main(["prof", "compare", "--history", str(path), "--strict"])
+
+    def test_improvement_passes_strict(self, capsys, tmp_path):
+        path = tmp_path / "hist.json"
+        _seed_history(path, [(0.25,), (0.10,)])
+        assert main(["prof", "compare", "--history", str(path),
+                     "--strict"]) == 0
+        assert "improvement" in capsys.readouterr().out
+
+    def test_nothing_to_compare(self, capsys, tmp_path):
+        path = tmp_path / "hist.json"
+        _seed_history(path, [(0.10,)])
+        assert main(["prof", "compare", "--history", str(path)]) == 0
+        assert "no overlapping benches" in capsys.readouterr().out
+
+
+class TestProfDashboard:
+    def test_writes_page_with_history(self, capsys, tmp_path):
+        path = tmp_path / "hist.json"
+        _seed_history(path, [(0.10,), (0.11,)])
+        out = tmp_path / "perf.html"
+        assert main(["prof", "dashboard", *FAST, "--history", str(path),
+                     "--out", str(out)]) == 0
+        html = out.read_text(encoding="utf-8")
+        assert "<svg" in html  # embedded flame graph + sparklines
+        assert "engine_speed[tcm]" in html
+
+    def test_works_without_history(self, capsys, tmp_path):
+        out = tmp_path / "perf.html"
+        assert main(["prof", "dashboard", *FAST,
+                     "--history", str(tmp_path / "missing.json"),
+                     "--out", str(out)]) == 0
+        assert "</html>" in out.read_text(encoding="utf-8")

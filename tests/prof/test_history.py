@@ -1,0 +1,184 @@
+"""Benchmark-history store: records, verdicts, and the legacy shim."""
+
+import json
+
+import pytest
+
+from repro.prof import history
+
+
+def _record(bench="engine_speed[tcm]", family="engine_speed",
+            rounds=(0.10, 0.11, 0.12), machine=None, **metrics):
+    record = history.make_record(bench, family, list(rounds), **metrics)
+    if machine is not None:
+        record["machine"] = machine
+    return record
+
+
+class TestRecords:
+    def test_make_record_fields(self):
+        record = _record(rounds=(0.3, 0.1, 0.2), requests=1234,
+                         extra={"component_shares": {"cpu": 0.5}})
+        assert record["bench"] == "engine_speed[tcm]"
+        assert record["family"] == "engine_speed"
+        assert record["wall_s"]["median"] == 0.2
+        assert record["wall_s"]["best"] == 0.1
+        assert record["wall_s"]["rounds"] == [0.3, 0.1, 0.2]
+        assert record["requests"] == 1234
+        assert record["extra"] == {"component_shares": {"cpu": 0.5}}
+        assert record["machine"] == history.machine_fingerprint()
+        assert len(record["recorded_on"]) == 10  # date only
+
+    def test_append_load_round_trip(self, tmp_path):
+        path = tmp_path / "hist.json"
+        assert history.load(path) == []  # missing file is empty history
+        assert history.append(path, _record()) == 1
+        assert history.append(path, _record(bench="engine_speed[fcfs]")) == 2
+        records = history.load(path)
+        assert [r["bench"] for r in records] == [
+            "engine_speed[tcm]", "engine_speed[fcfs]"
+        ]
+        doc = json.loads(path.read_text())
+        assert doc["format"] == history.FORMAT
+
+    def test_load_rejects_foreign_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something/else", "records": []}')
+        with pytest.raises(ValueError):
+            history.load(path)
+
+    def test_latest_and_benches(self):
+        records = [_record(rounds=(0.2,)), _record(rounds=(0.1,)),
+                   _record(bench="obs_overhead[tcm]", family="obs_overhead")]
+        assert history.latest(records, "engine_speed[tcm]")[
+            "wall_s"]["median"] == 0.1
+        assert history.latest(records, "nope") is None
+        assert history.benches(records) == [
+            "engine_speed[tcm]", "obs_overhead[tcm]"
+        ]
+
+
+class TestCompare:
+    def test_regression_detected(self):
+        verdict = history.compare(_record(rounds=(0.10,)),
+                                  _record(rounds=(0.12,)), tolerance=1.05)
+        assert verdict.verdict == history.VERDICT_REGRESSION
+        assert verdict.failed and verdict.comparable
+        assert verdict.ratio == pytest.approx(1.2)
+
+    def test_improvement_detected(self):
+        verdict = history.compare(_record(rounds=(0.12,)),
+                                  _record(rounds=(0.10,)), tolerance=1.05)
+        assert verdict.verdict == history.VERDICT_IMPROVEMENT
+        assert not verdict.failed
+
+    def test_within_tolerance_is_ok(self):
+        verdict = history.compare(_record(rounds=(0.100,)),
+                                  _record(rounds=(0.102,)), tolerance=1.05)
+        assert verdict.verdict == history.VERDICT_OK
+        assert not verdict.failed
+
+    def test_tolerance_defaults_to_baseline_record(self):
+        baseline = _record(rounds=(0.10,), tolerance=1.5)
+        verdict = history.compare(baseline, _record(rounds=(0.14,)))
+        assert verdict.verdict == history.VERDICT_OK
+        assert verdict.tolerance == 1.5
+
+    def test_fingerprint_mismatch_warns_never_fails(self):
+        other = dict(history.machine_fingerprint(), machine="riscv128")
+        verdict = history.compare(_record(machine=other),
+                                  _record(rounds=(9.9,)))
+        assert verdict.verdict == history.VERDICT_MISMATCH
+        assert not verdict.comparable
+        assert not verdict.failed
+        assert verdict.ratio is None
+
+    def test_same_machine(self):
+        fp = history.machine_fingerprint()
+        assert history.same_machine(fp, dict(fp))
+        assert not history.same_machine(fp, dict(fp, cpu_count=999))
+        assert not history.same_machine(fp, None)
+
+
+class TestCompareHistories:
+    def test_same_path_compares_last_two(self, tmp_path):
+        path = tmp_path / "hist.json"
+        history.append(path, _record(rounds=(0.10,)))
+        history.append(path, _record(rounds=(0.20,)))
+        verdicts = history.compare_histories(path, path, tolerance=1.05)
+        assert len(verdicts) == 1
+        assert verdicts[0].verdict == history.VERDICT_REGRESSION
+
+    def test_single_record_is_not_compared(self, tmp_path):
+        path = tmp_path / "hist.json"
+        history.append(path, _record())
+        assert history.compare_histories(path, path) == []
+
+    def test_cross_path_latest_vs_latest(self, tmp_path):
+        base, new = tmp_path / "base.json", tmp_path / "new.json"
+        history.append(base, _record(rounds=(0.20,)))
+        history.append(new, _record(rounds=(0.10,)))
+        history.append(new, _record(bench="only_new[x]", family="x"))
+        verdicts = history.compare_histories(base, new, tolerance=1.05)
+        assert len(verdicts) == 1  # only overlapping benches compared
+        assert verdicts[0].verdict == history.VERDICT_IMPROVEMENT
+
+
+class TestLoadBaseline:
+    V1_WORKLOAD = {"scheduler": "tcm", "intensity": 0.75,
+                   "num_threads": 24, "seed": 0, "run_cycles": 120000}
+
+    def test_v1_telemetry_overhead_record(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        record = _record(bench="telemetry_overhead[tcm]",
+                         family="telemetry_overhead",
+                         rounds=(0.12, 0.10, 0.11),
+                         tolerance=1.03, requests=4994,
+                         workload=self.V1_WORKLOAD)
+        history.append(path, record)
+        baseline = history.load_baseline(path)
+        assert baseline["scheduler"] == "tcm"
+        assert baseline["run_cycles"] == 120000
+        assert baseline["requests"] == 4994
+        assert baseline["min_s"] == 0.10
+        assert baseline["max_slowdown"] == 1.03
+        assert baseline["machine"] == history.machine_fingerprint()
+
+    def test_legacy_bare_dict(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps({
+            "scheduler": "tcm", "intensity": 0.75, "num_threads": 24,
+            "seed": 0, "run_cycles": 120000, "requests": 4994,
+            "min_s": 0.106, "max_slowdown": 1.03,
+        }))
+        baseline = history.load_baseline(path)
+        assert baseline["min_s"] == 0.106
+        assert baseline.get("machine") is None
+
+    def test_committed_baseline_is_v1(self):
+        from pathlib import Path
+
+        path = (Path(__file__).resolve().parents[2]
+                / "benchmarks" / "telemetry_baseline.json")
+        baseline = history.load_baseline(path)
+        assert baseline["scheduler"] == "tcm"
+        assert baseline["min_s"] > 0
+
+    def test_rejects_unknown_shape(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError):
+            history.load_baseline(path)
+
+
+class TestEnvironment:
+    def test_strict_mode(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_STRICT", raising=False)
+        assert not history.strict_mode()
+        monkeypatch.setenv("REPRO_BENCH_STRICT", "1")
+        assert history.strict_mode()
+
+    def test_git_sha_in_this_repo(self):
+        sha = history.git_sha()
+        assert sha is None or (len(sha) == 40
+                               and all(c in "0123456789abcdef" for c in sha))
