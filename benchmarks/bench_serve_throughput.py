@@ -1,0 +1,77 @@
+"""Serving-layer throughput guard.
+
+Pumps a batch of unique noop jobs through the full serving stack —
+HTTP client -> asyncio server -> priority queue -> inline shards ->
+ledger/SLO — and records end-to-end completions per second.  Noop jobs
+make the sim cost zero, so the number isolates the serving overhead
+per job (framing, hashing, queueing, event fan-out).
+
+* **Behaviour** (always) — zero lost jobs, zero client errors, and a
+  verified SLO ledger on every round.  A throughput bench that drops
+  work is measuring the wrong thing.
+* **Speed** (recorded under ``REPRO_BENCH_RECORD=1``) — per-round wall
+  time and jobs/s land in the ``serve_throughput`` family of
+  ``BENCH_history.json`` for `repro prof compare` regression tracking.
+
+Scale knob: ``REPRO_BENCH_SERVE_JOBS`` (default 500 unique jobs/round).
+"""
+
+import asyncio
+import os
+
+from conftest import emit, record_history
+from repro.serve import LoadGenerator, ServeConfig, noop_jobs, start_serving
+
+ROUNDS = 3
+
+
+def serve_jobs() -> int:
+    return int(os.environ.get("REPRO_BENCH_SERVE_JOBS", "500"))
+
+
+async def _one_round(n_jobs: int, seed: int):
+    service, server = await start_serving(
+        config=ServeConfig(shards=2, inline=True, queue_capacity=n_jobs),
+    )
+    try:
+        report = await LoadGenerator(
+            "127.0.0.1", server.port,
+            noop_jobs(n_jobs, seed=seed, deadline_s=120.0),
+            mode="batch", batch=100,
+        ).run()
+        return report
+    finally:
+        await server.stop()
+        await service.stop()
+
+
+def test_serve_throughput(capsys):
+    n_jobs = serve_jobs()
+    reports = [asyncio.run(_one_round(n_jobs, seed))
+               for seed in range(ROUNDS)]
+
+    for report in reports:
+        assert report.completed == n_jobs
+        assert report.lost == 0 and not report.errors
+        assert report.slo["verified"]["ok"]
+
+    rounds_s = [r.wall_s for r in reports]
+    best = max(r.throughput for r in reports)
+    emit(capsys, "\n".join(
+        f"serve_throughput round {i}: {r.submitted} jobs in "
+        f"{r.wall_s:.3f}s ({r.throughput:.0f} jobs/s, "
+        f"p99 complete {r.completion_latency['p99_s'] * 1e3:.1f}ms)"
+        for i, r in enumerate(reports)
+    ) + f"\nbest: {best:.0f} jobs/s")
+
+    record_history(
+        f"serve_throughput[{n_jobs}]", "serve_throughput", rounds_s,
+        jobs=n_jobs,
+        throughput_jobs_per_s=best,
+        extra={
+            "shards": 2,
+            "mode": "batch",
+            "p99_completion_s":
+                reports[0].completion_latency.get("p99_s"),
+        },
+    )

@@ -28,6 +28,7 @@ from repro.campaign.engine import (
     STATUS_FAILED,
     STATUS_OK,
     CampaignError,
+    CampaignInterrupted,
     CampaignReport,
     PointResult,
     execute_plan,
@@ -53,6 +54,7 @@ from repro.campaign.store import (
 
 __all__ = [
     "CampaignError",
+    "CampaignInterrupted",
     "CampaignPlan",
     "CampaignPoint",
     "CampaignReport",

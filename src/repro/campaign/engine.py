@@ -28,7 +28,9 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import queue as queue_mod
+import signal
 import sys
+import threading
 import time
 import traceback
 from collections import deque
@@ -62,6 +64,26 @@ STATUS_FAILED = "failed"
 
 class CampaignError(RuntimeError):
     """Raised by :func:`run_points` when a point fails permanently."""
+
+
+class CampaignInterrupted(KeyboardInterrupt):
+    """The campaign was stopped by SIGINT/SIGTERM after a clean flush.
+
+    By the time this propagates, every finished point is in the store,
+    the summary record and sidecar index are written, and the worker
+    pool is shut down — relaunching the same plan resumes from the
+    store instead of recomputing.  ``report`` covers the points that
+    resolved before the interrupt.
+    """
+
+    def __init__(self, plan_name: str, report: "CampaignReport") -> None:
+        super().__init__(
+            f"campaign {plan_name} interrupted "
+            f"({len(report.results)} points resolved; store flushed, "
+            f"rerun to resume)"
+        )
+        self.plan_name = plan_name
+        self.report = report
 
 
 @dataclass(frozen=True)
@@ -251,6 +273,13 @@ def _execute_task(task: dict) -> dict:
 
 def _worker_main(worker_id: int, task_q, result_q) -> None:
     """Worker process loop: execute tasks until the ``None`` sentinel."""
+    # A Ctrl-C lands on the whole foreground process group; workers
+    # ignore it so the engine alone decides how to wind the pool down
+    # (no stack-trace spray from N child processes).
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except ValueError:
+        pass  # not the process main thread (inline test harnesses)
     while True:
         task = task_q.get()
         if task is None:
@@ -610,20 +639,61 @@ def execute_plan(
         tracker.point_failed()
         return False
 
+    # SIGTERM (scheduler preemption, ``kill``) gets the same graceful
+    # path as Ctrl-C: convert it to KeyboardInterrupt so the one
+    # interrupt flow below flushes the store before exiting.  Signal
+    # handlers only install from the process main thread; elsewhere
+    # (serve's shard pool, test harnesses) SIGTERM keeps its previous
+    # disposition.
+    interrupted = False
+    sigterm_prev = None
+    sigterm_set = False
+    if threading.current_thread() is threading.main_thread():
+        def _on_sigterm(signum, frame):
+            raise KeyboardInterrupt
+        try:
+            sigterm_prev = signal.signal(signal.SIGTERM, _on_sigterm)
+            sigterm_set = True
+        except ValueError:
+            pass
+
     try:
-        if workers <= 1:
-            _run_inline(pending, task_payload, handle_success,
-                        handle_failure, tracker, progress, stream)
-        else:
-            _run_pool(pending, task_payload, handle_success,
-                      handle_failure, tracker, workers, timeout,
-                      start_method, poll_interval, progress, stream)
+        try:
+            if workers <= 1:
+                _run_inline(pending, task_payload, handle_success,
+                            handle_failure, tracker, progress, stream)
+            else:
+                _run_pool(pending, task_payload, handle_success,
+                          handle_failure, tracker, workers, timeout,
+                          start_method, poll_interval, progress, stream)
+        except KeyboardInterrupt:
+            interrupted = True
+            _LOG.warning(
+                "campaign %s interrupted; flushing store before exit",
+                plan.name,
+            )
     finally:
+        if sigterm_set:
+            signal.signal(signal.SIGTERM, sigterm_prev)
         if store is not None:
             _record_summary(store, plan, tracker, resolved, trace_dir)
             store.flush_index()
         if owns_store:
             store.close()
+
+    if interrupted:
+        partial = [
+            resolved[p.key] for p in plan if p.key in resolved
+        ]
+        raise CampaignInterrupted(
+            plan.name,
+            CampaignReport(
+                plan_name=plan.name,
+                results=partial,
+                elapsed=time.monotonic() - started,
+                summary=tracker.report(),
+            ),
+        )
 
     results = [resolved[p.key] for p in plan]
     _LOG.info("campaign %s done: %s", plan.name,

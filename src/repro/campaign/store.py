@@ -185,3 +185,63 @@ class CampaignStore:
         self._offsets[key] = offset
         self._kinds[key] = kind
         self._cache[key] = record
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def compact(self) -> dict:
+        """Rewrite the log keeping only the latest record per key.
+
+        Superseded records (a retried point overwriting its failure, a
+        re-run summary, serve resubmissions) accumulate as dead lines in
+        the append-only log; long-lived stores grow without bound.
+        Compaction rewrites the log with each key's winning record, in
+        original append order, via a temp file and atomic
+        ``os.replace`` — a crash mid-compaction leaves the old log
+        intact.  Returns a stats dict.
+        """
+        if not self.log_path.exists():
+            return {
+                "records_before": 0, "records_after": 0,
+                "superseded": 0, "bytes_before": 0, "bytes_after": 0,
+                "bytes_reclaimed": 0,
+            }
+        if self._appender is not None:
+            self._appender.close()
+            self._appender = None
+        bytes_before = self.log_path.stat().st_size
+
+        records_before = 0
+        with self.log_path.open("rb") as f:
+            for line in f:
+                if line.strip():
+                    records_before += 1
+
+        new_offsets: Dict[str, int] = {}
+        tmp = self.log_path.with_suffix(".jsonl.tmp")
+        with self.log_path.open("rb") as src, tmp.open("wb") as out:
+            for key, offset in sorted(self._offsets.items(),
+                                      key=lambda kv: kv[1]):
+                src.seek(offset)
+                line = src.readline()
+                if not line.endswith(b"\n"):
+                    line += b"\n"
+                new_offsets[key] = out.tell()
+                out.write(line)
+            out.flush()
+            os.fsync(out.fileno())
+        os.replace(tmp, self.log_path)
+
+        self._offsets = new_offsets
+        self._cache.clear()
+        self.flush_index()
+        bytes_after = self.log_path.stat().st_size
+        return {
+            "records_before": records_before,
+            "records_after": len(new_offsets),
+            "superseded": records_before - len(new_offsets),
+            "bytes_before": bytes_before,
+            "bytes_after": bytes_after,
+            "bytes_reclaimed": bytes_before - bytes_after,
+        }

@@ -86,6 +86,7 @@ same-machine regression under ``REPRO_BENCH_STRICT=1`` or
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -674,10 +675,30 @@ def _cmd_campaign(args, config):
     )
 
     action = args.action or "run"
-    if action not in ("run", "resume", "status"):
+    if action not in ("run", "resume", "status", "compact"):
         raise SystemExit(
-            f"campaign: unknown action {action!r} (run|resume|status)"
+            f"campaign: unknown action {action!r} "
+            "(run|resume|status|compact)"
         )
+
+    if action == "compact":
+        # needs no plan: compaction is a property of the store alone
+        if args.store is None:
+            raise SystemExit("campaign compact: --store DIR is required")
+        with CampaignStore(args.store) as store:
+            stats = store.compact()
+        print(
+            format_table(
+                ["stat", "value"],
+                [[name, stats[name]] for name in (
+                    "records_before", "records_after", "superseded",
+                    "bytes_before", "bytes_after", "bytes_reclaimed",
+                )],
+                title=f"compacted {args.store}",
+            )
+        )
+        return
+
     plan = _campaign_plan(args, config)
 
     if action == "status":
@@ -721,8 +742,136 @@ def _cmd_campaign(args, config):
         )
 
 
+# ----------------------------------------------------------------------
+# serve subcommands
+# ----------------------------------------------------------------------
+
+
+def _serve_jobs(args, config):
+    """Build the submission list: synthetic no-ops or plan points."""
+    from repro.serve import cycle_jobs, noop_jobs, plan_jobs
+
+    if args.noop:
+        jobs = noop_jobs(
+            args.noop, sleep_ms=args.sleep_ms, seed=args.seed,
+            lane=args.lane, deadline_s=args.deadline_s,
+        )
+    else:
+        plan = _campaign_plan(args, config)
+        jobs = plan_jobs(plan, lane=args.lane,
+                         deadline_s=args.deadline_s)
+    if args.jobs and args.jobs > len(jobs):
+        jobs = cycle_jobs(jobs, args.jobs)
+    return jobs
+
+
+def _cmd_serve(args, config):
+    import asyncio
+    import json as json_mod
+
+    from repro.serve import (
+        LoadGenerator,
+        ServeClient,
+        ServeConfig,
+        start_serving,
+    )
+
+    action = args.action or "run"
+    if action not in ("run", "submit", "status", "loadgen", "shutdown"):
+        raise SystemExit(
+            f"serve: unknown action {action!r} "
+            "(run|submit|status|loadgen|shutdown)"
+        )
+
+    if action == "run":
+        async def _run():
+            cfg = ServeConfig(
+                shards=args.shards,
+                queue_capacity=args.queue_capacity,
+                retries=args.retries,
+                job_timeout_s=args.job_timeout,
+                default_deadline_s=args.deadline_s,
+                compact_threshold_bytes=args.compact_threshold,
+            )
+            service, server = await start_serving(
+                args.store, cfg, host=args.host, port=args.port,
+            )
+            print(
+                f"serving on http://{server.host}:{server.port}  "
+                f"shards={args.shards}  "
+                f"store={args.store or '(none)'}",
+                flush=True,
+            )
+            try:
+                await server.run_until_shutdown()
+            finally:
+                await service.stop()
+
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:
+            print("serve: interrupted, shut down cleanly",
+                  file=sys.stderr)
+        return
+
+    if action == "status":
+        async def _status():
+            client = ServeClient(args.host, args.port)
+            try:
+                if args.job:
+                    _, payload = await client.status(args.job,
+                                                     result=True)
+                else:
+                    _, payload = await client.health()
+                print(json_mod.dumps(payload, indent=2))
+            finally:
+                await client.close()
+
+        asyncio.run(_status())
+        return
+
+    if action == "shutdown":
+        async def _shutdown():
+            client = ServeClient(args.host, args.port)
+            try:
+                _, payload = await client.shutdown(drain=True)
+                print(json_mod.dumps(payload))
+            finally:
+                await client.close()
+
+        asyncio.run(_shutdown())
+        return
+
+    # submit | loadgen both drive the LoadGenerator; submit is the
+    # fire-everything-and-wait special case.
+    jobs = _serve_jobs(args, config)
+    mode = "batch" if action == "submit" else args.mode
+
+    async def _drive():
+        gen = LoadGenerator(
+            args.host, args.port, jobs,
+            mode=mode, rate=args.rate, concurrency=args.concurrency,
+            batch=args.batch, seed=args.seed,
+        )
+        return await gen.run()
+
+    report = asyncio.run(_drive())
+    print(report.format_text())
+    if args.slo_out and report.slo is not None:
+        with open(args.slo_out, "w", encoding="utf-8") as f:
+            json_mod.dump(report.slo, f, indent=2)
+        print(f"wrote {args.slo_out}")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as f:
+            json_mod.dump(report.to_dict(), f, indent=2)
+        print(f"wrote {args.json_out}")
+    if report.lost or report.errors:
+        raise SystemExit(1)
+
+
 _COMMANDS = {
     "campaign": _cmd_campaign,
+    "serve": _cmd_serve,
     "obs": _cmd_obs,
     "prof": _cmd_prof,
     "telemetry": _cmd_telemetry,
@@ -753,7 +902,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("command", choices=sorted(_COMMANDS))
     parser.add_argument("action", nargs="?", default=None,
-                        help="campaign action: run | resume | status; "
+                        help="campaign action: run | resume | status | "
+                             "compact; "
+                             "serve action: run | submit | status | "
+                             "loadgen | shutdown; "
                              "telemetry action: report | trace; "
                              "validate action: run | goldens; "
                              "obs action: report | attribution | dashboard; "
@@ -830,6 +982,54 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--goldens-path", default=None,
                         help="golden matrix JSON path (validate goldens; "
                              "default tests/goldens/golden_matrix.json)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="serve: bind/connect address")
+    parser.add_argument("--port", type=int, default=8765,
+                        help="serve: TCP port (0 = ephemeral for run)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="serve run: worker shard processes")
+    parser.add_argument("--queue-capacity", type=int, default=512,
+                        help="serve run: bounded inbox size "
+                             "(back-pressure beyond this)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        help="serve run: per-job wall-clock timeout "
+                             "in seconds")
+    parser.add_argument("--compact-threshold", type=int,
+                        default=64 * 1024 * 1024,
+                        help="serve run: compact the store once its log "
+                             "exceeds this many bytes")
+    parser.add_argument("--noop", type=int, default=None,
+                        help="serve submit/loadgen: submit N synthetic "
+                             "no-op jobs instead of plan points")
+    parser.add_argument("--sleep-ms", type=float, default=0.0,
+                        help="serve: per-noop-job simulated service time")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="serve loadgen: total submissions (cycles "
+                             "the base job list; exercises dedup)")
+    parser.add_argument("--mode", default="batch",
+                        choices=("open", "closed", "batch"),
+                        help="serve loadgen: arrival process")
+    parser.add_argument("--rate", type=float, default=200.0,
+                        help="serve loadgen open mode: mean arrivals/s "
+                             "(Poisson)")
+    parser.add_argument("--concurrency", type=int, default=8,
+                        help="serve loadgen closed mode: in-flight "
+                             "clients")
+    parser.add_argument("--batch", type=int, default=100,
+                        help="serve loadgen batch mode: jobs per request")
+    parser.add_argument("--deadline-s", type=float, default=None,
+                        help="serve: per-job SLO deadline in seconds")
+    parser.add_argument("--lane", default="default",
+                        help="serve: priority lane "
+                             "(interactive|default|batch)")
+    parser.add_argument("--job", default=None,
+                        help="serve status: show one job by key")
+    parser.add_argument("--slo-out", default=None,
+                        help="serve submit/loadgen: write the service "
+                             "SLO attainment report JSON here")
+    parser.add_argument("--json-out", default=None,
+                        help="serve submit/loadgen: write the full "
+                             "loadgen report JSON here")
     add_log_level_argument(parser)
     return parser
 
@@ -838,7 +1038,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(args.log_level)
     config = SimConfig(run_cycles=args.cycles)
-    _COMMANDS[args.command](args, config)
+    try:
+        _COMMANDS[args.command](args, config)
+    except KeyboardInterrupt as exc:
+        # CampaignInterrupted (a KeyboardInterrupt subclass) carries the
+        # flushed-and-resumable message; a bare Ctrl-C elsewhere gets
+        # the conventional 130 without a stack trace either way.
+        detail = str(exc)
+        print(f"interrupted: {detail}" if detail else "interrupted",
+              file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # stdout consumer went away (e.g. `... | head`); not an error.
+        # Point stdout at devnull so interpreter teardown doesn't try
+        # to flush the dead pipe and print a second traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     return 0
 
 

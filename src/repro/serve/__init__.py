@@ -1,0 +1,97 @@
+"""repro.serve — async simulation-as-a-service.
+
+Wraps the campaign engine in an asyncio service: a stdlib-only
+HTTP/JSON API over a bounded priority-lane job queue, a sharded worker
+pool speaking the engine's task protocol, content-hash idempotent job
+deduplication against in-flight work and the persistent campaign
+store, and Clockwork-style per-job deadline / SLO-attainment
+accounting.  See ``docs/SERVING.md``.
+"""
+
+from repro.serve.client import (
+    LoadGenerator,
+    LoadReport,
+    ServeClient,
+    ServeClientError,
+    cycle_jobs,
+    noop_jobs,
+    plan_jobs,
+    run_loadgen,
+)
+from repro.serve.queue import (
+    DEFAULT_LANES,
+    JobQueue,
+    QueueFull,
+    UnknownLane,
+)
+from repro.serve.server import (
+    ServeConfig,
+    ServeServer,
+    ServeService,
+    start_serving,
+)
+from repro.serve.slo import SLORecord, SLOTracker, format_slo_text
+from repro.serve.state import (
+    CANCELLED,
+    DEDUP_OUTCOMES,
+    DONE,
+    FAILED,
+    Job,
+    JobLedger,
+    KIND_NOOP,
+    KIND_POINT,
+    OUTCOME_ACCEPTED,
+    OUTCOME_HIT_INFLIGHT,
+    OUTCOME_HIT_LEDGER,
+    OUTCOME_HIT_STORE,
+    OUTCOME_REJECTED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    job_key,
+    noop_key,
+)
+from repro.serve.workers import NoIdleShard, ShardPool, run_task
+
+__all__ = [
+    "CANCELLED",
+    "DEDUP_OUTCOMES",
+    "DEFAULT_LANES",
+    "DONE",
+    "FAILED",
+    "Job",
+    "JobLedger",
+    "JobQueue",
+    "KIND_NOOP",
+    "KIND_POINT",
+    "LoadGenerator",
+    "LoadReport",
+    "NoIdleShard",
+    "OUTCOME_ACCEPTED",
+    "OUTCOME_HIT_INFLIGHT",
+    "OUTCOME_HIT_LEDGER",
+    "OUTCOME_HIT_STORE",
+    "OUTCOME_REJECTED",
+    "QUEUED",
+    "QueueFull",
+    "RUNNING",
+    "SLORecord",
+    "SLOTracker",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "ServeServer",
+    "ServeService",
+    "ShardPool",
+    "TERMINAL_STATES",
+    "UnknownLane",
+    "cycle_jobs",
+    "format_slo_text",
+    "job_key",
+    "noop_jobs",
+    "noop_key",
+    "plan_jobs",
+    "run_loadgen",
+    "run_task",
+    "start_serving",
+]

@@ -1,0 +1,552 @@
+"""HTTP client and load generator for the simulation service.
+
+:class:`ServeClient` is a keep-alive JSON client over raw asyncio
+streams (no third-party HTTP stack), one in-flight request per
+connection, auto-reconnecting.
+
+:class:`LoadGenerator` drives a service the way Clockwork drives its
+controller: an outbox of submissions and an inbox of completion events.
+Three modes:
+
+* ``open``   — open-loop Poisson arrivals at a configurable rate
+  (seeded, reproducible); rejected jobs are shed (counted), mimicking
+  a real overloaded front end.
+* ``closed`` — N closed-loop workers, each submit -> wait -> repeat;
+  rejections back off by the server's ``retry_after`` hint.
+* ``batch``  — maximum-throughput batched submission (the soak path:
+  millions of queued sim-points arrive in batches, not one TCP round
+  trip each).
+
+Every run ends with a :class:`LoadReport`: client-side accept
+latencies, server-side completion latencies, outcome counts, the
+zero-lost-jobs check, and the service's own SLO attainment report.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.serve.slo import _percentile
+from repro.serve.state import DEDUP_OUTCOMES, OUTCOME_REJECTED
+from repro.telemetry.log import get_logger
+
+_LOG = get_logger("serve.client")
+
+
+class ServeClientError(RuntimeError):
+    """Transport-level client failure (connect/IO)."""
+
+
+class ServeClient:
+    """Keep-alive JSON/HTTP client for one service endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def _request(self, method: str, path: str,
+                       body: Optional[dict] = None) -> Tuple[int, dict]:
+        """One serialized request; reconnects once on a dead socket."""
+        async with self._lock:
+            for attempt in (1, 2):
+                if self._writer is None:
+                    try:
+                        await self._connect()
+                    except OSError as exc:
+                        raise ServeClientError(
+                            f"cannot connect to {self.host}:{self.port}: "
+                            f"{exc}"
+                        ) from exc
+                try:
+                    return await self._roundtrip(method, path, body)
+                except (ConnectionResetError, BrokenPipeError,
+                        asyncio.IncompleteReadError, OSError) as exc:
+                    await self.close()
+                    if attempt == 2:
+                        raise ServeClientError(
+                            f"{method} {path} failed: {exc}"
+                        ) from exc
+
+    async def _roundtrip(self, method, path, body) -> Tuple[int, dict]:
+        payload = json.dumps(body).encode("utf-8") if body is not None \
+            else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + payload)
+        await self._writer.drain()
+
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionResetError("server closed the connection")
+        parts = status_line.decode("latin-1").split(None, 2)
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await self._reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length") or 0)
+        data = await self._reader.readexactly(length) if length else b"{}"
+        return status, json.loads(data)
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+
+    async def submit(self, spec: dict, kind: str = "point",
+                     lane: str = "default",
+                     deadline_s: Optional[float] = None) -> Tuple[int, dict]:
+        return await self._request(
+            "POST", "/v1/jobs",
+            {"kind": kind, "spec": spec, "lane": lane,
+             "deadline_s": deadline_s},
+        )
+
+    async def submit_batch(self, items: List[dict]) -> Tuple[int, dict]:
+        return await self._request("POST", "/v1/batch", {"jobs": items})
+
+    async def status(self, key: str,
+                     result: bool = False) -> Tuple[int, dict]:
+        suffix = "?result=1" if result else ""
+        return await self._request("GET", f"/v1/jobs/{key}{suffix}")
+
+    async def wait(self, key: str,
+                   timeout_s: float = 30.0) -> Tuple[int, dict]:
+        return await self._request(
+            "GET", f"/v1/jobs/{key}/wait?timeout_s={timeout_s}"
+        )
+
+    async def cancel(self, key: str) -> Tuple[int, dict]:
+        return await self._request("POST", f"/v1/jobs/{key}/cancel")
+
+    async def events(self, after: int = 0, timeout_s: float = 0.0,
+                     limit: int = 4096) -> Tuple[int, dict]:
+        return await self._request(
+            "GET",
+            f"/v1/events?after={after}&timeout_s={timeout_s}"
+            f"&limit={limit}",
+        )
+
+    async def slo(self) -> Tuple[int, dict]:
+        return await self._request("GET", "/v1/slo")
+
+    async def metrics(self) -> Tuple[int, dict]:
+        return await self._request("GET", "/v1/metrics")
+
+    async def health(self) -> Tuple[int, dict]:
+        return await self._request("GET", "/v1/health")
+
+    async def shutdown(self, drain: bool = True) -> Tuple[int, dict]:
+        return await self._request("POST", "/v1/shutdown",
+                                   {"drain": drain})
+
+
+# ----------------------------------------------------------------------
+# job-list builders
+# ----------------------------------------------------------------------
+
+
+def noop_jobs(n: int, sleep_ms: float = 0.0, seed: int = 0,
+              lane: str = "default",
+              deadline_s: Optional[float] = None) -> List[dict]:
+    """``n`` unique synthetic jobs (keys depend on index and seed)."""
+    return [
+        {
+            "kind": "noop",
+            "spec": {"index": i, "salt": seed,
+                     "sleep_s": sleep_ms / 1000.0},
+            "lane": lane,
+            "deadline_s": deadline_s,
+        }
+        for i in range(n)
+    ]
+
+
+def plan_jobs(plan, lane: str = "default",
+              deadline_s: Optional[float] = None) -> List[dict]:
+    """Submission items for every point of a campaign plan."""
+    return [
+        {
+            "kind": "point",
+            "spec": point.to_dict(),
+            "lane": lane,
+            "deadline_s": deadline_s,
+        }
+        for point in plan
+    ]
+
+
+def cycle_jobs(jobs: List[dict], n: int) -> List[dict]:
+    """Repeat a base job list out to ``n`` submissions (dedup workload)."""
+    if not jobs:
+        raise ValueError("empty job list")
+    return [jobs[i % len(jobs)] for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# load generation
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    mode: str
+    wall_s: float = 0.0
+    submitted: int = 0
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    lost: int = 0
+    errors: int = 0
+    accept_latency: Dict[str, float] = field(default_factory=dict)
+    completion_latency: Dict[str, float] = field(default_factory=dict)
+    slo: Optional[dict] = None
+
+    @property
+    def accepted(self) -> int:
+        return self.outcomes.get("accepted", 0)
+
+    @property
+    def rejected(self) -> int:
+        return self.outcomes.get(OUTCOME_REJECTED, 0)
+
+    @property
+    def dedup(self) -> int:
+        return sum(self.outcomes.get(o, 0) for o in DEDUP_OUTCOMES)
+
+    @property
+    def throughput(self) -> float:
+        if self.wall_s <= 0:
+            return 0.0
+        return (self.completed + self.failed) / self.wall_s
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "repro.serve.load/v1",
+            "mode": self.mode,
+            "wall_s": self.wall_s,
+            "submitted": self.submitted,
+            "outcomes": dict(self.outcomes),
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "dedup": self.dedup,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "lost": self.lost,
+            "errors": self.errors,
+            "throughput_jobs_per_s": self.throughput,
+            "accept_latency": self.accept_latency,
+            "completion_latency": self.completion_latency,
+            "slo": self.slo,
+        }
+
+    def format_text(self) -> str:
+        lines = [
+            f"loadgen [{self.mode}] {self.submitted} submitted in "
+            f"{self.wall_s:.2f}s "
+            f"({self.throughput:.1f} completions/s)",
+            f"  outcomes: accepted {self.accepted}  dedup {self.dedup}  "
+            f"rejected {self.rejected}",
+            f"  terminal: completed {self.completed}  failed "
+            f"{self.failed}  cancelled {self.cancelled}  "
+            f"lost {self.lost}  client-errors {self.errors}",
+        ]
+        if self.accept_latency:
+            a = self.accept_latency
+            lines.append(
+                f"  accept   p50 {a['p50_s'] * 1e3:.1f}ms  "
+                f"p99 {a['p99_s'] * 1e3:.1f}ms  "
+                f"max {a['max_s'] * 1e3:.1f}ms"
+            )
+        if self.completion_latency:
+            c = self.completion_latency
+            lines.append(
+                f"  complete p50 {c['p50_s'] * 1e3:.1f}ms  "
+                f"p99 {c['p99_s'] * 1e3:.1f}ms  "
+                f"max {c['max_s'] * 1e3:.1f}ms"
+            )
+        if self.slo:
+            overall = self.slo["overall"]
+            att = overall.get("attainment")
+            lines.append(
+                f"  server SLO: served {overall['served']}  "
+                f"sat {overall['slo_sat']}  "
+                f"not-sat {overall['slo_not_sat']}  attainment "
+                + (f"{att:.2%}" if att is not None else "n/a")
+            )
+        return "\n".join(lines)
+
+
+def _latency_summary(values: List[float]) -> Dict[str, float]:
+    if not values:
+        return {}
+    ordered = sorted(values)
+    return {
+        "count": float(len(ordered)),
+        "mean_s": sum(ordered) / len(ordered),
+        "p50_s": _percentile(ordered, 0.50),
+        "p90_s": _percentile(ordered, 0.90),
+        "p99_s": _percentile(ordered, 0.99),
+        "max_s": ordered[-1],
+    }
+
+
+class LoadGenerator:
+    """Drive a running service and account for every submission."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        jobs: List[dict],
+        mode: str = "open",
+        rate: float = 200.0,
+        concurrency: int = 8,
+        batch: int = 100,
+        seed: int = 0,
+        on_reject: str = "drop",
+        wait_timeout_s: float = 120.0,
+    ) -> None:
+        if mode not in ("open", "closed", "batch"):
+            raise ValueError(f"unknown loadgen mode {mode!r}")
+        if on_reject not in ("drop", "retry"):
+            raise ValueError(f"unknown on_reject policy {on_reject!r}")
+        self.host = host
+        self.port = port
+        self.jobs = list(jobs)
+        self.mode = mode
+        self.rate = rate
+        self.concurrency = max(1, concurrency)
+        self.batch = max(1, batch)
+        self.seed = seed
+        self.on_reject = on_reject
+        self.wait_timeout_s = wait_timeout_s
+        self._report = LoadReport(mode=mode)
+        #: keys this run accepted that still owe a terminal event
+        self._pending: Dict[str, int] = {}
+        self._completion_latencies: List[float] = []
+        self._accept_latencies: List[float] = []
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def _note_outcome(self, outcome: str, job: Optional[dict]) -> None:
+        report = self._report
+        report.outcomes[outcome] = report.outcomes.get(outcome, 0) + 1
+        if job is None:
+            return
+        if job.get("status") in ("done", "failed", "cancelled"):
+            self._note_terminal(job["key"], job["status"],
+                               job.get("latency_s"))
+        else:
+            self._pending[job["key"]] = self._pending.get(job["key"], 0) + 1
+
+    def _note_terminal(self, key: str, status: str,
+                       latency_s: Optional[float]) -> None:
+        report = self._report
+        if status == "done":
+            report.completed += 1
+        elif status == "failed":
+            report.failed += 1
+        else:
+            report.cancelled += 1
+        if latency_s is not None:
+            self._completion_latencies.append(latency_s)
+
+    def _absorb_event(self, event: dict) -> None:
+        count = self._pending.pop(event["key"], 0)
+        for _ in range(count):
+            self._note_terminal(event["key"], event["status"],
+                               event.get("latency_s"))
+
+    # -- submission paths ----------------------------------------------
+
+    async def _submit_one(self, client: ServeClient, item: dict) -> None:
+        t0 = time.monotonic()
+        try:
+            status, payload = await client.submit(
+                item["spec"], kind=item.get("kind", "point"),
+                lane=item.get("lane", "default"),
+                deadline_s=item.get("deadline_s"),
+            )
+        except ServeClientError:
+            self._report.errors += 1
+            return
+        self._accept_latencies.append(time.monotonic() - t0)
+        self._report.submitted += 1
+        if status == 429:
+            self._note_outcome(OUTCOME_REJECTED, None)
+            if self.on_reject == "retry":
+                await asyncio.sleep(payload.get("retry_after", 0.5))
+                await self._submit_one(client, item)
+            return
+        if status != 202:
+            self._report.errors += 1
+            return
+        self._note_outcome(payload["outcome"], payload.get("job"))
+
+    async def _run_open(self) -> None:
+        rng = random.Random(self.seed)
+        client = ServeClient(self.host, self.port)
+        try:
+            for item in self.jobs:
+                if self.rate > 0:
+                    await asyncio.sleep(rng.expovariate(self.rate))
+                await self._submit_one(client, item)
+        finally:
+            await client.close()
+
+    async def _run_batch(self) -> None:
+        client = ServeClient(self.host, self.port)
+        try:
+            for start in range(0, len(self.jobs), self.batch):
+                chunk = self.jobs[start:start + self.batch]
+                t0 = time.monotonic()
+                status, payload = await client.submit_batch(chunk)
+                self._accept_latencies.append(time.monotonic() - t0)
+                if status != 200:
+                    self._report.errors += len(chunk)
+                    continue
+                self._report.submitted += len(chunk)
+                for result in payload["results"]:
+                    if result.get("status") == 429:
+                        self._note_outcome(OUTCOME_REJECTED, None)
+                    elif result.get("status") == 202:
+                        self._note_outcome(result["outcome"],
+                                           result.get("job"))
+                    else:
+                        self._report.errors += 1
+        finally:
+            await client.close()
+
+    async def _run_closed(self) -> None:
+        queue: asyncio.Queue = asyncio.Queue()
+        for item in self.jobs:
+            queue.put_nowait(item)
+
+        async def worker() -> None:
+            client = ServeClient(self.host, self.port)
+            try:
+                while True:
+                    try:
+                        item = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        return
+                    before = dict(self._pending)
+                    await self._submit_one(client, item)
+                    # wait for whatever this submission put in flight
+                    new_keys = [
+                        k for k, n in self._pending.items()
+                        if n > before.get(k, 0)
+                    ]
+                    for key in new_keys:
+                        status, payload = await client.wait(
+                            key, timeout_s=self.wait_timeout_s
+                        )
+                        if status == 200:
+                            job = payload["job"]
+                            if self._pending.get(key):
+                                self._pending[key] -= 1
+                                if not self._pending[key]:
+                                    self._pending.pop(key)
+                                self._note_terminal(
+                                    key, job["status"],
+                                    job.get("latency_s"),
+                                )
+            finally:
+                await client.close()
+
+        await asyncio.gather(*(worker()
+                               for _ in range(self.concurrency)))
+
+    # -- completion tracking -------------------------------------------
+
+    async def _drain_events(self, after: int,
+                            deadline: float) -> None:
+        client = ServeClient(self.host, self.port)
+        try:
+            while self._pending and time.monotonic() < deadline:
+                remaining = min(5.0, deadline - time.monotonic())
+                try:
+                    status, payload = await client.events(
+                        after=after, timeout_s=max(0.1, remaining)
+                    )
+                except ServeClientError:
+                    self._report.errors += 1
+                    return
+                if status != 200:
+                    self._report.errors += 1
+                    return
+                for event in payload["events"]:
+                    after = max(after, event["seq"])
+                    self._absorb_event(event)
+        finally:
+            await client.close()
+
+    async def run(self) -> LoadReport:
+        t0 = time.monotonic()
+        if self.mode == "open":
+            await self._run_open()
+        elif self.mode == "batch":
+            await self._run_batch()
+        else:
+            await self._run_closed()
+        if self._pending:
+            await self._drain_events(
+                0, time.monotonic() + self.wait_timeout_s
+            )
+        report = self._report
+        report.wall_s = time.monotonic() - t0
+        report.lost = sum(self._pending.values())
+        report.accept_latency = _latency_summary(self._accept_latencies)
+        report.completion_latency = _latency_summary(
+            self._completion_latencies
+        )
+        client = ServeClient(self.host, self.port)
+        try:
+            status, payload = await client.slo()
+            if status == 200:
+                report.slo = payload
+        except ServeClientError:
+            pass
+        finally:
+            await client.close()
+        return report
+
+
+async def run_loadgen(host: str, port: int, jobs: List[dict],
+                      **kwargs) -> LoadReport:
+    """Convenience wrapper: build and run one :class:`LoadGenerator`."""
+    return await LoadGenerator(host, port, jobs, **kwargs).run()

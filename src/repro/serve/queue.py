@@ -1,0 +1,161 @@
+"""Bounded, priority-laned job queue with back-pressure.
+
+The service inbox.  Three default lanes (``interactive`` before
+``default`` before ``batch``) drain strictly by lane priority, FIFO
+within a lane.  Capacity is bounded across all lanes: when the inbox
+is full, :meth:`JobQueue.offer` raises :class:`QueueFull` carrying a
+``retry_after`` hint derived from the observed service rate — the
+429-style rejection the HTTP layer surfaces with a ``Retry-After``
+header.  The design assumption (millions of queued sim-points) is that
+the queue must *shed* load it cannot buffer, never grow without bound.
+
+Single-consumer: the service's dispatcher is the only ``take()``er.
+Retried jobs re-enter at the *front* of their lane (they already spent
+queue time and hold an accepted-job slot).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.serve.state import Job
+
+#: Default lanes, lower number drains first.
+DEFAULT_LANES: Dict[str, int] = {
+    "interactive": 0,
+    "default": 1,
+    "batch": 2,
+}
+
+#: Bounds on the retry-after hint (seconds).
+RETRY_AFTER_MIN = 0.05
+RETRY_AFTER_MAX = 30.0
+RETRY_AFTER_DEFAULT = 1.0
+
+
+class QueueFull(Exception):
+    """The bounded inbox rejected a job (back-pressure)."""
+
+    def __init__(self, retry_after: float, depth: int, capacity: int):
+        super().__init__(
+            f"queue full ({depth}/{capacity}); retry after "
+            f"{retry_after:.2f}s"
+        )
+        self.retry_after = retry_after
+        self.depth = depth
+        self.capacity = capacity
+
+
+class UnknownLane(ValueError):
+    """Job named a lane the queue does not have."""
+
+
+class JobQueue:
+    """Bounded multi-lane FIFO with a service-rate-based retry hint."""
+
+    def __init__(self, capacity: int = 512,
+                 lanes: Optional[Dict[str, int]] = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.lanes = dict(lanes if lanes is not None else DEFAULT_LANES)
+        self._order = sorted(self.lanes, key=lambda k: self.lanes[k])
+        self._queues: Dict[str, Deque[Job]] = {
+            lane: deque() for lane in self._order
+        }
+        self._event = asyncio.Event()
+        self._closed = False
+        #: monotonic completion stamps for the service-rate estimate
+        self._done_stamps: Deque[float] = deque(maxlen=128)
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+
+    def offer(self, job: Job, front: bool = False) -> None:
+        """Enqueue ``job`` or raise :class:`QueueFull`.
+
+        ``front=True`` (retries) bypasses the capacity check: the job
+        already holds an accepted slot and must not be lost to a burst
+        that arrived while it was in flight.
+        """
+        if job.lane not in self._queues:
+            raise UnknownLane(
+                f"unknown lane {job.lane!r}; have {self._order}"
+            )
+        if not front and self.depth() >= self.capacity:
+            raise QueueFull(self.retry_after(), self.depth(), self.capacity)
+        if front:
+            self._queues[job.lane].appendleft(job)
+        else:
+            self._queues[job.lane].append(job)
+        self._event.set()
+
+    # ------------------------------------------------------------------
+    # consumer side (the dispatcher)
+    # ------------------------------------------------------------------
+
+    async def take(self) -> Optional[Job]:
+        """Next job by lane priority; ``None`` once closed and drained."""
+        while True:
+            for lane in self._order:
+                q = self._queues[lane]
+                if q:
+                    return q.popleft()
+            if self._closed:
+                return None
+            self._event.clear()
+            await self._event.wait()
+
+    def remove(self, key: str) -> Optional[Job]:
+        """Drop a queued job by key (cancellation); None if not queued."""
+        for q in self._queues.values():
+            for job in q:
+                if job.key == key:
+                    q.remove(job)
+                    return job
+        return None
+
+    def close(self) -> None:
+        """No further blocking: ``take`` returns None once drained."""
+        self._closed = True
+        self._event.set()
+
+    # ------------------------------------------------------------------
+    # introspection / back-pressure hint
+    # ------------------------------------------------------------------
+
+    def depth(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def depths(self) -> Dict[str, int]:
+        return {lane: len(self._queues[lane]) for lane in self._order}
+
+    def note_done(self) -> None:
+        """Record one service completion (feeds the rate estimate)."""
+        self._done_stamps.append(time.monotonic())
+
+    def service_rate(self) -> Optional[float]:
+        """Observed completions/second over the recent window."""
+        stamps = self._done_stamps
+        if len(stamps) < 2:
+            return None
+        span = stamps[-1] - stamps[0]
+        if span <= 0:
+            return None
+        return (len(stamps) - 1) / span
+
+    def retry_after(self) -> float:
+        """Seconds a rejected client should wait before resubmitting.
+
+        Estimated time to drain half the queue at the observed service
+        rate; a fixed default before any completion has been seen.
+        """
+        rate = self.service_rate()
+        if rate is None:
+            return RETRY_AFTER_DEFAULT
+        hint = (self.depth() / 2.0) / rate
+        return min(max(hint, RETRY_AFTER_MIN), RETRY_AFTER_MAX)

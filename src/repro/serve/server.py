@@ -1,0 +1,795 @@
+"""The simulation service: orchestration core plus HTTP/JSON API.
+
+:class:`ServeService` is the long-lived controller — the Clockwork
+exemplar's controller/worker split applied to the campaign engine.  It
+owns the bounded inbox (:class:`~repro.serve.queue.JobQueue`), the
+shard pool (:class:`~repro.serve.workers.ShardPool`), the job ledger,
+the SLO tracker, and the persistent result store.  Submissions are
+idempotent: a job's key is its content hash, deduplicated against
+in-flight work, this lifetime's finished jobs, and the
+:class:`~repro.campaign.store.CampaignStore` (which campaigns and the
+service share, so a sim-point computed by either is never recomputed
+by the other).
+
+:class:`ServeServer` is a dependency-free HTTP/1.1 front end on raw
+asyncio streams (keep-alive, JSON bodies)::
+
+    POST /v1/jobs                submit one job (429 + Retry-After when full)
+    POST /v1/batch               submit many jobs in one request
+    GET  /v1/jobs/<key>          job status (?result=1 includes the payload)
+    GET  /v1/jobs/<key>/wait     long-poll for completion (?timeout_s=N)
+    POST /v1/jobs/<key>/cancel   cancel a queued job (best-effort)
+    GET  /v1/events              completion-event tail (?after=SEQ&timeout_s=N)
+    GET  /v1/slo                 SLO attainment report + ledger cross-check
+    GET  /v1/metrics             telemetry metrics snapshot
+    GET  /v1/health              queue depth, shard health, conservation
+    POST /v1/shutdown            graceful stop ({"drain": true} to finish work)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+import urllib.parse
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.campaign.hashing import alone_key
+from repro.campaign.plan import CampaignPoint
+from repro.campaign.store import (
+    KIND_ALONE,
+    KIND_FAILURE,
+    KIND_POINT,
+    CampaignStore,
+)
+from repro.serve.queue import JobQueue, QueueFull, UnknownLane
+from repro.serve.slo import SLOTracker
+from repro.serve.state import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    KIND_NOOP,
+    KIND_POINT as JOB_POINT,
+    OUTCOME_ACCEPTED,
+    OUTCOME_HIT_INFLIGHT,
+    OUTCOME_HIT_LEDGER,
+    OUTCOME_HIT_STORE,
+    OUTCOME_REJECTED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobLedger,
+    job_key,
+)
+from repro.serve.workers import NoIdleShard, ShardPool
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.log import get_logger
+
+_LOG = get_logger("serve")
+
+#: serve.latency_s histogram bucket bounds (seconds)
+LATENCY_BOUNDS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+                  0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one service instance."""
+
+    shards: int = 2
+    #: run tasks in threads in-process (deterministic reference path)
+    inline: bool = False
+    queue_capacity: int = 512
+    #: extra attempts after a first failure before a job fails
+    retries: int = 1
+    backoff_s: float = 0.25
+    #: per-task wall-clock timeout (process shards only)
+    job_timeout_s: Optional[float] = None
+    #: deadline applied when a submission names none
+    default_deadline_s: Optional[float] = None
+    #: per-lane deadline overrides
+    lane_deadlines: Dict[str, float] = field(default_factory=dict)
+    #: compact the result store when its log exceeds this many bytes
+    #: (and at least one record has been superseded); None disables
+    compact_threshold_bytes: Optional[int] = 64 * 1024 * 1024
+    start_method: Optional[str] = None
+    #: completion events kept for /v1/events tailing
+    events_buffer: int = 65536
+
+
+class ServeService:
+    """Async orchestration core: queue -> shards -> ledger/SLO/store."""
+
+    def __init__(
+        self,
+        store: Union[CampaignStore, str, Path, None] = None,
+        config: Optional[ServeConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self._owns_store = isinstance(store, (str, bytes, Path))
+        self.store = CampaignStore(store) if self._owns_store else store
+        self.ledger = JobLedger()
+        self.queue = JobQueue(capacity=self.config.queue_capacity)
+        self.slo = SLOTracker()
+        self.pool = ShardPool(
+            shards=self.config.shards,
+            timeout_s=self.config.job_timeout_s,
+            inline=self.config.inline,
+            start_method=self.config.start_method,
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._init_metrics()
+        #: alone-run artifacts known service-wide: key -> hint dict
+        self._alone: Dict[str, dict] = {}
+        if self.store is not None:
+            for k in self.store.keys(KIND_ALONE):
+                record = self.store.get(k)
+                self._alone[k] = {
+                    "key": k,
+                    "spec": record["meta"]["spec"],
+                    "seed": record["meta"]["seed"],
+                    "ipc": record["payload"]["ipc"],
+                }
+        self._events: deque = deque(maxlen=self.config.events_buffer)
+        self._event_seq = 0
+        self._event_arrived = asyncio.Event()
+        self._superseded = 0
+        self._compactions = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._dispatcher_task: Optional[asyncio.Task] = None
+        self._started_at: Optional[float] = None
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+
+    def _init_metrics(self) -> None:
+        m = self.metrics
+        self._c = {
+            name: m.counter(f"serve.jobs.{name}")
+            for name in ("submitted", "accepted", "rejected", "done",
+                         "failed", "cancelled", "retries", "hit_inflight",
+                         "hit_ledger", "hit_store")
+        }
+        self._c["compactions"] = m.counter("serve.store.compactions")
+        self._latency = m.histogram("serve.latency_s",
+                                    bounds=LATENCY_BOUNDS)
+        m.register("serve.queue.depth", self.queue.depth)
+        for lane in self.queue.lanes:
+            m.register("serve.queue.depth",
+                       (lambda l: lambda: self.queue.depths()[l])(lane),
+                       labels={"lane": lane})
+        m.register("serve.shards.busy", lambda: self.pool.busy_count)
+        m.register("serve.shards.alive", lambda: self.pool.alive_count)
+        m.register("serve.jobs.active", lambda: len(self.ledger.active))
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        return self.metrics.snapshot()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._started_at = time.monotonic()
+        await self.pool.start(self._on_result)
+        self._dispatcher_task = asyncio.create_task(self._dispatcher())
+        _LOG.info(
+            "serve: %d %s shard(s), queue capacity %d, store=%s",
+            self.config.shards,
+            "inline" if self.config.inline else "process",
+            self.config.queue_capacity,
+            self.store.root if self.store is not None else None,
+        )
+
+    async def stop(self, drain: bool = False) -> None:
+        """Stop the service; ``drain=True`` finishes accepted work first."""
+        if self._stopping:
+            return
+        self._stopping = True
+        self.queue.close()
+        if drain:
+            await self.drain()
+        # Cancel whatever is still queued or running: every accepted
+        # job must reach a terminal state (zero lost jobs).
+        for job in self.ledger.active:
+            if job.status in (QUEUED, RUNNING):
+                self._complete(job, CANCELLED)
+        if self._dispatcher_task is not None:
+            self._dispatcher_task.cancel()
+            try:
+                await self._dispatcher_task
+            except asyncio.CancelledError:
+                pass
+        await self.pool.shutdown()
+        if self.store is not None:
+            self.store.flush_index()
+            if self._owns_store:
+                self.store.close()
+        _LOG.info("serve: stopped (%s)", self.ledger.counts())
+
+    async def drain(self, poll_s: float = 0.02,
+                    timeout: Optional[float] = None) -> bool:
+        """Wait until no accepted job is queued or running."""
+        deadline = time.monotonic() + timeout if timeout else None
+        while self.ledger.active:
+            if deadline is not None and time.monotonic() > deadline:
+                return False
+            await asyncio.sleep(poll_s)
+        return True
+
+    # ------------------------------------------------------------------
+    # submission (idempotent)
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        spec: dict,
+        kind: str = JOB_POINT,
+        lane: str = "default",
+        deadline_s: Optional[float] = None,
+    ) -> Tuple[str, Optional[Job], float]:
+        """Submit one job; returns ``(outcome, job, retry_after)``.
+
+        ``job`` is None only for :data:`OUTCOME_REJECTED`;
+        ``retry_after`` is meaningful only for rejections.
+        """
+        if lane not in self.queue.lanes:
+            raise UnknownLane(
+                f"unknown lane {lane!r}; have {sorted(self.queue.lanes)}"
+            )
+        point = CampaignPoint.from_dict(spec) if kind == JOB_POINT else None
+        key = point.key if point is not None else job_key(kind, spec)
+        self._c["submitted"].inc()
+
+        existing = self.ledger.get(key)
+        if existing is not None:
+            outcome = (OUTCOME_HIT_LEDGER if existing.terminal
+                       else OUTCOME_HIT_INFLIGHT)
+            self.ledger.note(outcome)
+            self._c["hit_ledger" if existing.terminal
+                    else "hit_inflight"].inc()
+            return outcome, existing, 0.0
+
+        if deadline_s is None:
+            deadline_s = self.config.lane_deadlines.get(
+                lane, self.config.default_deadline_s
+            )
+
+        if (kind == JOB_POINT and self.store is not None
+                and self.store.kind(key) == KIND_POINT):
+            record = self.store.get(key)
+            job = Job(key=key, kind=kind, spec=spec, lane=lane,
+                      deadline_s=deadline_s, point=point, cached=True,
+                      submitted_at=time.monotonic())
+            self.ledger.add(job)
+            self.ledger.note(OUTCOME_HIT_STORE)
+            self._c["hit_store"].inc()
+            self._complete(job, DONE, payload=record["payload"])
+            return OUTCOME_HIT_STORE, job, 0.0
+
+        job = Job(key=key, kind=kind, spec=spec, lane=lane,
+                  deadline_s=deadline_s, point=point,
+                  submitted_at=time.monotonic())
+        try:
+            self.queue.offer(job)
+        except QueueFull as exc:
+            self.ledger.note(OUTCOME_REJECTED)
+            self._c["rejected"].inc()
+            return OUTCOME_REJECTED, None, exc.retry_after
+        self.ledger.add(job)
+        self.ledger.note(OUTCOME_ACCEPTED)
+        self._c["accepted"].inc()
+        return OUTCOME_ACCEPTED, job, 0.0
+
+    def cancel(self, key: str) -> bool:
+        """Cancel a queued job (running jobs finish; returns False)."""
+        job = self.ledger.get(key)
+        if job is None or job.terminal or job.status == RUNNING:
+            return False
+        self.queue.remove(key)
+        self._complete(job, CANCELLED)
+        return True
+
+    def job(self, key: str) -> Optional[Job]:
+        return self.ledger.get(key)
+
+    async def wait(self, key: str,
+                   timeout: Optional[float] = None) -> Optional[Job]:
+        job = self.ledger.get(key)
+        if job is None:
+            return None
+        return await job.wait(timeout)
+
+    # ------------------------------------------------------------------
+    # dispatch + results
+    # ------------------------------------------------------------------
+
+    async def _dispatcher(self) -> None:
+        while True:
+            job = await self.queue.take()
+            if job is None:
+                break
+            if job.status != QUEUED:
+                continue  # cancelled while queued
+            while True:
+                try:
+                    job.attempts += 1
+                    job.status = RUNNING
+                    job.started_at = time.monotonic()
+                    job.shard = self.pool.dispatch(self._task_payload(job))
+                    break
+                except NoIdleShard:
+                    job.attempts -= 1
+                    job.status = QUEUED
+                    await self.pool.idle_event.wait()
+                    if job.status != QUEUED:
+                        break  # cancelled while waiting for a shard
+
+    def _task_payload(self, job: Job) -> dict:
+        if job.kind == KIND_NOOP:
+            return {"kind": "noop", "key": job.key,
+                    "attempt": job.attempts, "spec": job.spec}
+        return {
+            "kind": "point",
+            "key": job.key,
+            "attempt": job.attempts,
+            "point": job.spec,
+            "alone_hints": self._hints_for(job.point),
+        }
+
+    def _hints_for(self, point: CampaignPoint) -> List[dict]:
+        hints = []
+        for spec in point.workload.specs:
+            k = alone_key(spec, point.config, point.seed)
+            hint = self._alone.get(k)
+            if hint is not None and hint["seed"] == point.seed:
+                hints.append(hint)
+        return hints
+
+    def _absorb_alone(self, records) -> None:
+        for rec in records:
+            if rec["key"] in self._alone:
+                continue
+            self._alone[rec["key"]] = rec
+            if self.store is not None:
+                self._store_put(
+                    rec["key"], KIND_ALONE, {"ipc": rec["ipc"]},
+                    meta={"spec": rec["spec"], "seed": rec["seed"],
+                          "benchmark": rec["spec"]["name"]},
+                )
+
+    def _on_result(self, msg: dict) -> None:
+        job = self.ledger.get(msg["key"])
+        if (job is None or job.terminal or job.status != RUNNING
+                or msg["attempt"] != job.attempts):
+            return  # stale attempt (timeout raced the real result)
+        if msg["ok"]:
+            self._absorb_alone(msg.get("alone") or ())
+            self._persist_success(job, msg)
+            self._complete(job, DONE, payload=msg["payload"])
+            return
+        if job.attempts <= self.config.retries:
+            self.ledger.counters["retries"] += 1
+            self._c["retries"].inc()
+            job.status = QUEUED
+            job.shard = None
+            delay = self.config.backoff_s * (2 ** (job.attempts - 1))
+            _LOG.warning("retrying %s in %.2fs (attempt %d failed: %s)",
+                         job.key, delay, job.attempts, msg["error"])
+            self._loop.call_later(delay, self._requeue, job)
+            return
+        _LOG.error("%s failed permanently after %d attempts: %s",
+                   job.key, job.attempts, msg["error"])
+        self._persist_failure(job, msg)
+        self._complete(job, FAILED, error=msg["error"])
+
+    def _requeue(self, job: Job) -> None:
+        if job.status == QUEUED and not self._stopping:
+            self.queue.offer(job, front=True)
+
+    def _complete(self, job: Job, status: str, *,
+                  payload: Optional[dict] = None,
+                  error: Optional[str] = None) -> None:
+        job.finish(status, payload=payload, error=error)
+        self.ledger.note_terminal(job)
+        self._c[status].inc()
+        if status == DONE and not job.cached:
+            self.queue.note_done()
+        self.slo.observe(job)
+        if job.latency_s is not None and status != CANCELLED:
+            self._latency.observe(job.latency_s)
+        self._emit_event(job)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def _store_put(self, key: str, kind: str, payload: dict,
+                   meta: Optional[dict] = None) -> None:
+        if key in self.store:
+            self._superseded += 1
+        self.store.put(key, kind, payload, meta=meta)
+        self._maybe_compact()
+
+    def _persist_success(self, job: Job, msg: dict) -> None:
+        if self.store is None or job.kind != JOB_POINT:
+            return
+        point = job.point
+        self._store_put(
+            job.key, KIND_POINT, msg["payload"],
+            meta={
+                "workload": point.workload.name,
+                "scheduler": point.scheduler,
+                "seed": point.seed,
+                "tag": point.tag,
+                "attempts": job.attempts,
+                "duration": msg["duration"],
+            },
+        )
+
+    def _persist_failure(self, job: Job, msg: dict) -> None:
+        if self.store is None or job.kind != JOB_POINT:
+            return
+        point = job.point
+        self._store_put(
+            job.key, KIND_FAILURE,
+            {"error": msg["error"], "traceback": msg.get("traceback"),
+             "attempts": job.attempts},
+            meta={
+                "workload": point.workload.name,
+                "scheduler": point.scheduler,
+                "seed": point.seed,
+                "tag": point.tag,
+            },
+        )
+
+    def _maybe_compact(self) -> None:
+        threshold = self.config.compact_threshold_bytes
+        if (threshold is None or self.store is None
+                or self._superseded == 0):
+            return
+        if not self.store.log_path.exists():
+            return
+        if self.store.log_path.stat().st_size <= threshold:
+            return
+        stats = self.store.compact()
+        self._superseded = 0
+        self._compactions += 1
+        self._c["compactions"].inc()
+        _LOG.info("serve: compacted store %s: %s", self.store.root, stats)
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+
+    def _emit_event(self, job: Job) -> None:
+        self._event_seq += 1
+        self._events.append(
+            {
+                "seq": self._event_seq,
+                "key": job.key,
+                "kind": job.kind,
+                "status": job.status,
+                "lane": job.lane,
+                "latency_s": job.latency_s,
+                "sat": job.sat,
+                "cached": job.cached,
+                "attempts": job.attempts,
+            }
+        )
+        self._event_arrived.set()
+
+    def events_since(self, after: int, limit: int = 4096) -> dict:
+        events = [e for e in self._events if e["seq"] > after][:limit]
+        return {
+            "events": events,
+            "next": events[-1]["seq"] if events else after,
+            "latest": self._event_seq,
+        }
+
+    async def events_wait(self, after: int, timeout: float = 10.0,
+                          limit: int = 4096) -> dict:
+        """Long-poll variant of :meth:`events_since`."""
+        deadline = time.monotonic() + timeout
+        while True:
+            batch = self.events_since(after, limit)
+            if batch["events"] or self._stopping:
+                return batch
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return batch
+            self._event_arrived.clear()
+            try:
+                await asyncio.wait_for(self._event_arrived.wait(),
+                                       remaining)
+            except asyncio.TimeoutError:
+                return self.events_since(after, limit)
+
+    # ------------------------------------------------------------------
+    # reports
+    # ------------------------------------------------------------------
+
+    def slo_report(self) -> dict:
+        report = self.slo.report()
+        report["verified"] = self.slo.verify()
+        report["conservation"] = self.ledger.conservation()
+        return report
+
+    def health(self) -> dict:
+        store_info = None
+        if self.store is not None:
+            size = (self.store.log_path.stat().st_size
+                    if self.store.log_path.exists() else 0)
+            store_info = {
+                "path": str(self.store.root),
+                "records": len(self.store),
+                "bytes": size,
+                "compactions": self._compactions,
+            }
+        return {
+            "status": "stopping" if self._stopping else "serving",
+            "uptime_s": (
+                time.monotonic() - self._started_at
+                if self._started_at else 0.0
+            ),
+            "queue": {
+                "depth": self.queue.depth(),
+                "depths": self.queue.depths(),
+                "capacity": self.queue.capacity,
+                "retry_after": self.queue.retry_after(),
+                "service_rate": self.queue.service_rate(),
+            },
+            "shards": self.pool.stats(),
+            "jobs": self.ledger.counts(),
+            "conservation": self.ledger.conservation(),
+            "store": store_info,
+        }
+
+
+# ----------------------------------------------------------------------
+# HTTP front end
+# ----------------------------------------------------------------------
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 409: "Conflict",
+            429: "Too Many Requests", 500: "Internal Server Error"}
+
+
+class ServeServer:
+    """Minimal HTTP/1.1 JSON API over one :class:`ServeService`."""
+
+    def __init__(self, service: ServeService, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.shutdown_requested = asyncio.Event()
+        self._drain_on_shutdown: Optional[bool] = None
+
+    async def start(self) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        _LOG.info("serve: listening on http://%s:%d", self.host, self.port)
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def run_until_shutdown(self, drain: bool = True) -> None:
+        """Block until ``/v1/shutdown`` (or :meth:`request_shutdown`)."""
+        await self.shutdown_requested.wait()
+        if self._drain_on_shutdown is not None:
+            drain = self._drain_on_shutdown
+        await self.stop()
+        await self.service.stop(drain=drain)
+
+    def request_shutdown(self) -> None:
+        self.shutdown_requested.set()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+
+    async def _client(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, query, headers, body = request
+                try:
+                    status, payload, extra = await self._route(
+                        method, path, query, body
+                    )
+                except Exception as exc:  # surface, don't kill the conn
+                    _LOG.exception("serve: %s %s failed", method, path)
+                    status, payload, extra = 500, {"error": repr(exc)}, {}
+                await self._respond(writer, status, payload, extra)
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader):
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split(None, 2)
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length") or 0)
+        body = await reader.readexactly(length) if length else b""
+        parsed = urllib.parse.urlsplit(target)
+        query = {
+            k: v[-1]
+            for k, v in urllib.parse.parse_qs(parsed.query).items()
+        }
+        return method.upper(), parsed.path, query, headers, body
+
+    @staticmethod
+    async def _respond(writer, status: int, payload: dict,
+                       extra_headers: Optional[dict] = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: keep-alive",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+                     + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+
+    def _submit_one(self, item: dict) -> Tuple[int, dict, dict]:
+        kind = item.get("kind", JOB_POINT)
+        spec = item.get("spec")
+        if not isinstance(spec, dict):
+            return 400, {"error": "missing job spec"}, {}
+        try:
+            outcome, job, retry_after = self.service.submit(
+                spec, kind=kind,
+                lane=item.get("lane", "default"),
+                deadline_s=item.get("deadline_s"),
+            )
+        except (UnknownLane, ValueError, KeyError, TypeError) as exc:
+            return 400, {"error": repr(exc)}, {}
+        if outcome == OUTCOME_REJECTED:
+            return (
+                429,
+                {"outcome": outcome, "retry_after": retry_after},
+                {"Retry-After": f"{retry_after:.3f}"},
+            )
+        return 202, {"outcome": outcome, "job": job.to_dict()}, {}
+
+    async def _route(self, method: str, path: str, query: dict,
+                     body: bytes) -> Tuple[int, dict, dict]:
+        data = {}
+        if body:
+            try:
+                data = json.loads(body)
+            except ValueError:
+                return 400, {"error": "invalid JSON body"}, {}
+
+        if method == "POST" and path == "/v1/jobs":
+            return self._submit_one(data)
+
+        if method == "POST" and path == "/v1/batch":
+            jobs = data.get("jobs")
+            if not isinstance(jobs, list):
+                return 400, {"error": "body must carry a jobs list"}, {}
+            results = []
+            for item in jobs:
+                status, payload, _ = self._submit_one(item)
+                results.append({"status": status, **payload})
+                # yield so the dispatcher interleaves with a big batch
+                await asyncio.sleep(0)
+            counts: Dict[str, int] = {}
+            for r in results:
+                outcome = r.get("outcome", "error")
+                counts[outcome] = counts.get(outcome, 0) + 1
+            return 200, {"results": results, "counts": counts}, {}
+
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            if method == "GET" and rest.endswith("/wait"):
+                key = rest[: -len("/wait")]
+                timeout = float(query.get("timeout_s", 30.0))
+                job = await self.service.wait(key, timeout)
+                if job is None:
+                    return 404, {"error": f"unknown job {key}"}, {}
+                return (200 if job.terminal else 202,
+                        {"job": job.to_dict(include_payload=job.terminal)},
+                        {})
+            if method == "POST" and rest.endswith("/cancel"):
+                key = rest[: -len("/cancel")]
+                job = self.service.job(key)
+                if job is None:
+                    return 404, {"error": f"unknown job {key}"}, {}
+                cancelled = self.service.cancel(key)
+                return (200 if cancelled else 409,
+                        {"cancelled": cancelled, "job": job.to_dict()}, {})
+            if method == "GET":
+                job = self.service.job(rest)
+                if job is None:
+                    return 404, {"error": f"unknown job {rest}"}, {}
+                include = query.get("result") in ("1", "true", "yes")
+                return 200, {"job": job.to_dict(include_payload=include)}, {}
+
+        if method == "GET" and path == "/v1/events":
+            after = int(query.get("after", 0))
+            timeout = float(query.get("timeout_s", 0.0))
+            limit = int(query.get("limit", 4096))
+            if timeout > 0:
+                batch = await self.service.events_wait(after, timeout,
+                                                       limit)
+            else:
+                batch = self.service.events_since(after, limit)
+            return 200, batch, {}
+
+        if method == "GET" and path == "/v1/slo":
+            return 200, self.service.slo_report(), {}
+
+        if method == "GET" and path == "/v1/metrics":
+            return 200, {"metrics": self.service.metrics_snapshot()}, {}
+
+        if method == "GET" and path == "/v1/health":
+            return 200, self.service.health(), {}
+
+        if method == "POST" and path == "/v1/shutdown":
+            drain = bool(data.get("drain", True))
+            # respond first, then tear down
+            asyncio.get_running_loop().call_soon(self.request_shutdown)
+            self._drain_on_shutdown = drain
+            return 200, {"stopping": True, "drain": drain}, {}
+
+        return 404, {"error": f"no route {method} {path}"}, {}
+
+
+async def start_serving(
+    store=None,
+    config: Optional[ServeConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Tuple[ServeService, ServeServer]:
+    """Boot a service plus its HTTP server; returns both, started."""
+    service = ServeService(store=store, config=config, metrics=metrics)
+    await service.start()
+    server = ServeServer(service, host=host, port=port)
+    await server.start()
+    return service, server

@@ -1,0 +1,191 @@
+"""Per-job deadline tracking and service-level SLO attainment.
+
+Clockwork-style accounting (the ``numSLOSat`` / ``numSLONotSat``
+counters of the MSS exemplar): every *served* job with a deadline lands
+in exactly one of two counters the moment it finishes — latency within
+deadline is **sat**, anything else (including failure) is **not-sat**.
+Cancelled jobs were never served and carry no verdict; jobs without a
+deadline are tracked for latency but excluded from attainment.
+
+The tracker keeps the full per-job ledger alongside the counters, so
+the rolled-up :meth:`SLOTracker.report` is *recomputable* from first
+principles — :meth:`verify` asserts the counters match the ledger
+exactly, which the soak test (and anyone auditing an attainment claim)
+relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.serve.state import CANCELLED, DONE, FAILED, Job
+
+#: latency percentiles reported everywhere
+PERCENTILES = (0.50, 0.90, 0.99)
+
+
+@dataclass(frozen=True)
+class SLORecord:
+    """Immutable verdict for one finished job."""
+
+    key: str
+    lane: str
+    status: str
+    deadline_s: Optional[float]
+    latency_s: float
+    cached: bool
+    sat: Optional[bool]   # None = no deadline (excluded from attainment)
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Exact nearest-rank percentile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+class SLOTracker:
+    """Counters plus the per-job deadline ledger they roll up."""
+
+    def __init__(self) -> None:
+        self.records: List[SLORecord] = []
+        self.num_sat = 0        # Clockwork: numSLOSat
+        self.num_not_sat = 0    # Clockwork: numSLONotSat
+        self.num_no_deadline = 0
+
+    def observe(self, job: Job) -> Optional[SLORecord]:
+        """Account one terminal job; cancelled jobs are not served."""
+        if not job.terminal:
+            raise ValueError(f"job {job.key} is not terminal")
+        if job.status == CANCELLED:
+            return None
+        record = SLORecord(
+            key=job.key,
+            lane=job.lane,
+            status=job.status,
+            deadline_s=job.deadline_s,
+            latency_s=job.latency_s or 0.0,
+            cached=job.cached,
+            sat=job.sat,
+        )
+        self.records.append(record)
+        if record.sat is None:
+            self.num_no_deadline += 1
+        elif record.sat:
+            self.num_sat += 1
+        else:
+            self.num_not_sat += 1
+        return record
+
+    # ------------------------------------------------------------------
+    # roll-ups
+    # ------------------------------------------------------------------
+
+    @property
+    def served(self) -> int:
+        return len(self.records)
+
+    def attainment(self) -> Optional[float]:
+        """Fraction of deadline-carrying served jobs that met it."""
+        total = self.num_sat + self.num_not_sat
+        if total == 0:
+            return None
+        return self.num_sat / total
+
+    def _latency_stats(self, records: List[SLORecord]) -> dict:
+        lat = sorted(r.latency_s for r in records)
+        return {
+            "count": len(lat),
+            "mean_s": sum(lat) / len(lat) if lat else 0.0,
+            "max_s": lat[-1] if lat else 0.0,
+            **{
+                f"p{int(q * 100)}_s": _percentile(lat, q)
+                for q in PERCENTILES
+            },
+        }
+
+    def report(self) -> dict:
+        """Service-level attainment report (JSON-ready)."""
+        lanes: Dict[str, List[SLORecord]] = {}
+        for r in self.records:
+            lanes.setdefault(r.lane, []).append(r)
+
+        def _bucket(records: List[SLORecord]) -> dict:
+            sat = sum(1 for r in records if r.sat is True)
+            not_sat = sum(1 for r in records if r.sat is False)
+            return {
+                "served": len(records),
+                "slo_sat": sat,
+                "slo_not_sat": not_sat,
+                "no_deadline": sum(1 for r in records if r.sat is None),
+                "attainment": (
+                    sat / (sat + not_sat) if sat + not_sat else None
+                ),
+                "failed": sum(1 for r in records if r.status == FAILED),
+                "cached": sum(1 for r in records if r.cached),
+                "latency": self._latency_stats(records),
+            }
+
+        return {
+            "format": "repro.serve.slo/v1",
+            "overall": _bucket(self.records),
+            "lanes": {lane: _bucket(rs) for lane, rs in sorted(lanes.items())},
+        }
+
+    def verify(self) -> dict:
+        """Cross-check the counters against the per-job ledger.
+
+        Returns the discrepancy report; ``ok`` is True iff the rolled-up
+        counters match a from-scratch recount of ``records`` exactly.
+        """
+        sat = sum(1 for r in self.records if r.sat is True)
+        not_sat = sum(1 for r in self.records if r.sat is False)
+        none = sum(1 for r in self.records if r.sat is None)
+        ok = (
+            sat == self.num_sat
+            and not_sat == self.num_not_sat
+            and none == self.num_no_deadline
+            and all(
+                (r.sat is None) == (r.deadline_s is None)
+                or r.status == DONE or r.status == FAILED
+                for r in self.records
+            )
+        )
+        return {
+            "ok": ok,
+            "counters": {"sat": self.num_sat, "not_sat": self.num_not_sat,
+                         "no_deadline": self.num_no_deadline},
+            "ledger": {"sat": sat, "not_sat": not_sat, "no_deadline": none},
+        }
+
+
+def format_slo_text(report: dict) -> str:
+    """Aligned-text rendering of :meth:`SLOTracker.report`."""
+    lines = []
+    overall = report["overall"]
+    att = overall["attainment"]
+    lines.append(
+        f"served {overall['served']}  "
+        f"sat {overall['slo_sat']}  not-sat {overall['slo_not_sat']}  "
+        f"attainment "
+        + (f"{att:.2%}" if att is not None else "n/a (no deadlines)")
+    )
+    lat = overall["latency"]
+    lines.append(
+        f"latency p50 {lat['p50_s'] * 1e3:.1f}ms  "
+        f"p90 {lat['p90_s'] * 1e3:.1f}ms  "
+        f"p99 {lat['p99_s'] * 1e3:.1f}ms  "
+        f"max {lat['max_s'] * 1e3:.1f}ms"
+    )
+    for lane, bucket in report["lanes"].items():
+        att = bucket["attainment"]
+        lines.append(
+            f"  lane {lane:<12} served {bucket['served']:>6}  "
+            f"sat {bucket['slo_sat']:>6}  "
+            f"attainment "
+            + (f"{att:.2%}" if att is not None else "n/a")
+        )
+    return "\n".join(lines)

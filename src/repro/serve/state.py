@@ -1,0 +1,241 @@
+"""Job lifecycle state and the service-wide job ledger.
+
+A :class:`Job` is one unit of work flowing through the service — a
+simulation point (the campaign engine's task protocol) or a synthetic
+no-op used by load tests.  Its identity is a content hash: point jobs
+reuse the campaign's :func:`~repro.campaign.hashing.point_key` (built
+on the same field-complete canonicalisation as
+``SimConfig.cache_key()``), so a job resubmitted with the same inputs
+is *the same job* — against in-flight work, against this service
+lifetime's terminal ledger, and against the persistent
+:class:`~repro.campaign.store.CampaignStore`.
+
+The :class:`JobLedger` is the accounting backbone: every submission
+lands in exactly one outcome counter, and the conservation law
+
+    ``submitted == accepted + hits + rejected``
+    ``accepted  == done + failed + cancelled + active``
+
+is checkable at any instant (:meth:`JobLedger.conservation`), which is
+what "zero lost jobs" means operationally.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.campaign.hashing import canonicalize, stable_hash
+from repro.campaign.plan import CampaignPoint
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+TERMINAL_STATES = frozenset((DONE, FAILED, CANCELLED))
+
+#: Submission outcomes (what happened to one ``submit()`` call).
+OUTCOME_ACCEPTED = "accepted"
+OUTCOME_HIT_INFLIGHT = "hit-inflight"   # deduped against queued/running work
+OUTCOME_HIT_LEDGER = "hit-ledger"       # deduped against a finished job
+OUTCOME_HIT_STORE = "hit-store"         # deduped against the result store
+OUTCOME_REJECTED = "rejected"           # back-pressure (429)
+
+#: Outcomes that count as idempotent-resubmit cache hits.
+DEDUP_OUTCOMES = frozenset(
+    (OUTCOME_HIT_INFLIGHT, OUTCOME_HIT_LEDGER, OUTCOME_HIT_STORE)
+)
+
+KIND_POINT = "point"
+KIND_NOOP = "noop"
+
+
+def noop_key(spec: dict) -> str:
+    """Content hash of a synthetic no-op job (distinct hash domain)."""
+    return stable_hash({"kind": "serve-noop", "spec": canonicalize(spec)})
+
+
+def job_key(kind: str, spec: dict) -> str:
+    """Idempotent content hash of one job spec.
+
+    Point jobs hash exactly like campaign points, so serve results and
+    campaign results share one cache universe.
+    """
+    if kind == KIND_POINT:
+        return CampaignPoint.from_dict(spec).key
+    if kind == KIND_NOOP:
+        return noop_key(spec)
+    raise ValueError(f"unknown job kind {kind!r}")
+
+
+@dataclass
+class Job:
+    """One unit of work owned by the service."""
+
+    key: str
+    kind: str
+    spec: dict
+    lane: str = "default"
+    deadline_s: Optional[float] = None
+    status: str = QUEUED
+    submitted_at: float = 0.0        # time.monotonic()
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    attempts: int = 0
+    shard: Optional[int] = None
+    payload: Optional[dict] = None
+    error: Optional[str] = None
+    #: satisfied straight from the result store (no simulation run)
+    cached: bool = False
+    #: resolved lazily for point jobs (never serialised)
+    point: Optional[CampaignPoint] = field(
+        default=None, repr=False, compare=False
+    )
+    _done: asyncio.Event = field(
+        default_factory=asyncio.Event, repr=False, compare=False
+    )
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """Submit-to-finish wall seconds (None until terminal)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    @property
+    def sat(self) -> Optional[bool]:
+        """SLO verdict: True/False once terminal, None before (or no
+        deadline).  Cancelled jobs carry no verdict — they were never
+        served."""
+        if not self.terminal or self.status == CANCELLED:
+            return None
+        if self.deadline_s is None:
+            return None
+        if self.status == FAILED:
+            return False
+        return (self.latency_s or 0.0) <= self.deadline_s
+
+    def finish(self, status: str, *, payload: Optional[dict] = None,
+               error: Optional[str] = None) -> None:
+        self.status = status
+        self.payload = payload
+        self.error = error
+        self.finished_at = time.monotonic()
+        self._done.set()
+
+    async def wait(self, timeout: Optional[float] = None) -> "Job":
+        """Block until the job reaches a terminal state."""
+        if timeout is None:
+            await self._done.wait()
+        else:
+            try:
+                await asyncio.wait_for(self._done.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass
+        return self
+
+    def to_dict(self, include_payload: bool = False) -> dict:
+        data = {
+            "key": self.key,
+            "kind": self.kind,
+            "lane": self.lane,
+            "status": self.status,
+            "deadline_s": self.deadline_s,
+            "attempts": self.attempts,
+            "shard": self.shard,
+            "cached": self.cached,
+            "latency_s": self.latency_s,
+            "sat": self.sat,
+            "error": self.error,
+        }
+        if include_payload:
+            data["payload"] = self.payload
+        return data
+
+
+class JobLedger:
+    """Every job this service lifetime, plus the outcome counters."""
+
+    def __init__(self) -> None:
+        self.jobs: Dict[str, Job] = {}
+        self.order: List[str] = []
+        self.counters: Dict[str, int] = {
+            "submitted": 0,
+            "accepted": 0,
+            "hit_inflight": 0,
+            "hit_ledger": 0,
+            "hit_store": 0,
+            "rejected": 0,
+            "done": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "retries": 0,
+        }
+
+    def get(self, key: str) -> Optional[Job]:
+        return self.jobs.get(key)
+
+    def add(self, job: Job) -> None:
+        """Register a freshly accepted (or store-satisfied) job."""
+        if job.key in self.jobs:
+            raise ValueError(f"job {job.key} already in ledger")
+        self.jobs[job.key] = job
+        self.order.append(job.key)
+
+    def note(self, outcome: str) -> None:
+        self.counters["submitted"] += 1
+        name = outcome.replace("-", "_")
+        if name not in self.counters:
+            raise ValueError(f"unknown outcome {outcome!r}")
+        self.counters[name] += 1
+
+    def note_terminal(self, job: Job) -> None:
+        self.counters[job.status] += 1
+
+    @property
+    def active(self) -> List[Job]:
+        return [j for j in self.jobs.values() if not j.terminal]
+
+    @property
+    def hits(self) -> int:
+        c = self.counters
+        return c["hit_inflight"] + c["hit_ledger"] + c["hit_store"]
+
+    def conservation(self) -> dict:
+        """The zero-lost-jobs invariant, checked from the counters.
+
+        ``accepted`` counts only jobs that entered the queue; jobs
+        satisfied instantly from the store arrive terminal and are
+        counted under ``hit_store`` (they still live in ``jobs`` so
+        later resubmissions hit the ledger).
+        """
+        c = self.counters
+        store_jobs = sum(
+            1 for j in self.jobs.values() if j.cached
+        )
+        active = len(self.active)
+        terminal = c["done"] + c["failed"] + c["cancelled"]
+        return {
+            "submitted": c["submitted"],
+            "accounted": c["accepted"] + self.hits + c["rejected"],
+            "accepted": c["accepted"],
+            "terminal": terminal,
+            "active": active,
+            "lost": c["accepted"] + store_jobs - terminal - active,
+            "ok": (
+                c["submitted"] == c["accepted"] + self.hits + c["rejected"]
+                and c["accepted"] + store_jobs == terminal + active
+            ),
+        }
+
+    def counts(self) -> dict:
+        return dict(self.counters)

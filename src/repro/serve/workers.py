@@ -1,0 +1,439 @@
+"""Sharded worker pool bridging the asyncio service to sim processes.
+
+Each shard is one long-lived process running the campaign engine's
+task protocol (the same payload/result dict shapes
+:func:`repro.campaign.engine._worker_main` speaks), so a shard owns its
+own scheduler registry and process-local alone-IPC cache — exactly the
+isolation the campaign engine's workers have.  On top of the engine
+protocol the pool adds one task kind, ``noop`` (configurable sleep /
+injected failure), used by load generators and benches to exercise the
+service plumbing without paying for simulation.
+
+The asyncio side never blocks on a multiprocessing queue: a single
+drain thread parks on the shared result queue and trampolines every
+message onto the event loop via ``call_soon_threadsafe``.  A monitor
+coroutine enforces per-task deadlines and liveness — a hung or dead
+shard is killed, respawned, and its task surfaced as a failed attempt,
+mirroring the campaign engine's fault tolerance.
+
+``inline=True`` swaps the process shards for a thread pool running the
+identical task function — the deterministic in-process reference path
+(and the fast path for unit tests), analogous to the engine's
+``workers <= 1`` mode.  Inline shards do not enforce timeouts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue as queue_mod
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional
+
+from repro.campaign.engine import _default_context, _execute_task
+from repro.telemetry.log import get_logger
+
+_LOG = get_logger("serve.workers")
+
+#: extra slack over the task timeout before the monitor respawns
+_MONITOR_INTERVAL = 0.2
+
+
+class NoIdleShard(RuntimeError):
+    """Dispatch was attempted with every shard busy."""
+
+
+def run_task(task: dict) -> dict:
+    """Execute one serve task: the engine protocol plus ``noop``."""
+    if task["kind"] == "noop":
+        spec = task.get("spec") or {}
+        sleep_s = float(spec.get("sleep_s") or 0.0)
+        if sleep_s > 0:
+            time.sleep(sleep_s)
+        if spec.get("fail"):
+            raise RuntimeError("injected noop failure")
+        if spec.get("hang"):
+            time.sleep(3600.0)
+        return {"payload": {"noop": True, "spec": spec}, "alone": []}
+    return _execute_task(task)
+
+
+def _shard_main(shard_id: int, task_q, result_q) -> None:
+    """Shard process loop: run tasks until the ``None`` sentinel."""
+    try:
+        # The service owns shutdown; a terminal Ctrl-C must not spray
+        # tracebacks from every shard.
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    while True:
+        task = task_q.get()
+        if task is None:
+            break
+        t0 = time.monotonic()
+        base = {
+            "shard": shard_id,
+            "key": task["key"],
+            "attempt": task["attempt"],
+        }
+        try:
+            out = run_task(task)
+            result_q.put(
+                {**base, "ok": True, "duration": time.monotonic() - t0,
+                 **out}
+            )
+        except Exception as exc:  # never let a task kill the shard
+            result_q.put(
+                {
+                    **base,
+                    "ok": False,
+                    "duration": time.monotonic() - t0,
+                    "error": repr(exc),
+                    "traceback": traceback.format_exc(),
+                }
+            )
+
+
+class _Shard:
+    """Service-side handle of one shard process."""
+
+    def __init__(self, ctx, shard_id: int, result_q) -> None:
+        self.id = shard_id
+        self.ctx = ctx
+        self.result_q = result_q
+        self.key: Optional[str] = None
+        self.attempt: int = 0
+        self.deadline: float = float("inf")
+        self.tasks_done = 0
+        self.respawns = 0
+        self.proc = None
+        self.task_q = None
+
+    def spawn(self) -> None:
+        self.task_q = self.ctx.Queue(maxsize=1)
+        self.proc = self.ctx.Process(
+            target=_shard_main,
+            args=(self.id, self.task_q, self.result_q),
+            daemon=True,
+            name=f"serve-shard-{self.id}",
+        )
+        self.proc.start()
+
+    @property
+    def idle(self) -> bool:
+        return self.key is None
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.is_alive()
+
+    def release(self) -> None:
+        self.key = None
+        self.attempt = 0
+        self.deadline = float("inf")
+
+    def respawn(self) -> None:
+        self.respawns += 1
+        if self.proc.is_alive():
+            self.proc.kill()
+        self.proc.join(timeout=5.0)
+        self.task_q.close()
+        self.release()
+        self.spawn()
+
+    def shutdown(self) -> None:
+        try:
+            self.task_q.put_nowait(None)
+        except queue_mod.Full:
+            pass
+        self.proc.join(timeout=5.0)
+        if self.proc.is_alive():
+            self.proc.kill()
+            self.proc.join(timeout=5.0)
+
+    def stats(self) -> dict:
+        return {
+            "shard": self.id,
+            "alive": self.alive,
+            "busy": not self.idle,
+            "key": self.key,
+            "tasks_done": self.tasks_done,
+            "respawns": self.respawns,
+        }
+
+
+class ShardPool:
+    """N worker shards with asyncio dispatch and health monitoring.
+
+    ``on_result`` (passed to :meth:`start`) is invoked on the event
+    loop with every raw result message::
+
+        {"shard": int, "key": str, "attempt": int, "ok": bool,
+         "duration": float, "payload": {...}, "alone": [...]}   # ok
+        {"shard": ..., "ok": False, "error": str,
+         "traceback": str | None, "timeout": bool}              # failed
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        timeout_s: Optional[float] = None,
+        inline: bool = False,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.size = shards
+        self.timeout_s = timeout_s
+        self.inline = inline
+        self.start_method = start_method
+        self.idle_event = asyncio.Event()
+        self._on_result: Optional[Callable[[dict], None]] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopping = False
+        # mp mode
+        self._ctx = None
+        self._result_q = None
+        self._shards: List[_Shard] = []
+        self._drain_thread: Optional[threading.Thread] = None
+        self._monitor_task: Optional[asyncio.Task] = None
+        # inline mode
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._inline_busy: Dict[int, Optional[str]] = {}
+        self._inline_done: List[int] = [0] * shards
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self, on_result: Callable[[dict], None]) -> None:
+        self._on_result = on_result
+        self._loop = asyncio.get_running_loop()
+        self.idle_event.set()
+        if self.inline:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.size,
+                thread_name_prefix="serve-inline-shard",
+            )
+            self._inline_busy = {i: None for i in range(self.size)}
+            return
+        self._ctx = _default_context(self.start_method)
+        self._result_q = self._ctx.Queue()
+        self._shards = [
+            _Shard(self._ctx, i, self._result_q) for i in range(self.size)
+        ]
+        for shard in self._shards:
+            shard.spawn()
+        self._drain_thread = threading.Thread(
+            target=self._drain, name="serve-result-drain", daemon=True
+        )
+        self._drain_thread.start()
+        self._monitor_task = asyncio.create_task(self._monitor())
+
+    async def shutdown(self) -> None:
+        self._stopping = True
+        if self.inline:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True, cancel_futures=True)
+                self._executor = None
+            return
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            try:
+                await self._monitor_task
+            except asyncio.CancelledError:
+                pass
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._shutdown_shards)
+        if self._drain_thread is not None:
+            self._drain_thread.join(timeout=5.0)
+        self._result_q.close()
+
+    def _shutdown_shards(self) -> None:
+        for shard in self._shards:
+            shard.shutdown()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    @property
+    def idle_count(self) -> int:
+        if self.inline:
+            return sum(1 for k in self._inline_busy.values() if k is None)
+        return sum(1 for s in self._shards if s.idle)
+
+    @property
+    def busy_count(self) -> int:
+        return self.size - self.idle_count
+
+    @property
+    def alive_count(self) -> int:
+        if self.inline:
+            return self.size
+        return sum(1 for s in self._shards if s.alive)
+
+    def dispatch(self, task: dict) -> int:
+        """Send one task to an idle shard; returns the shard id."""
+        if self.inline:
+            return self._dispatch_inline(task)
+        shard = next((s for s in self._shards if s.idle), None)
+        if shard is None:
+            self.idle_event.clear()
+            raise NoIdleShard("all shards busy")
+        shard.key = task["key"]
+        shard.attempt = task["attempt"]
+        shard.deadline = (
+            time.monotonic() + self.timeout_s
+            if self.timeout_s else float("inf")
+        )
+        shard.task_q.put(task)
+        if self.idle_count == 0:
+            self.idle_event.clear()
+        return shard.id
+
+    def _dispatch_inline(self, task: dict) -> int:
+        slot = next(
+            (i for i, k in self._inline_busy.items() if k is None), None
+        )
+        if slot is None:
+            self.idle_event.clear()
+            raise NoIdleShard("all inline shards busy")
+        self._inline_busy[slot] = task["key"]
+        if self.idle_count == 0:
+            self.idle_event.clear()
+
+        def _run() -> dict:
+            t0 = time.monotonic()
+            base = {"shard": slot, "key": task["key"],
+                    "attempt": task["attempt"]}
+            try:
+                out = run_task(task)
+                return {**base, "ok": True,
+                        "duration": time.monotonic() - t0, **out}
+            except Exception as exc:
+                return {
+                    **base, "ok": False,
+                    "duration": time.monotonic() - t0,
+                    "error": repr(exc),
+                    "traceback": traceback.format_exc(),
+                }
+
+        def _done(future) -> None:
+            if self._stopping:
+                return
+            try:
+                self._loop.call_soon_threadsafe(
+                    self._inline_result, slot, future.result()
+                )
+            except RuntimeError:  # loop closed during shutdown
+                pass
+
+        self._executor.submit(_run).add_done_callback(_done)
+        return slot
+
+    def _inline_result(self, slot: int, msg: dict) -> None:
+        self._inline_busy[slot] = None
+        self._inline_done[slot] += 1
+        self.idle_event.set()
+        self._on_result(msg)
+
+    # ------------------------------------------------------------------
+    # mp result path + health monitor
+    # ------------------------------------------------------------------
+
+    def _drain(self) -> None:
+        """(thread) park on the result queue, trampoline to the loop."""
+        while not self._stopping:
+            try:
+                msg = self._result_q.get(timeout=0.2)
+            except (queue_mod.Empty, OSError, ValueError):
+                continue
+            if self._stopping:
+                break
+            try:
+                self._loop.call_soon_threadsafe(self._mp_result, msg)
+            except RuntimeError:  # loop closed during shutdown
+                break
+
+    def _mp_result(self, msg: dict) -> None:
+        shard = self._shards[msg["shard"]]
+        if shard.key != msg["key"] or shard.attempt != msg["attempt"]:
+            _LOG.debug("dropping stale result for %s (attempt %d)",
+                       msg["key"], msg["attempt"])
+            return
+        shard.release()
+        shard.tasks_done += 1
+        self.idle_event.set()
+        self._on_result(msg)
+
+    async def _monitor(self) -> None:
+        """Enforce deadlines and liveness; respawn and fail the task."""
+        while True:
+            await asyncio.sleep(_MONITOR_INTERVAL)
+            now = time.monotonic()
+            for shard in self._shards:
+                if shard.idle:
+                    if not shard.alive:
+                        _LOG.warning("idle shard %d died; respawning",
+                                     shard.id)
+                        shard.respawn()
+                    continue
+                timed_out = now > shard.deadline
+                died = not shard.alive
+                if not timed_out and not died:
+                    continue
+                key, attempt = shard.key, shard.attempt
+                if timed_out:
+                    error = (f"TimeoutError('task exceeded "
+                             f"{self.timeout_s}s')")
+                    _LOG.warning("shard %d timed out on %s; respawning",
+                                 shard.id, key)
+                else:
+                    error = (f"RuntimeError('shard died, exit code "
+                             f"{shard.proc.exitcode}')")
+                    _LOG.warning("shard %d died (exit=%s) on %s; "
+                                 "respawning", shard.id,
+                                 shard.proc.exitcode, key)
+                shard.respawn()
+                self.idle_event.set()
+                self._on_result(
+                    {
+                        "shard": shard.id,
+                        "key": key,
+                        "attempt": attempt,
+                        "ok": False,
+                        "duration": self.timeout_s or 0.0,
+                        "error": error,
+                        "traceback": None,
+                        "timeout": timed_out,
+                    }
+                )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> List[dict]:
+        if self.inline:
+            return [
+                {
+                    "shard": i,
+                    "alive": True,
+                    "busy": self._inline_busy.get(i) is not None,
+                    "key": self._inline_busy.get(i),
+                    "tasks_done": self._inline_done[i],
+                    "respawns": 0,
+                }
+                for i in range(self.size)
+            ]
+        return [s.stats() for s in self._shards]
+
+    @property
+    def tasks_done(self) -> int:
+        if self.inline:
+            return sum(self._inline_done)
+        return sum(s.tasks_done for s in self._shards)

@@ -1,0 +1,86 @@
+"""Tests for CampaignStore.compact — log rewriting and the CLI."""
+
+import json
+
+from repro.campaign import CampaignStore
+from repro.campaign.store import KIND_ALONE, KIND_FAILURE, KIND_POINT
+from repro.experiments.cli import main as cli_main
+
+
+def _fill(store, versions=3, keys=4):
+    """Write each key ``versions`` times; last write wins."""
+    for v in range(versions):
+        for i in range(keys):
+            store.put(
+                f"k{i}", KIND_POINT if i % 2 == 0 else KIND_FAILURE,
+                {"value": v, "idx": i}, meta={"version": v},
+            )
+
+
+class TestCompact:
+    def test_keeps_latest_record_per_key(self, tmp_path):
+        store = CampaignStore(tmp_path / "s")
+        _fill(store, versions=3, keys=4)
+        stats = store.compact()
+        assert stats["records_before"] == 12
+        assert stats["records_after"] == 4
+        assert stats["superseded"] == 8
+        assert stats["bytes_reclaimed"] > 0
+        for i in range(4):
+            assert store.get(f"k{i}")["payload"]["value"] == 2
+
+    def test_kinds_survive(self, tmp_path):
+        store = CampaignStore(tmp_path / "s")
+        _fill(store)
+        store.compact()
+        assert store.kind("k0") == KIND_POINT
+        assert store.kind("k1") == KIND_FAILURE
+
+    def test_append_order_preserved(self, tmp_path):
+        store = CampaignStore(tmp_path / "s")
+        _fill(store, versions=2, keys=3)
+        store.compact()
+        lines = (tmp_path / "s" / "results.jsonl").read_text().splitlines()
+        assert [json.loads(l)["key"] for l in lines] == ["k0", "k1", "k2"]
+
+    def test_reopen_after_compact(self, tmp_path):
+        store = CampaignStore(tmp_path / "s")
+        _fill(store)
+        store.compact()
+        store.close()
+        reopened = CampaignStore(tmp_path / "s")
+        assert len(reopened) == 4
+        assert reopened.get("k3")["payload"]["value"] == 2
+
+    def test_put_after_compact(self, tmp_path):
+        store = CampaignStore(tmp_path / "s")
+        _fill(store)
+        store.compact()
+        store.put("k9", KIND_ALONE, {"ipc": 1.0}, meta={})
+        assert len(store) == 5
+        assert CampaignStore(tmp_path / "s").get("k9") is not None
+
+    def test_idempotent(self, tmp_path):
+        store = CampaignStore(tmp_path / "s")
+        _fill(store)
+        store.compact()
+        again = store.compact()
+        assert again["superseded"] == 0
+        assert again["bytes_reclaimed"] == 0
+
+    def test_empty_store(self, tmp_path):
+        store = CampaignStore(tmp_path / "s")
+        stats = store.compact()
+        assert stats["records_before"] == 0
+        assert stats["records_after"] == 0
+
+    def test_cli_compact(self, tmp_path, capsys):
+        store = CampaignStore(tmp_path / "s")
+        _fill(store)
+        store.close()
+        rc = cli_main(["campaign", "compact",
+                       "--store", str(tmp_path / "s")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "superseded" in out and "8" in out
+        assert len(CampaignStore(tmp_path / "s")) == 4

@@ -1,0 +1,167 @@
+"""Graceful interrupt: flushed store, no traceback, resumable."""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignInterrupted,
+    CampaignStore,
+    execute_plan,
+)
+from repro.campaign import engine as engine_mod
+from repro.campaign.store import KIND_POINT, KIND_SUMMARY
+from tests.campaign.test_engine import tiny_plan
+
+
+def _fake_execute(interrupt_on=None, sleep_s=0.0, calls=None):
+    """Synthetic _execute_task: instant alone runs, scripted points."""
+    calls = calls if calls is not None else []
+
+    def fake(task):
+        if task["kind"] == "alone":
+            return {
+                "payload": None,
+                "alone": [{"key": task["key"], "spec": task["spec"],
+                           "seed": task["seed"], "ipc": 1.0}],
+            }
+        calls.append(task["key"])
+        if interrupt_on is not None and len(calls) == interrupt_on:
+            raise KeyboardInterrupt
+        if sleep_s:
+            time.sleep(sleep_s)
+        return {
+            "payload": {
+                "metrics": {"ws": 1.0, "ms": 1.0, "hs": 1.0},
+                "threads": [], "summary": "",
+            },
+            "alone": [],
+        }
+
+    return fake, calls
+
+
+class TestInterruptInline:
+    def test_raises_campaign_interrupted_with_partial_report(
+        self, tmp_path, monkeypatch
+    ):
+        fake, calls = _fake_execute(interrupt_on=3)
+        monkeypatch.setattr(engine_mod, "_execute_task", fake)
+        with pytest.raises(CampaignInterrupted) as exc_info:
+            execute_plan(tiny_plan(), tmp_path / "s", progress=False)
+        report = exc_info.value.report
+        assert len(report.results) == 2
+        assert all(r.ok for r in report.results)
+        assert "resume" in str(exc_info.value)
+
+    def test_store_flushed_on_interrupt(self, tmp_path, monkeypatch):
+        fake, _ = _fake_execute(interrupt_on=3)
+        monkeypatch.setattr(engine_mod, "_execute_task", fake)
+        with pytest.raises(CampaignInterrupted):
+            execute_plan(tiny_plan(), tmp_path / "s", progress=False)
+        store = CampaignStore(tmp_path / "s")
+        assert sum(1 for _ in store.keys(KIND_POINT)) == 2
+        assert sum(1 for _ in store.keys(KIND_SUMMARY)) == 1
+        # sidecar index was flushed and is consistent with the log
+        assert (tmp_path / "s" / "index.json").exists()
+
+    def test_resume_skips_flushed_points(self, tmp_path, monkeypatch):
+        fake, _ = _fake_execute(interrupt_on=3)
+        monkeypatch.setattr(engine_mod, "_execute_task", fake)
+        with pytest.raises(CampaignInterrupted):
+            execute_plan(tiny_plan(), tmp_path / "s", progress=False)
+
+        fake2, calls2 = _fake_execute()
+        monkeypatch.setattr(engine_mod, "_execute_task", fake2)
+        report = execute_plan(tiny_plan(), tmp_path / "s",
+                              progress=False)
+        assert report.cached == 2
+        assert report.completed == 2
+        assert len(calls2) == 2  # only the unfinished points ran
+
+    def test_sigterm_disposition_restored(self, tmp_path, monkeypatch):
+        fake, _ = _fake_execute()
+        monkeypatch.setattr(engine_mod, "_execute_task", fake)
+        before = signal.getsignal(signal.SIGTERM)
+        execute_plan(tiny_plan(), tmp_path / "s", progress=False)
+        assert signal.getsignal(signal.SIGTERM) is before
+
+
+CHILD_SCRIPT = textwrap.dedent("""
+    import sys, time
+
+    from repro.campaign import engine
+
+    def fake(task):
+        if task["kind"] == "alone":
+            return {"payload": None,
+                    "alone": [{"key": task["key"], "spec": task["spec"],
+                               "seed": task["seed"], "ipc": 1.0}]}
+        time.sleep(0.35)
+        return {"payload": {"metrics": {"ws": 1.0, "ms": 1.0, "hs": 1.0},
+                            "threads": [], "summary": ""},
+                "alone": []}
+
+    engine._execute_task = fake
+
+    from repro.experiments.cli import main
+    sys.exit(main(["campaign", "run", "--preset", "smoke",
+                   "--store", sys.argv[1], "--cycles", "15000"]))
+""")
+
+
+def _interrupt_child(tmp_path, signum):
+    """Run the CLI campaign in a child, signal it mid-run."""
+    store_dir = tmp_path / "s"
+    env = dict(os.environ)
+    root = Path(__file__).resolve().parents[2]
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(root / "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-c", CHILD_SCRIPT, str(store_dir)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        env=env, cwd=str(root),
+    )
+    try:
+        log = store_dir / "results.jsonl"
+        deadline = time.monotonic() + 30.0
+        # wait for the first *point* record so the interrupt lands
+        # mid-campaign with something worth flushing
+        while time.monotonic() < deadline:
+            if log.exists() and b'"kind":"point"' in log.read_bytes():
+                break
+            if proc.poll() is not None:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("campaign never wrote a point record")
+        proc.send_signal(signum)
+        out, err = proc.communicate(timeout=30.0)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    return proc.returncode, out.decode(), err.decode(), store_dir
+
+
+@pytest.mark.slow
+class TestInterruptSubprocess:
+    @pytest.mark.parametrize("signum", [signal.SIGINT, signal.SIGTERM])
+    def test_signal_exits_130_flushed_no_traceback(self, tmp_path,
+                                                   signum):
+        rc, out, err, store_dir = _interrupt_child(tmp_path, signum)
+        assert rc == 130, f"stdout:\n{out}\nstderr:\n{err}"
+        assert "Traceback" not in err, err
+        assert "interrupted" in err
+        # store is flushed and resumable: some points done, not all
+        store = CampaignStore(store_dir)
+        done = sum(1 for _ in store.keys(KIND_POINT))
+        assert 1 <= done <= 3
+        assert sum(1 for _ in store.keys(KIND_SUMMARY)) == 1

@@ -1,0 +1,163 @@
+"""Engine retry/backoff/timeout paths, driven by scripted failures."""
+
+import multiprocessing as mp
+import time
+
+import pytest
+
+from repro.campaign import CampaignStore, execute_plan
+from repro.campaign import engine as engine_mod
+from repro.campaign.engine import STATUS_FAILED, STATUS_OK
+from repro.campaign.store import KIND_FAILURE, KIND_POINT
+from tests.campaign.test_engine import tiny_plan
+
+_OK_RESULT = {
+    "payload": {
+        "metrics": {"ws": 1.0, "ms": 1.0, "hs": 1.0},
+        "threads": [], "summary": "",
+    },
+    "alone": [],
+}
+
+
+def _scripted_execute(fail_first=0, hang_first=0):
+    """_execute_task stand-in: point attempts fail/hang on a script.
+
+    ``fail_first`` attempts of each point raise; ``hang_first``
+    attempts block (for the pool-timeout path).  Alone tasks always
+    succeed instantly.  Attempt numbers come from the task payload, so
+    the script holds even across forked pool workers.
+    """
+
+    def fake(task):
+        if task["kind"] == "alone":
+            return {
+                "payload": None,
+                "alone": [{"key": task["key"], "spec": task["spec"],
+                           "seed": task["seed"], "ipc": 1.0}],
+            }
+        if task["attempt"] <= hang_first:
+            time.sleep(300.0)
+        if task["attempt"] <= fail_first:
+            raise RuntimeError(
+                f"scripted failure on attempt {task['attempt']}"
+            )
+        return _OK_RESULT
+
+    return fake
+
+
+class TestInlineRetry:
+    def test_fails_n_minus_1_then_succeeds(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(engine_mod, "_execute_task",
+                            _scripted_execute(fail_first=2))
+        report = execute_plan(tiny_plan(n_workloads=1), tmp_path / "s",
+                              retries=2, backoff=0.01, progress=False)
+        assert [r.status for r in report.results] == [STATUS_OK] * 2
+        assert [r.attempts for r in report.results] == [3, 3]
+        store = CampaignStore(tmp_path / "s")
+        for rec in store.records(KIND_POINT):
+            assert rec["meta"]["attempts"] == 3
+
+    def test_backoff_grows_exponentially(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(engine_mod, "_execute_task",
+                            _scripted_execute(fail_first=3))
+        delays = []
+        real_sleep = time.sleep
+        monkeypatch.setattr(
+            engine_mod.time, "sleep", lambda s: delays.append(s)
+        )
+        try:
+            execute_plan(tiny_plan(n_workloads=1, schedulers=("tcm",)),
+                         tmp_path / "s", retries=3, backoff=0.1,
+                         progress=False)
+        finally:
+            monkeypatch.setattr(engine_mod.time, "sleep", real_sleep)
+        # one point, 3 scripted failures -> 3 backoff sleeps of
+        # ~0.1 * 2**k seconds (minus the instants spent failing)
+        assert len(delays) == 3
+        assert 0.05 < delays[0] <= 0.1
+        assert 1.5 < delays[1] / delays[0] < 2.5
+        assert 1.5 < delays[2] / delays[1] < 2.5
+
+    def test_exhausted_retries_record_failure_shape(self, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.setattr(engine_mod, "_execute_task",
+                            _scripted_execute(fail_first=99))
+        plan = tiny_plan(n_workloads=1, schedulers=("tcm",))
+        report = execute_plan(plan, tmp_path / "s", retries=2,
+                              backoff=0.01, progress=False)
+        result = report.results[0]
+        assert result.status == STATUS_FAILED
+        assert result.attempts == 3
+        assert "scripted failure" in result.error
+        assert result.traceback is not None
+
+        store = CampaignStore(tmp_path / "s")
+        assert store.kind(result.key) == KIND_FAILURE
+        rec = store.get(result.key)
+        assert set(rec["payload"]) == {"error", "traceback", "attempts"}
+        assert rec["payload"]["attempts"] == 3
+        assert "scripted failure" in rec["payload"]["error"]
+        assert "RuntimeError" in rec["payload"]["traceback"]
+        point = plan.points[0]
+        assert rec["meta"] == {
+            "workload": point.workload.name,
+            "scheduler": point.scheduler,
+            "seed": point.seed,
+            "tag": point.tag,
+        }
+
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="scripted tasks reach pool workers via fork inheritance",
+)
+
+
+@needs_fork
+class TestPoolRetry:
+    def test_pool_failure_retried_then_succeeds(self, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setattr(engine_mod, "_execute_task",
+                            _scripted_execute(fail_first=1))
+        report = execute_plan(
+            tiny_plan(n_workloads=1), tmp_path / "s", workers=2,
+            retries=1, backoff=0.01, progress=False,
+            start_method="fork",
+        )
+        assert [r.status for r in report.results] == [STATUS_OK] * 2
+        assert [r.attempts for r in report.results] == [2, 2]
+
+    @pytest.mark.slow
+    def test_hanging_task_timed_out_killed_and_retried(self, tmp_path,
+                                                       monkeypatch):
+        monkeypatch.setattr(engine_mod, "_execute_task",
+                            _scripted_execute(hang_first=1))
+        report = execute_plan(
+            tiny_plan(n_workloads=1, schedulers=("tcm",)),
+            tmp_path / "s", workers=2, timeout=1.0, retries=1,
+            backoff=0.01, progress=False, start_method="fork",
+        )
+        result = report.results[0]
+        assert result.status == STATUS_OK
+        assert result.attempts == 2  # attempt 1 hung, attempt 2 ran
+
+    @pytest.mark.slow
+    def test_hang_with_no_retries_records_timeout_failure(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(engine_mod, "_execute_task",
+                            _scripted_execute(hang_first=99))
+        report = execute_plan(
+            tiny_plan(n_workloads=1, schedulers=("tcm",)),
+            tmp_path / "s", workers=2, timeout=0.5, retries=0,
+            backoff=0.01, progress=False, start_method="fork",
+        )
+        result = report.results[0]
+        assert result.status == STATUS_FAILED
+        assert "Timeout" in result.error
+        store = CampaignStore(tmp_path / "s")
+        rec = store.get(result.key)
+        assert rec["kind"] == KIND_FAILURE
+        assert "Timeout" in rec["payload"]["error"]

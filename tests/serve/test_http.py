@@ -1,0 +1,224 @@
+"""Full HTTP round trips: client <-> asyncio server <-> service."""
+
+import asyncio
+
+from repro.serve import ServeClient, ServeConfig, start_serving
+from repro.serve.state import CANCELLED, DONE, OUTCOME_ACCEPTED
+
+
+def serve_scenario(fn, **cfg_kw):
+    """Boot service+server on an ephemeral port, run ``fn(client, ...)``."""
+
+    async def runner():
+        defaults = dict(shards=2, inline=True, backoff_s=0.02,
+                        queue_capacity=64)
+        defaults.update(cfg_kw)
+        service, server = await start_serving(config=ServeConfig(**defaults))
+        client = ServeClient("127.0.0.1", server.port)
+        try:
+            return await fn(client, service, server)
+        finally:
+            await client.close()
+            await server.stop()
+            await service.stop()
+
+    return asyncio.run(runner())
+
+
+class TestJobRoutes:
+    def test_submit_wait_status_roundtrip(self):
+        async def fn(client, service, server):
+            status, body = await client.submit({"index": 1}, kind="noop")
+            assert status == 202
+            assert body["outcome"] == OUTCOME_ACCEPTED
+            key = body["job"]["key"]
+
+            status, done = await client.wait(key, timeout_s=5.0)
+            assert status == 200
+            assert done["job"]["status"] == DONE
+            assert done["job"]["payload"]["noop"] is True
+
+            status, plain = await client.status(key)
+            assert status == 200 and "payload" not in plain["job"]
+            status, full = await client.status(key, result=True)
+            assert full["job"]["payload"]["spec"] == {"index": 1}
+            return True
+
+        assert serve_scenario(fn)
+
+    def test_resubmit_is_ledger_hit(self):
+        async def fn(client, service, server):
+            _, first = await client.submit({"index": 9}, kind="noop")
+            key = first["job"]["key"]
+            await client.wait(key, timeout_s=5.0)
+            status, again = await client.submit({"index": 9}, kind="noop")
+            assert status == 202
+            assert again["outcome"] == "hit-ledger"
+            assert again["job"]["key"] == key
+            return True
+
+        assert serve_scenario(fn)
+
+    def test_unknown_job_404(self):
+        async def fn(client, service, server):
+            status, body = await client.status("missing")
+            assert status == 404 and "error" in body
+            status, _ = await client.wait("missing", timeout_s=0.1)
+            assert status == 404
+            status, _ = await client.cancel("missing")
+            assert status == 404
+            return True
+
+        assert serve_scenario(fn)
+
+    def test_cancel_terminal_conflicts(self):
+        async def fn(client, service, server):
+            _, body = await client.submit({"index": 1}, kind="noop")
+            key = body["job"]["key"]
+            await client.wait(key, timeout_s=5.0)
+            status, body = await client.cancel(key)
+            assert status == 409 and body["cancelled"] is False
+            return True
+
+        assert serve_scenario(fn)
+
+    def test_cancel_queued_over_http(self):
+        async def fn(client, service, server):
+            await client.submit({"index": 0, "sleep_s": 0.3}, kind="noop")
+            await asyncio.sleep(0.05)
+            _, queued = await client.submit({"index": 1}, kind="noop")
+            status, body = await client.cancel(queued["job"]["key"])
+            assert status == 200 and body["cancelled"] is True
+            assert body["job"]["status"] == CANCELLED
+            return True
+
+        assert serve_scenario(fn, shards=1)
+
+    def test_overload_429_with_retry_after(self):
+        async def fn(client, service, server):
+            statuses = []
+            retry_afters = []
+            for i in range(8):
+                status, body = await client.submit(
+                    {"index": i, "sleep_s": 0.2}, kind="noop")
+                statuses.append(status)
+                if status == 429:
+                    retry_afters.append(body["retry_after"])
+            assert 429 in statuses
+            assert all(r > 0 for r in retry_afters)
+            await service.drain(timeout=10.0)
+            return service.ledger.conservation()
+
+        conservation = serve_scenario(fn, shards=1, queue_capacity=2)
+        assert conservation["ok"], conservation
+
+    def test_batch_submit_counts(self):
+        async def fn(client, service, server):
+            items = [{"kind": "noop",
+                      "spec": {"index": i, "sleep_s": 0.1}}
+                     for i in (1, 2, 1)]
+            status, body = await client.submit_batch(items)
+            assert status == 200
+            assert len(body["results"]) == 3
+            assert body["counts"]["accepted"] == 2
+            assert body["counts"]["hit-inflight"] == 1
+            await service.drain(timeout=5.0)
+            return True
+
+        assert serve_scenario(fn)
+
+
+class TestServiceRoutes:
+    def test_events_slo_metrics_health(self):
+        async def fn(client, service, server):
+            _, body = await client.submit({"index": 1}, kind="noop",
+                                          deadline_s=30.0)
+            await client.wait(body["job"]["key"], timeout_s=5.0)
+
+            _, events = await client.events(after=0)
+            assert events["latest"] == 1
+            assert events["events"][0]["status"] == DONE
+
+            _, slo = await client.slo()
+            assert slo["format"] == "repro.serve.slo/v1"
+            assert slo["overall"]["slo_sat"] == 1
+            assert slo["verified"]["ok"]
+
+            _, metrics = await client.metrics()
+            assert any("serve.jobs.submitted" in k
+                       for k in metrics["metrics"])
+
+            _, health = await client.health()
+            assert health["conservation"]["ok"]
+            assert len(health["shards"]) == 2
+            assert all(s["alive"] for s in health["shards"])
+            return True
+
+        assert serve_scenario(fn)
+
+    def test_events_long_poll(self):
+        async def fn(client, service, server):
+            async def late_submit():
+                await asyncio.sleep(0.05)
+                await client2.submit({"index": 1}, kind="noop")
+
+            client2 = ServeClient("127.0.0.1", server.port)
+            try:
+                task = asyncio.ensure_future(late_submit())
+                _, batch = await client.events(after=0, timeout_s=5.0)
+                await task
+            finally:
+                await client2.close()
+            assert batch["events"], "long-poll returned without events"
+            return True
+
+        assert serve_scenario(fn)
+
+    def test_bad_requests_400(self):
+        async def fn(client, service, server):
+            status, body = await client._request(
+                "POST", "/v1/jobs", {"kind": "noop"})
+            assert status == 400 and "error" in body
+
+            # malformed JSON straight over the socket
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            payload = b"{nope"
+            writer.write(
+                b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: %d\r\n\r\n%s" % (len(payload), payload)
+            )
+            await writer.drain()
+            line = await reader.readline()
+            writer.close()
+            assert b"400" in line
+            return True
+
+        assert serve_scenario(fn)
+
+    def test_unknown_route_404(self):
+        async def fn(client, service, server):
+            status, body = await client._request("GET", "/v1/nope")
+            assert status == 404
+            assert "no route" in body["error"]
+            return True
+
+        assert serve_scenario(fn)
+
+    def test_shutdown_drains_and_unblocks(self):
+        async def fn(client, service, server):
+            runner = asyncio.ensure_future(
+                server.run_until_shutdown(drain=True))
+            keys = []
+            for i in range(4):
+                _, body = await client.submit(
+                    {"index": i, "sleep_s": 0.05}, kind="noop")
+                keys.append(body["job"]["key"])
+            status, body = await client.shutdown(drain=True)
+            assert status == 200 and body["stopping"] is True
+            await asyncio.wait_for(runner, timeout=10.0)
+            jobs = [service.job(k) for k in keys]
+            assert all(j.status == DONE for j in jobs)
+            return True
+
+        assert serve_scenario(fn)

@@ -1,0 +1,109 @@
+"""Load-generator modes against a live service: nothing gets lost."""
+
+import asyncio
+
+from repro.serve import (
+    LoadGenerator,
+    ServeConfig,
+    cycle_jobs,
+    noop_jobs,
+    start_serving,
+)
+
+
+def run_load(jobs, cfg_kw=None, **gen_kw):
+    async def runner():
+        defaults = dict(shards=2, inline=True, queue_capacity=256)
+        defaults.update(cfg_kw or {})
+        service, server = await start_serving(config=ServeConfig(**defaults))
+        try:
+            gen = LoadGenerator("127.0.0.1", server.port, jobs, **gen_kw)
+            report = await gen.run()
+            conservation = service.ledger.conservation()
+            return report, conservation
+        finally:
+            await server.stop()
+            await service.stop()
+
+    return asyncio.run(runner())
+
+
+class TestModes:
+    def test_batch_mode_with_duplicates(self):
+        jobs = cycle_jobs(noop_jobs(20, deadline_s=30.0), 60)
+        report, conservation = run_load(jobs, mode="batch", batch=16)
+        assert report.submitted == 60
+        assert report.accepted == 20
+        assert report.dedup == 40
+        # every submission reaches a terminal verdict, dedup included
+        assert report.completed == 60
+        assert report.lost == 0 and not report.errors
+        assert conservation["ok"], conservation
+        assert report.slo["overall"]["served"] == 20
+
+    def test_open_mode_poisson(self):
+        jobs = noop_jobs(30, deadline_s=30.0)
+        report, conservation = run_load(jobs, mode="open", rate=500.0,
+                                        seed=7)
+        assert report.submitted == 30
+        assert report.completed == 30
+        assert report.lost == 0 and not report.errors
+        assert conservation["ok"], conservation
+        assert report.completion_latency["count"] == 30
+
+    def test_closed_mode(self):
+        jobs = noop_jobs(20, deadline_s=30.0)
+        report, conservation = run_load(jobs, mode="closed",
+                                        concurrency=4)
+        assert report.submitted == 20
+        assert report.completed == 20
+        assert report.lost == 0 and not report.errors
+        assert conservation["ok"], conservation
+
+    def test_report_shapes(self):
+        jobs = noop_jobs(5, deadline_s=30.0)
+        report, _ = run_load(jobs, mode="batch")
+        data = report.to_dict()
+        assert data["format"] == "repro.serve.load/v1"
+        for field in ("mode", "wall_s", "submitted", "outcomes",
+                      "completed", "lost", "accept_latency",
+                      "completion_latency", "slo"):
+            assert field in data, field
+        text = report.format_text()
+        assert "submitted" in text and "completions/s" in text
+        assert report.throughput > 0
+
+
+class TestOverloadAndResubmit:
+    def test_rejections_are_not_lost(self):
+        jobs = noop_jobs(24, sleep_ms=50.0, deadline_s=30.0)
+        report, conservation = run_load(
+            jobs, cfg_kw=dict(shards=1, queue_capacity=4),
+            mode="open", rate=2000.0, on_reject="drop",
+        )
+        assert report.rejected > 0, "overload never tripped 429s"
+        assert report.accepted + report.rejected + report.dedup == 24
+        assert report.lost == 0
+        assert conservation["ok"], conservation
+
+    def test_resubmit_is_pure_dedup(self):
+        jobs = noop_jobs(15, deadline_s=30.0)
+
+        async def runner():
+            service, server = await start_serving(
+                config=ServeConfig(shards=2, inline=True))
+            try:
+                first = await LoadGenerator(
+                    "127.0.0.1", server.port, jobs, mode="batch").run()
+                second = await LoadGenerator(
+                    "127.0.0.1", server.port, jobs, mode="batch").run()
+                return first, second
+            finally:
+                await server.stop()
+                await service.stop()
+
+        first, second = asyncio.run(runner())
+        assert first.accepted == 15 and first.lost == 0
+        assert second.accepted == 0
+        assert second.dedup == 15
+        assert second.lost == 0 and not second.errors

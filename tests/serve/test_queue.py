@@ -1,0 +1,130 @@
+"""Priority lanes, bounded capacity, and the retry-after hint."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.queue import (
+    RETRY_AFTER_DEFAULT,
+    RETRY_AFTER_MAX,
+    RETRY_AFTER_MIN,
+    JobQueue,
+    QueueFull,
+    UnknownLane,
+)
+from repro.serve.state import Job
+
+
+def _job(key, lane="default"):
+    return Job(key=key, kind="noop", spec={}, lane=lane)
+
+
+def _take(queue):
+    return asyncio.run(queue.take())
+
+
+class TestLanes:
+    def test_priority_order(self):
+        q = JobQueue(capacity=10)
+        q.offer(_job("b1", "batch"))
+        q.offer(_job("d1", "default"))
+        q.offer(_job("i1", "interactive"))
+        assert _take(q).key == "i1"
+        assert _take(q).key == "d1"
+        assert _take(q).key == "b1"
+
+    def test_fifo_within_lane(self):
+        q = JobQueue(capacity=10)
+        for key in ("a", "b", "c"):
+            q.offer(_job(key))
+        assert [_take(q).key for _ in range(3)] == ["a", "b", "c"]
+
+    def test_unknown_lane(self):
+        q = JobQueue(capacity=10)
+        with pytest.raises(UnknownLane):
+            q.offer(_job("x", "express"))
+
+    def test_depths(self):
+        q = JobQueue(capacity=10)
+        q.offer(_job("a", "batch"))
+        q.offer(_job("b", "batch"))
+        q.offer(_job("c", "interactive"))
+        assert q.depth() == 3
+        assert q.depths() == {"interactive": 1, "default": 0, "batch": 2}
+
+
+class TestBackPressure:
+    def test_capacity_enforced(self):
+        q = JobQueue(capacity=2)
+        q.offer(_job("a"))
+        q.offer(_job("b"))
+        with pytest.raises(QueueFull) as exc_info:
+            q.offer(_job("c"))
+        assert exc_info.value.depth == 2
+        assert exc_info.value.capacity == 2
+        assert exc_info.value.retry_after == RETRY_AFTER_DEFAULT
+
+    def test_capacity_spans_lanes(self):
+        q = JobQueue(capacity=2)
+        q.offer(_job("a", "interactive"))
+        q.offer(_job("b", "batch"))
+        with pytest.raises(QueueFull):
+            q.offer(_job("c", "default"))
+
+    def test_front_reentry_bypasses_capacity(self):
+        q = JobQueue(capacity=1)
+        q.offer(_job("a"))
+        q.offer(_job("retry"), front=True)  # must not raise
+        assert _take(q).key == "retry"
+
+    def test_retry_after_tracks_service_rate(self):
+        q = JobQueue(capacity=100)
+        for i in range(50):
+            q.offer(_job(f"j{i}"))
+        # burst of completions -> huge observed rate -> clamped low hint
+        for _ in range(20):
+            q.note_done()
+        assert q.service_rate() is not None
+        assert RETRY_AFTER_MIN <= q.retry_after() <= RETRY_AFTER_MAX
+
+    def test_retry_after_default_before_any_completion(self):
+        q = JobQueue(capacity=10)
+        assert q.service_rate() is None
+        assert q.retry_after() == RETRY_AFTER_DEFAULT
+
+
+class TestConsumer:
+    def test_take_blocks_until_offer(self):
+        async def scenario():
+            q = JobQueue(capacity=4)
+
+            async def producer():
+                await asyncio.sleep(0.02)
+                q.offer(_job("late"))
+
+            task = asyncio.ensure_future(producer())
+            job = await asyncio.wait_for(q.take(), timeout=2.0)
+            await task
+            return job.key
+
+        assert asyncio.run(scenario()) == "late"
+
+    def test_close_drains_then_none(self):
+        async def scenario():
+            q = JobQueue(capacity=4)
+            q.offer(_job("a"))
+            q.close()
+            first = await q.take()
+            second = await q.take()
+            return first.key, second
+
+        assert asyncio.run(scenario()) == ("a", None)
+
+    def test_remove_cancels_queued(self):
+        q = JobQueue(capacity=4)
+        q.offer(_job("a"))
+        q.offer(_job("b"))
+        removed = q.remove("a")
+        assert removed.key == "a"
+        assert q.remove("a") is None
+        assert q.depth() == 1

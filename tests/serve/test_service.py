@@ -1,0 +1,344 @@
+"""ServeService orchestration: dedup tiers, retries, back-pressure.
+
+Uses inline (thread) shards — the deterministic reference path — so
+these tests exercise the full submit -> queue -> dispatch -> result ->
+ledger/SLO/store pipeline without process-pool latency.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.campaign import CampaignPoint, CampaignStore
+from repro.campaign.store import KIND_ALONE, KIND_FAILURE, KIND_POINT
+from repro.config import SimConfig
+from repro.serve import ServeConfig, ServeService, UnknownLane
+from repro.serve.state import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    OUTCOME_ACCEPTED,
+    OUTCOME_HIT_INFLIGHT,
+    OUTCOME_HIT_LEDGER,
+    OUTCOME_HIT_STORE,
+    OUTCOME_REJECTED,
+)
+from repro.workloads import make_intensity_workload
+
+
+def tiny_point(scheduler="tcm", seed=0):
+    w = make_intensity_workload(0.5, num_threads=2, seed=seed)
+    return CampaignPoint(workload=w, scheduler=scheduler,
+                         config=SimConfig(run_cycles=15_000))
+
+
+async def make_service(**cfg_kw):
+    store = cfg_kw.pop("store", None)
+    defaults = dict(shards=2, inline=True, backoff_s=0.02,
+                    queue_capacity=64)
+    defaults.update(cfg_kw)
+    service = ServeService(store=store, config=ServeConfig(**defaults))
+    await service.start()
+    return service
+
+
+class TestNoopFlow:
+    def test_submit_runs_to_done(self):
+        async def scenario():
+            service = await make_service()
+            try:
+                outcome, job, _ = service.submit({"index": 1},
+                                                 kind="noop")
+                assert outcome == OUTCOME_ACCEPTED
+                await job.wait(timeout=5.0)
+                return job, service.ledger.conservation()
+            finally:
+                await service.stop()
+
+        job, conservation = asyncio.run(scenario())
+        assert job.status == DONE
+        assert job.payload == {"noop": True, "spec": {"index": 1}}
+        assert job.attempts == 1
+        assert conservation["ok"], conservation
+
+    def test_completion_event_emitted(self):
+        async def scenario():
+            service = await make_service()
+            try:
+                _, job, _ = service.submit({"index": 1}, kind="noop")
+                await job.wait(timeout=5.0)
+                return service.events_since(0)
+            finally:
+                await service.stop()
+
+        batch = asyncio.run(scenario())
+        assert len(batch["events"]) == 1
+        event = batch["events"][0]
+        assert event["seq"] == 1 and event["status"] == DONE
+        assert batch["latest"] == 1
+
+    def test_deadline_defaults_applied(self):
+        async def scenario():
+            service = await make_service(
+                default_deadline_s=9.0,
+                lane_deadlines={"interactive": 0.5},
+            )
+            try:
+                _, a, _ = service.submit({"index": 1}, kind="noop")
+                _, b, _ = service.submit({"index": 2}, kind="noop",
+                                         lane="interactive")
+                _, c, _ = service.submit({"index": 3}, kind="noop",
+                                         deadline_s=2.0)
+                return a.deadline_s, b.deadline_s, c.deadline_s
+            finally:
+                await service.stop()
+
+        assert asyncio.run(scenario()) == (9.0, 0.5, 2.0)
+
+
+class TestDedup:
+    def test_inflight_then_ledger_hits(self):
+        async def scenario():
+            service = await make_service()
+            try:
+                spec = {"index": 7, "sleep_s": 0.2}
+                o1, first, _ = service.submit(spec, kind="noop")
+                o2, dup, _ = service.submit(spec, kind="noop")
+                await first.wait(timeout=5.0)
+                o3, after, _ = service.submit(spec, kind="noop")
+                counts = service.ledger.counts()
+                return o1, o2, o3, first is dup, first is after, counts
+            finally:
+                await service.stop()
+
+        o1, o2, o3, same_inflight, same_after, counts = \
+            asyncio.run(scenario())
+        assert (o1, o2, o3) == (OUTCOME_ACCEPTED, OUTCOME_HIT_INFLIGHT,
+                                OUTCOME_HIT_LEDGER)
+        assert same_inflight and same_after
+        assert counts["submitted"] == 3
+        assert counts["accepted"] == 1
+
+    def test_distinct_specs_not_deduped(self):
+        async def scenario():
+            service = await make_service()
+            try:
+                _, a, _ = service.submit({"index": 1}, kind="noop")
+                _, b, _ = service.submit({"index": 2}, kind="noop")
+                return a.key != b.key
+            finally:
+                await service.stop()
+
+        assert asyncio.run(scenario())
+
+
+class TestPointPersistence:
+    def test_point_persisted_then_hit_store(self, tmp_path):
+        spec = tiny_point().to_dict()
+
+        async def first_run():
+            service = await make_service(store=tmp_path / "s")
+            try:
+                outcome, job, _ = service.submit(spec)
+                assert outcome == OUTCOME_ACCEPTED
+                await job.wait(timeout=60.0)
+                return job
+            finally:
+                await service.stop()
+
+        job = asyncio.run(first_run())
+        assert job.status == DONE
+        assert job.payload["metrics"]["ws"] > 0
+
+        store = CampaignStore(tmp_path / "s")
+        assert store.kind(job.key) == KIND_POINT
+        assert store.get(job.key)["meta"]["attempts"] == 1
+        assert sum(1 for _ in store.keys(KIND_ALONE)) >= 1
+        store.close()
+
+        async def second_run():
+            service = await make_service(store=tmp_path / "s")
+            try:
+                outcome, cached, _ = service.submit(spec)
+                return outcome, cached, service.slo.served
+            finally:
+                await service.stop()
+
+        outcome, cached, served = asyncio.run(second_run())
+        assert outcome == OUTCOME_HIT_STORE
+        assert cached.status == DONE and cached.cached
+        assert cached.payload == job.payload
+        assert served == 1  # cached jobs are served jobs
+
+    def test_superseding_failure_triggers_compaction(self, tmp_path):
+        point = tiny_point()
+        spec = point.to_dict()
+        seeded = CampaignStore(tmp_path / "s")
+        seeded.put(point.key, KIND_FAILURE,
+                   {"error": "old", "traceback": None, "attempts": 1},
+                   meta={})
+        seeded.close()
+
+        async def scenario():
+            service = await make_service(store=tmp_path / "s",
+                                         compact_threshold_bytes=1)
+            try:
+                outcome, job, _ = service.submit(spec)
+                assert outcome == OUTCOME_ACCEPTED  # failures re-run
+                await job.wait(timeout=60.0)
+                return job, service._compactions
+            finally:
+                await service.stop()
+
+        job, compactions = asyncio.run(scenario())
+        assert job.status == DONE
+        assert compactions >= 1
+        store = CampaignStore(tmp_path / "s")
+        assert store.kind(point.key) == KIND_POINT
+
+
+class TestFailureAndRetry:
+    def test_injected_failure_retried_then_failed(self):
+        async def scenario():
+            service = await make_service(retries=1, backoff_s=0.01)
+            try:
+                _, job, _ = service.submit({"index": 1, "fail": True},
+                                           kind="noop")
+                await job.wait(timeout=10.0)
+                return job, service.ledger.counts()
+            finally:
+                await service.stop()
+
+        job, counts = asyncio.run(scenario())
+        assert job.status == FAILED
+        assert job.attempts == 2
+        assert "injected noop failure" in job.error
+        assert counts["retries"] == 1
+        assert counts["failed"] == 1
+
+    def test_failed_jobs_count_against_slo(self):
+        async def scenario():
+            service = await make_service(retries=0)
+            try:
+                _, job, _ = service.submit(
+                    {"index": 1, "fail": True}, kind="noop",
+                    deadline_s=30.0,
+                )
+                await job.wait(timeout=10.0)
+                return service.slo_report()
+            finally:
+                await service.stop()
+
+        report = asyncio.run(scenario())
+        assert report["overall"]["slo_not_sat"] == 1
+        assert report["verified"]["ok"]
+
+
+class TestCancelAndBackPressure:
+    def test_cancel_queued_job(self):
+        async def scenario():
+            service = await make_service(shards=1)
+            try:
+                _, busy, _ = service.submit(
+                    {"index": 0, "sleep_s": 0.3}, kind="noop")
+                await asyncio.sleep(0.05)  # let it reach a shard
+                _, queued, _ = service.submit({"index": 1}, kind="noop")
+                cancelled = service.cancel(queued.key)
+                missing = service.cancel("no-such-key")
+                await busy.wait(timeout=5.0)
+                running_refused = not service.cancel(busy.key)
+                return queued, cancelled, missing, running_refused, \
+                    service.ledger.conservation()
+            finally:
+                await service.stop()
+
+        queued, cancelled, missing, terminal_refused, conservation = \
+            asyncio.run(scenario())
+        assert cancelled and queued.status == CANCELLED
+        assert not missing
+        assert terminal_refused
+        assert conservation["ok"], conservation
+
+    def test_overload_rejected_with_retry_after(self):
+        async def scenario():
+            service = await make_service(shards=1, queue_capacity=2)
+            try:
+                outcomes = []
+                for i in range(8):
+                    outcome, _, retry_after = service.submit(
+                        {"index": i, "sleep_s": 0.2}, kind="noop")
+                    outcomes.append((outcome, retry_after))
+                await service.drain(timeout=10.0)
+                return outcomes, service.ledger.conservation()
+            finally:
+                await service.stop()
+
+        outcomes, conservation = asyncio.run(scenario())
+        rejected = [r for o, r in outcomes if o == OUTCOME_REJECTED]
+        accepted = [o for o, _ in outcomes if o == OUTCOME_ACCEPTED]
+        assert rejected, "overload never produced back-pressure"
+        assert all(r > 0 for r in rejected)
+        assert len(accepted) + len(rejected) == 8
+        assert conservation["ok"], conservation
+
+    def test_unknown_lane_rejected_without_counting(self):
+        async def scenario():
+            service = await make_service()
+            try:
+                with pytest.raises(UnknownLane):
+                    service.submit({"index": 1}, kind="noop",
+                                   lane="express")
+                return service.ledger.counts()
+            finally:
+                await service.stop()
+
+        counts = asyncio.run(scenario())
+        assert counts["submitted"] == 0
+
+
+class TestLifecycle:
+    def test_stop_without_drain_cancels_active(self):
+        async def scenario():
+            service = await make_service(shards=1)
+            jobs = [
+                service.submit({"index": i, "sleep_s": 0.5},
+                               kind="noop")[1]
+                for i in range(3)
+            ]
+            await service.stop()  # no drain
+            return jobs, service.ledger.conservation()
+
+        jobs, conservation = asyncio.run(scenario())
+        assert all(j.terminal for j in jobs)
+        assert conservation["ok"], conservation
+        assert conservation["lost"] == 0
+
+    def test_stop_with_drain_finishes_work(self):
+        async def scenario():
+            service = await make_service()
+            jobs = [
+                service.submit({"index": i, "sleep_s": 0.05},
+                               kind="noop")[1]
+                for i in range(4)
+            ]
+            await service.stop(drain=True)
+            return jobs
+
+        jobs = asyncio.run(scenario())
+        assert all(j.status == DONE for j in jobs)
+
+    def test_metrics_snapshot_has_serve_instruments(self):
+        async def scenario():
+            service = await make_service()
+            try:
+                _, job, _ = service.submit({"index": 1}, kind="noop")
+                await job.wait(timeout=5.0)
+                return service.metrics_snapshot()
+            finally:
+                await service.stop()
+
+        snap = asyncio.run(scenario())
+        assert any("serve.jobs.submitted" in k for k in snap)
+        assert any("serve.jobs.done" in k for k in snap)
+        assert any("serve.queue.depth" in k for k in snap)
+        assert any("serve.latency_s" in k for k in snap)

@@ -1,0 +1,94 @@
+"""SLO accounting: counters, report, and the ledger cross-check."""
+
+import pytest
+
+from repro.serve.slo import SLOTracker, format_slo_text
+from repro.serve.state import CANCELLED, DONE, FAILED, Job
+
+
+def _terminal_job(key, status=DONE, deadline_s=None, latency_s=0.1,
+                  lane="default", cached=False):
+    job = Job(key=key, kind="noop", spec={}, lane=lane,
+              deadline_s=deadline_s, submitted_at=100.0, cached=cached)
+    job.finish(status)
+    job.finished_at = 100.0 + latency_s
+    return job
+
+
+class TestObserve:
+    def test_not_terminal_raises(self):
+        job = Job(key="k", kind="noop", spec={})
+        with pytest.raises(ValueError):
+            SLOTracker().observe(job)
+
+    def test_cancelled_not_served(self):
+        tracker = SLOTracker()
+        assert tracker.observe(_terminal_job("k", CANCELLED)) is None
+        assert tracker.served == 0
+
+    def test_clockwork_counters(self):
+        tracker = SLOTracker()
+        tracker.observe(_terminal_job("a", deadline_s=1.0, latency_s=0.5))
+        tracker.observe(_terminal_job("b", deadline_s=0.1, latency_s=0.5))
+        tracker.observe(_terminal_job("c", FAILED, deadline_s=9.0))
+        tracker.observe(_terminal_job("d"))  # no deadline
+        assert tracker.num_sat == 1
+        assert tracker.num_not_sat == 2
+        assert tracker.num_no_deadline == 1
+        assert tracker.attainment() == pytest.approx(1 / 3)
+
+    def test_attainment_none_without_deadlines(self):
+        tracker = SLOTracker()
+        tracker.observe(_terminal_job("a"))
+        assert tracker.attainment() is None
+
+
+class TestReport:
+    def _tracker(self):
+        tracker = SLOTracker()
+        for i in range(8):
+            tracker.observe(_terminal_job(
+                f"i{i}", deadline_s=1.0, latency_s=0.1 * (i + 1),
+                lane="interactive",
+            ))
+        tracker.observe(_terminal_job("b0", deadline_s=0.05,
+                                      latency_s=0.5, lane="batch"))
+        tracker.observe(_terminal_job("c0", cached=True, lane="batch",
+                                      latency_s=0.0))
+        return tracker
+
+    def test_overall_and_lane_buckets(self):
+        report = self._tracker().report()
+        assert report["format"] == "repro.serve.slo/v1"
+        overall = report["overall"]
+        assert overall["served"] == 10
+        assert overall["slo_sat"] == 8
+        assert overall["slo_not_sat"] == 1
+        assert overall["no_deadline"] == 1
+        assert overall["attainment"] == pytest.approx(8 / 9)
+        assert overall["cached"] == 1
+        assert set(report["lanes"]) == {"interactive", "batch"}
+        assert report["lanes"]["batch"]["slo_not_sat"] == 1
+
+    def test_latency_percentiles_ordered(self):
+        lat = self._tracker().report()["overall"]["latency"]
+        assert lat["count"] == 10
+        assert lat["p50_s"] <= lat["p90_s"] <= lat["p99_s"] <= lat["max_s"]
+        assert lat["max_s"] == pytest.approx(0.8)
+
+    def test_verify_matches_ledger(self):
+        tracker = self._tracker()
+        check = tracker.verify()
+        assert check["ok"]
+        assert check["counters"] == check["ledger"]
+
+    def test_verify_catches_counter_drift(self):
+        tracker = self._tracker()
+        tracker.num_sat += 1  # simulated accounting bug
+        assert not tracker.verify()["ok"]
+
+    def test_format_text(self):
+        text = format_slo_text(self._tracker().report())
+        assert "attainment" in text
+        assert "lane interactive" in text
+        assert "p99" in text

@@ -1,0 +1,138 @@
+"""Acceptance soak: 10k submissions, 4 process shards, nothing lost.
+
+Mirrors ISSUE acceptance criteria: a soak of >=10k submitted sim-points
+across >=4 shards with zero lost/duplicated jobs, resubmission fully
+deduplicated against the store, clean back-pressure under ~2x overload,
+and an SLO report that matches the per-job ledger exactly.
+"""
+
+import asyncio
+import multiprocessing as mp
+
+import pytest
+
+from repro.campaign import CampaignPoint, CampaignStore
+from repro.campaign.store import KIND_POINT
+from repro.config import SimConfig
+from repro.serve import (
+    LoadGenerator,
+    ServeConfig,
+    cycle_jobs,
+    noop_jobs,
+    start_serving,
+)
+from repro.workloads import make_intensity_workload
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="process shards use the fork start method in CI",
+)
+
+N_SUBMISSIONS = 10_000
+N_SHARDS = 4
+
+
+def soak_jobs():
+    """16 unique tiny sim points (8 workload mixes x 2 schedulers)."""
+    items = []
+    for i in range(8):
+        workload = make_intensity_workload(
+            0.2 + 0.1 * (i % 7), num_threads=2, seed=i)
+        for scheduler in ("frfcfs", "tcm"):
+            point = CampaignPoint(
+                workload=workload, scheduler=scheduler,
+                config=SimConfig(run_cycles=6_000),
+            )
+            items.append({"kind": "point", "spec": point.to_dict(),
+                          "lane": "batch", "deadline_s": 300.0})
+    return items
+
+
+@pytest.mark.slow
+@needs_fork
+class TestSoak:
+    def test_soak_10k_across_four_process_shards(self, tmp_path):
+        base = soak_jobs()
+        submissions = cycle_jobs(base, N_SUBMISSIONS)
+
+        async def runner():
+            service, server = await start_serving(
+                store=tmp_path / "store",
+                config=ServeConfig(shards=N_SHARDS, inline=False,
+                                   queue_capacity=64,
+                                   job_timeout_s=120.0),
+            )
+            try:
+                soak = await LoadGenerator(
+                    "127.0.0.1", server.port, submissions,
+                    mode="batch", batch=500, wait_timeout_s=300.0,
+                ).run()
+                health = service.health()
+                resubmit = await LoadGenerator(
+                    "127.0.0.1", server.port, base, mode="batch",
+                ).run()
+                return soak, resubmit, health
+            finally:
+                await server.stop()
+                await service.stop()
+
+        soak, resubmit, health = asyncio.run(runner())
+
+        # -- zero lost jobs, every submission accounted ----------------
+        assert soak.submitted == N_SUBMISSIONS
+        assert soak.lost == 0 and not soak.errors
+        assert soak.accepted == len(base)
+        assert soak.dedup == N_SUBMISSIONS - len(base)
+        assert soak.failed == 0
+        assert health["conservation"]["ok"], health["conservation"]
+        assert len(health["shards"]) == N_SHARDS
+
+        # -- zero duplicated compute: one store record per point, one
+        #    attempt each --------------------------------------------
+        store = CampaignStore(tmp_path / "store")
+        point_keys = list(store.keys(KIND_POINT))
+        assert len(point_keys) == len(base)
+        for key in point_keys:
+            assert store.get(key)["meta"]["attempts"] == 1
+        store.close()
+
+        # -- SLO report matches the per-job deadline ledger exactly ----
+        slo = soak.slo
+        assert slo["verified"]["ok"], slo["verified"]
+        assert slo["overall"]["served"] == len(base)
+        assert slo["overall"]["slo_sat"] == len(base)
+
+        # -- resubmission of the whole campaign is 100% dedup ----------
+        assert resubmit.accepted == 0
+        assert resubmit.dedup == len(base)
+        assert resubmit.lost == 0 and not resubmit.errors
+
+
+@pytest.mark.slow
+class TestOverload:
+    def test_two_x_overload_sheds_cleanly(self):
+        # 1 shard x 20ms jobs ~= 50 jobs/s service rate; offer ~100/s.
+        jobs = noop_jobs(120, sleep_ms=20.0, deadline_s=60.0)
+
+        async def runner():
+            service, server = await start_serving(
+                config=ServeConfig(shards=1, inline=True,
+                                   queue_capacity=8),
+            )
+            try:
+                report = await LoadGenerator(
+                    "127.0.0.1", server.port, jobs, mode="open",
+                    rate=100.0, on_reject="drop", seed=3,
+                ).run()
+                return report, service.ledger.conservation()
+            finally:
+                await server.stop()
+                await service.stop()
+
+        report, conservation = asyncio.run(runner())
+        assert report.rejected > 0, "2x overload never tripped 429s"
+        assert report.accepted + report.rejected + report.dedup == 120
+        assert report.completed == report.accepted
+        assert report.lost == 0 and not report.errors
+        assert conservation["ok"], conservation
+        assert report.slo["verified"]["ok"]

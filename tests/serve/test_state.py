@@ -1,0 +1,137 @@
+"""Job identity, lifecycle, and ledger conservation."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.campaign import CampaignPoint
+from repro.serve.state import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    Job,
+    JobLedger,
+    OUTCOME_ACCEPTED,
+    OUTCOME_HIT_LEDGER,
+    OUTCOME_REJECTED,
+    QUEUED,
+    job_key,
+    noop_key,
+)
+from repro.workloads import make_intensity_workload
+
+
+class TestJobKey:
+    def test_noop_key_is_content_addressed(self):
+        a = job_key("noop", {"index": 1, "salt": 0})
+        b = job_key("noop", {"salt": 0, "index": 1})  # order-free
+        c = job_key("noop", {"index": 2, "salt": 0})
+        assert a == b
+        assert a != c
+
+    def test_noop_and_point_hash_domains_disjoint(self):
+        assert noop_key({"index": 1}) != job_key("noop", {"index": 2})
+
+    def test_point_key_matches_campaign_point(self):
+        w = make_intensity_workload(0.5, num_threads=2, seed=0)
+        point = CampaignPoint(workload=w, scheduler="tcm",
+                              config=SimConfig(run_cycles=15_000))
+        assert job_key("point", point.to_dict()) == point.key
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            job_key("mystery", {})
+
+
+def _job(**kw):
+    defaults = dict(key="k", kind="noop", spec={}, submitted_at=100.0)
+    defaults.update(kw)
+    return Job(**defaults)
+
+
+class TestJobLifecycle:
+    def test_sat_none_before_terminal(self):
+        job = _job(deadline_s=1.0)
+        assert job.status == QUEUED
+        assert job.sat is None
+        assert job.latency_s is None
+
+    def test_sat_true_within_deadline(self):
+        job = _job(deadline_s=1.0)
+        job.finish(DONE)
+        job.finished_at = 100.5
+        assert job.latency_s == pytest.approx(0.5)
+        assert job.sat is True
+
+    def test_sat_false_past_deadline(self):
+        job = _job(deadline_s=0.25)
+        job.finish(DONE)
+        job.finished_at = 100.5
+        assert job.sat is False
+
+    def test_failed_job_never_sats(self):
+        job = _job(deadline_s=10.0)
+        job.finish(FAILED, error="boom")
+        job.finished_at = 100.01
+        assert job.sat is False
+
+    def test_no_deadline_no_verdict(self):
+        job = _job()
+        job.finish(DONE)
+        assert job.sat is None
+
+    def test_cancelled_no_verdict(self):
+        job = _job(deadline_s=1.0)
+        job.finish(CANCELLED)
+        assert job.sat is None
+
+    def test_to_dict_shape(self):
+        job = _job(deadline_s=1.0, lane="batch")
+        job.finish(DONE, payload={"x": 1})
+        data = job.to_dict()
+        assert data["status"] == DONE and data["lane"] == "batch"
+        assert "payload" not in data
+        assert job.to_dict(include_payload=True)["payload"] == {"x": 1}
+
+
+class TestLedgerConservation:
+    def test_every_submission_accounted(self):
+        ledger = JobLedger()
+        done = _job(key="a")
+        ledger.add(done)
+        ledger.note(OUTCOME_ACCEPTED)
+        done.finish(DONE)
+        ledger.note_terminal(done)
+
+        running = _job(key="b")
+        ledger.add(running)
+        ledger.note(OUTCOME_ACCEPTED)
+
+        ledger.note(OUTCOME_HIT_LEDGER)
+        ledger.note(OUTCOME_REJECTED)
+
+        check = ledger.conservation()
+        assert check["ok"], check
+        assert check["submitted"] == 4
+        assert check["lost"] == 0
+        assert check["terminal"] == 1 and check["active"] == 1
+
+    def test_lost_job_detected(self):
+        ledger = JobLedger()
+        lost = _job(key="a")
+        ledger.add(lost)
+        ledger.note(OUTCOME_ACCEPTED)
+        # terminal state reached but never accounted in the counters
+        lost.status = DONE
+        check = ledger.conservation()
+        assert not check["ok"]
+        assert check["lost"] == 1
+
+    def test_duplicate_add_rejected(self):
+        ledger = JobLedger()
+        ledger.add(_job(key="a"))
+        with pytest.raises(ValueError):
+            ledger.add(_job(key="a"))
+
+    def test_unknown_outcome_rejected(self):
+        with pytest.raises(ValueError):
+            JobLedger().note("vanished")
