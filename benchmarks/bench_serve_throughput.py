@@ -1,4 +1,4 @@
-"""Serving-layer throughput guard.
+"""Serving-layer throughput and tracing-overhead guard.
 
 Pumps a batch of unique noop jobs through the full serving stack —
 HTTP client -> asyncio server -> priority queue -> inline shards ->
@@ -8,30 +8,55 @@ per job (framing, hashing, queueing, event fan-out).
 
 * **Behaviour** (always) — zero lost jobs, zero client errors, and a
   verified SLO ledger on every round.  A throughput bench that drops
-  work is measuring the wrong thing.
-* **Speed** (recorded under ``REPRO_BENCH_RECORD=1``) — per-round wall
-  time and jobs/s land in the ``serve_throughput`` family of
-  ``BENCH_history.json`` for `repro prof compare` regression tracking.
+  work is measuring the wrong thing.  The tracing round additionally
+  requires zero tiling violations and an exact trace/ledger/SLO
+  reconciliation.
+* **Speed** (recorded under ``REPRO_BENCH_RECORD=1``, asserted under
+  ``REPRO_BENCH_STRICT=1`` on the committed record's machine) — with
+  tracing off every hook site pays a single ``is None`` branch, so
+  median round wall time must stay within 3% of the committed
+  ``serve_throughput`` record in ``BENCH_history.json``.
+* **Stage attribution** (informational) — one tracing-on round breaks
+  the mean job's latency into queue_wait / dispatch / execute shares,
+  landing in ``extra_info`` so a shift in where service time goes is
+  visible across history records.
 
 Scale knob: ``REPRO_BENCH_SERVE_JOBS`` (default 500 unique jobs/round).
 """
 
 import asyncio
 import os
+import statistics
+from pathlib import Path
 
 from conftest import emit, record_history
+from repro.prof.history import (
+    latest,
+    load,
+    machine_fingerprint,
+    same_machine,
+)
 from repro.serve import LoadGenerator, ServeConfig, noop_jobs, start_serving
 
 ROUNDS = 3
+STRICT = os.environ.get("REPRO_BENCH_STRICT") == "1"
+#: tracing-off may cost at most 3% over the committed pre-tracing record
+MAX_SLOWDOWN = 1.03
+
+_HISTORY = Path(__file__).resolve().parent.parent / "BENCH_history.json"
+
+#: the stages whose totals partition the serving-side latency budget
+_SHARE_STAGES = ("queue_wait", "dispatch", "execute")
 
 
 def serve_jobs() -> int:
     return int(os.environ.get("REPRO_BENCH_SERVE_JOBS", "500"))
 
 
-async def _one_round(n_jobs: int, seed: int):
+async def _one_round(n_jobs: int, seed: int, tracing: bool = False):
     service, server = await start_serving(
-        config=ServeConfig(shards=2, inline=True, queue_capacity=n_jobs),
+        config=ServeConfig(shards=2, inline=True, queue_capacity=n_jobs,
+                           tracing=tracing),
     )
     try:
         report = await LoadGenerator(
@@ -39,16 +64,24 @@ async def _one_round(n_jobs: int, seed: int):
             noop_jobs(n_jobs, seed=seed, deadline_s=120.0),
             mode="batch", batch=100,
         ).run()
-        return report
+        stages = reconcile = None
+        if tracing:
+            stages = service.tracer.stage_stats()
+            reconcile = service.tracer.reconcile(service.ledger,
+                                                 service.slo)
+            assert service.tracer.tiling_violations == 0
+            assert service.tracer.grammar_violations == 0
+        return report, stages, reconcile
     finally:
         await server.stop()
         await service.stop()
 
 
-def test_serve_throughput(capsys):
+def test_serve_throughput(capsys, benchmark):
     n_jobs = serve_jobs()
-    reports = [asyncio.run(_one_round(n_jobs, seed))
+    results = [asyncio.run(_one_round(n_jobs, seed))
                for seed in range(ROUNDS)]
+    reports = [r for r, _, _ in results]
 
     for report in reports:
         assert report.completed == n_jobs
@@ -57,15 +90,43 @@ def test_serve_throughput(capsys):
 
     rounds_s = [r.wall_s for r in reports]
     best = max(r.throughput for r in reports)
+
+    # one tracing-on round: behavioural contract + stage attribution
+    traced, stages, reconcile = asyncio.run(
+        _one_round(n_jobs, seed=ROUNDS, tracing=True))
+    assert traced.completed == n_jobs
+    assert traced.lost == 0 and not traced.errors
+    assert reconcile["ok"], reconcile["checks"]
+    share_total = sum(stages[s]["total_s"] for s in _SHARE_STAGES
+                      if s in stages) or 1.0
+    shares = {s: stages[s]["total_s"] / share_total
+              for s in _SHARE_STAGES if s in stages}
+    benchmark.extra_info["stage_shares"] = shares
+    benchmark.extra_info["tracing_on_wall_s"] = traced.wall_s
+
+    committed = latest(load(_HISTORY), f"serve_throughput[{n_jobs}]")
+    ratio = None
+    if committed is not None:
+        baseline_s = committed["wall_s"]["median"]
+        ratio = statistics.median(rounds_s) / baseline_s
+        benchmark.extra_info["tracing_off_vs_committed"] = ratio
+        benchmark.extra_info["same_machine"] = same_machine(
+            committed.get("machine"), machine_fingerprint())
+
     emit(capsys, "\n".join(
         f"serve_throughput round {i}: {r.submitted} jobs in "
         f"{r.wall_s:.3f}s ({r.throughput:.0f} jobs/s, "
         f"p99 complete {r.completion_latency['p99_s'] * 1e3:.1f}ms)"
         for i, r in enumerate(reports)
-    ) + f"\nbest: {best:.0f} jobs/s")
+    ) + f"\nbest: {best:.0f} jobs/s"
+      + f"\ntracing on: {traced.wall_s:.3f}s, shares "
+      + " ".join(f"{s}={shares.get(s, 0.0):.1%}" for s in _SHARE_STAGES)
+      + (f"\ntracing off vs committed: {ratio:.3f}x"
+         if ratio is not None else ""))
 
     record_history(
         f"serve_throughput[{n_jobs}]", "serve_throughput", rounds_s,
+        tolerance=MAX_SLOWDOWN,
         jobs=n_jobs,
         throughput_jobs_per_s=best,
         extra={
@@ -73,5 +134,18 @@ def test_serve_throughput(capsys):
             "mode": "batch",
             "p99_completion_s":
                 reports[0].completion_latency.get("p99_s"),
+            "stage_shares": shares,
+            "tracing_off_vs_committed": ratio,
         },
     )
+    benchmark.pedantic(
+        lambda: asyncio.run(_one_round(n_jobs, seed=0)), rounds=1,
+        iterations=1,
+    )
+    if (STRICT and committed is not None
+            and same_machine(committed.get("machine"),
+                             machine_fingerprint())):
+        assert ratio <= MAX_SLOWDOWN, (
+            f"tracing-off serving is {ratio:.3f}x the committed "
+            f"baseline (limit {MAX_SLOWDOWN}x)"
+        )

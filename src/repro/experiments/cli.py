@@ -81,6 +81,22 @@ SVG flame graph (and optionally Brendan Gregg collapsed stacks);
 the latest records against a baseline history and exits non-zero on a
 same-machine regression under ``REPRO_BENCH_STRICT=1`` or
 ``--strict``; ``dashboard`` renders the perf trajectory page.
+
+Serving subcommands (see docs/SERVING.md)::
+
+    python -m repro.experiments.cli serve run --shards 4 --tracing
+    python -m repro.experiments.cli serve loadgen --noop 500 --trace
+    python -m repro.experiments.cli serve trace --out serve_trace
+    python -m repro.experiments.cli serve dashboard --out serve.html
+    python -m repro.experiments.cli telemetry report --serve
+
+``serve run --tracing`` boots the service with per-job stage-span
+tracing and the observability timeline on; ``serve trace`` pulls the
+completed job traces off a running service and writes both the raw
+trace JSON and a Perfetto-loadable file; ``serve dashboard`` renders
+the live service observability page; ``telemetry report --serve``
+prints the service's metrics registry / stage-latency report instead
+of running a simulation.
 """
 
 from __future__ import annotations
@@ -370,6 +386,27 @@ def _cmd_telemetry(args, config):
         raise SystemExit(
             f"telemetry: unknown action {action!r} (report|trace)"
         )
+
+    if action == "report" and args.serve:
+        # Service-side report: pull /v1/metrics off a running service
+        # instead of running a simulation.
+        import asyncio
+
+        from repro.serve import ServeClient
+        from repro.telemetry.report import render_metrics_report
+
+        async def _fetch():
+            client = ServeClient(args.host, args.port)
+            try:
+                _, payload = await client.metrics()
+            finally:
+                await client.close()
+            return payload
+
+        snapshot = asyncio.run(_fetch())
+        print(f"service metrics — {args.host}:{args.port}")
+        print(render_metrics_report(snapshot))
+        return
 
     if action == "trace" and args.trace_in:
         # Pure conversion: JSONL event log -> Perfetto trace_event JSON.
@@ -755,11 +792,13 @@ def _serve_jobs(args, config):
         jobs = noop_jobs(
             args.noop, sleep_ms=args.sleep_ms, seed=args.seed,
             lane=args.lane, deadline_s=args.deadline_s,
+            trace=args.trace,
         )
     else:
         plan = _campaign_plan(args, config)
         jobs = plan_jobs(plan, lane=args.lane,
-                         deadline_s=args.deadline_s)
+                         deadline_s=args.deadline_s,
+                         trace=args.trace)
     if args.jobs and args.jobs > len(jobs):
         jobs = cycle_jobs(jobs, args.jobs)
     return jobs
@@ -777,10 +816,11 @@ def _cmd_serve(args, config):
     )
 
     action = args.action or "run"
-    if action not in ("run", "submit", "status", "loadgen", "shutdown"):
+    if action not in ("run", "submit", "status", "loadgen", "shutdown",
+                      "trace", "dashboard"):
         raise SystemExit(
             f"serve: unknown action {action!r} "
-            "(run|submit|status|loadgen|shutdown)"
+            "(run|submit|status|loadgen|shutdown|trace|dashboard)"
         )
 
     if action == "run":
@@ -792,6 +832,9 @@ def _cmd_serve(args, config):
                 job_timeout_s=args.job_timeout,
                 default_deadline_s=args.deadline_s,
                 compact_threshold_bytes=args.compact_threshold,
+                tracing=args.tracing or bool(args.trace_dir),
+                trace_dir=args.trace_dir,
+                trace_epoch_cycles=args.epoch_cycles,
             )
             service, server = await start_serving(
                 args.store, cfg, host=args.host, port=args.port,
@@ -799,7 +842,8 @@ def _cmd_serve(args, config):
             print(
                 f"serving on http://{server.host}:{server.port}  "
                 f"shards={args.shards}  "
-                f"store={args.store or '(none)'}",
+                f"store={args.store or '(none)'}  "
+                f"tracing={'on' if cfg.tracing else 'off'}",
                 flush=True,
             )
             try:
@@ -840,6 +884,61 @@ def _cmd_serve(args, config):
                 await client.close()
 
         asyncio.run(_shutdown())
+        return
+
+    if action == "trace":
+        from repro.serve import sim_trace_locator, write_perfetto
+
+        prefix = args.out or "serve_trace"
+        if prefix.endswith(".json"):
+            prefix = prefix[:-5]
+
+        async def _trace():
+            client = ServeClient(args.host, args.port)
+            try:
+                code, snap = await client.traces()
+                if code != 200:
+                    raise SystemExit(
+                        f"serve trace: {snap.get('error', snap)}")
+                _, obs = await client.obs()
+            finally:
+                await client.close()
+            raw_path = f"{prefix}_traces.json"
+            with open(raw_path, "w", encoding="utf-8") as f:
+                json_mod.dump(snap, f, indent=2)
+            locate = (sim_trace_locator(args.trace_dir)
+                      if args.trace_dir else None)
+            write_perfetto(
+                snap["traces"], f"{prefix}.json",
+                timeline=obs.get("timeline"), sim_trace_for=locate,
+            )
+            tiling = snap.get("tiling", {})
+            print(f"wrote {raw_path} and {prefix}.json "
+                  f"({len(snap['traces'])} traces, "
+                  f"{tiling.get('checked', 0)} tiling-checked, "
+                  f"{tiling.get('violations', 0)} violations)")
+
+        asyncio.run(_trace())
+        return
+
+    if action == "dashboard":
+        from repro.obs.dashboard import (
+            render_serve_dashboard,
+            write_dashboard,
+        )
+
+        async def _dashboard():
+            client = ServeClient(args.host, args.port)
+            try:
+                _, obs = await client.obs()
+            finally:
+                await client.close()
+            html = render_serve_dashboard(
+                obs, title=f"{args.host}:{args.port}")
+            out = args.out or "serve_dashboard.html"
+            print(f"wrote {write_dashboard(html, out)}")
+
+        asyncio.run(_dashboard())
         return
 
     # submit | loadgen both drive the LoadGenerator; submit is the
@@ -905,7 +1004,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="campaign action: run | resume | status | "
                              "compact; "
                              "serve action: run | submit | status | "
-                             "loadgen | shutdown; "
+                             "loadgen | shutdown | trace | dashboard; "
                              "telemetry action: report | trace; "
                              "validate action: run | goldens; "
                              "obs action: report | attribution | dashboard; "
@@ -953,10 +1052,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "(telemetry trace)")
     parser.add_argument("--trace-dir", default=None,
                         help="write per-point JSONL traces here "
-                             "(campaign run)")
+                             "(campaign run; serve run — also turns "
+                             "tracing on; serve trace — locate sim "
+                             "traces for Perfetto nesting)")
     parser.add_argument("--out", default=None,
-                        help="output HTML path (obs dashboard; default "
-                             "obs_run.html / obs_campaign.html)")
+                        help="output path (obs/serve dashboard HTML; "
+                             "serve trace file prefix)")
     parser.add_argument("--deep", action="store_true",
                         help="prof run/flame: add cProfile deep mode")
     parser.add_argument("--collapsed", default=None,
@@ -1024,6 +1125,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "(interactive|default|batch)")
     parser.add_argument("--job", default=None,
                         help="serve status: show one job by key")
+    parser.add_argument("--tracing", action="store_true",
+                        help="serve run: per-job stage-span tracing + "
+                             "observability timeline")
+    parser.add_argument("--trace", action="store_true",
+                        help="serve submit/loadgen: ask the service to "
+                             "write a per-point sim trace for each "
+                             "submitted job (needs a --trace-dir run)")
+    parser.add_argument("--serve", action="store_true",
+                        help="telemetry report: pull /v1/metrics from a "
+                             "running service instead of simulating")
     parser.add_argument("--slo-out", default=None,
                         help="serve submit/loadgen: write the service "
                              "SLO attainment report JSON here")

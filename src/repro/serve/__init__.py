@@ -30,7 +30,12 @@ from repro.serve.server import (
     ServeService,
     start_serving,
 )
-from repro.serve.slo import SLORecord, SLOTracker, format_slo_text
+from repro.serve.slo import (
+    BurnRateMonitor,
+    SLORecord,
+    SLOTracker,
+    format_slo_text,
+)
 from repro.serve.state import (
     CANCELLED,
     DEDUP_OUTCOMES,
@@ -51,9 +56,20 @@ from repro.serve.state import (
     job_key,
     noop_key,
 )
+from repro.serve.tracing import (
+    STAGES,
+    JobTrace,
+    ServeTimeline,
+    ServeTracer,
+    StageSpan,
+    sim_trace_locator,
+    traces_to_perfetto,
+    write_perfetto,
+)
 from repro.serve.workers import NoIdleShard, ShardPool, run_task
 
 __all__ = [
+    "BurnRateMonitor",
     "CANCELLED",
     "DEDUP_OUTCOMES",
     "DEFAULT_LANES",
@@ -62,6 +78,7 @@ __all__ = [
     "Job",
     "JobLedger",
     "JobQueue",
+    "JobTrace",
     "KIND_NOOP",
     "KIND_POINT",
     "LoadGenerator",
@@ -77,12 +94,16 @@ __all__ = [
     "RUNNING",
     "SLORecord",
     "SLOTracker",
+    "STAGES",
     "ServeClient",
     "ServeClientError",
     "ServeConfig",
     "ServeServer",
     "ServeService",
+    "ServeTimeline",
+    "ServeTracer",
     "ShardPool",
+    "StageSpan",
     "TERMINAL_STATES",
     "UnknownLane",
     "cycle_jobs",
@@ -93,5 +114,8 @@ __all__ = [
     "plan_jobs",
     "run_loadgen",
     "run_task",
+    "sim_trace_locator",
     "start_serving",
+    "traces_to_perfetto",
+    "write_perfetto",
 ]

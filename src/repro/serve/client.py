@@ -124,12 +124,13 @@ class ServeClient:
 
     async def submit(self, spec: dict, kind: str = "point",
                      lane: str = "default",
-                     deadline_s: Optional[float] = None) -> Tuple[int, dict]:
-        return await self._request(
-            "POST", "/v1/jobs",
-            {"kind": kind, "spec": spec, "lane": lane,
-             "deadline_s": deadline_s},
-        )
+                     deadline_s: Optional[float] = None,
+                     trace: bool = False) -> Tuple[int, dict]:
+        body = {"kind": kind, "spec": spec, "lane": lane,
+                "deadline_s": deadline_s}
+        if trace:
+            body["trace"] = True
+        return await self._request("POST", "/v1/jobs", body)
 
     async def submit_batch(self, items: List[dict]) -> Tuple[int, dict]:
         return await self._request("POST", "/v1/batch", {"jobs": items})
@@ -162,6 +163,15 @@ class ServeClient:
     async def metrics(self) -> Tuple[int, dict]:
         return await self._request("GET", "/v1/metrics")
 
+    async def obs(self) -> Tuple[int, dict]:
+        """Full observability snapshot (timeline, stages, burn state)."""
+        return await self._request("GET", "/v1/obs")
+
+    async def traces(self, limit: Optional[int] = None) -> Tuple[int, dict]:
+        """Completed job traces (requires a tracing-enabled service)."""
+        suffix = f"?limit={limit}" if limit is not None else ""
+        return await self._request("GET", f"/v1/traces{suffix}")
+
     async def health(self) -> Tuple[int, dict]:
         return await self._request("GET", "/v1/health")
 
@@ -177,7 +187,8 @@ class ServeClient:
 
 def noop_jobs(n: int, sleep_ms: float = 0.0, seed: int = 0,
               lane: str = "default",
-              deadline_s: Optional[float] = None) -> List[dict]:
+              deadline_s: Optional[float] = None,
+              trace: bool = False) -> List[dict]:
     """``n`` unique synthetic jobs (keys depend on index and seed)."""
     return [
         {
@@ -186,13 +197,15 @@ def noop_jobs(n: int, sleep_ms: float = 0.0, seed: int = 0,
                      "sleep_s": sleep_ms / 1000.0},
             "lane": lane,
             "deadline_s": deadline_s,
+            **({"trace": True} if trace else {}),
         }
         for i in range(n)
     ]
 
 
 def plan_jobs(plan, lane: str = "default",
-              deadline_s: Optional[float] = None) -> List[dict]:
+              deadline_s: Optional[float] = None,
+              trace: bool = False) -> List[dict]:
     """Submission items for every point of a campaign plan."""
     return [
         {
@@ -200,6 +213,7 @@ def plan_jobs(plan, lane: str = "default",
             "spec": point.to_dict(),
             "lane": lane,
             "deadline_s": deadline_s,
+            **({"trace": True} if trace else {}),
         }
         for point in plan
     ]
@@ -400,6 +414,7 @@ class LoadGenerator:
                 item["spec"], kind=item.get("kind", "point"),
                 lane=item.get("lane", "default"),
                 deadline_s=item.get("deadline_s"),
+                trace=bool(item.get("trace", False)),
             )
         except ServeClientError:
             self._report.errors += 1

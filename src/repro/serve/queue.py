@@ -70,6 +70,10 @@ class JobQueue:
         self._closed = False
         #: monotonic completion stamps for the service-rate estimate
         self._done_stamps: Deque[float] = deque(maxlen=128)
+        #: cumulative per-lane flow counters (exact, never reset) —
+        #: the tracing/timeline layer reconciles against these
+        self.offered: Dict[str, int] = {lane: 0 for lane in self._order}
+        self.taken: Dict[str, int] = {lane: 0 for lane in self._order}
 
     # ------------------------------------------------------------------
     # producer side
@@ -92,6 +96,7 @@ class JobQueue:
             self._queues[job.lane].appendleft(job)
         else:
             self._queues[job.lane].append(job)
+        self.offered[job.lane] += 1
         self._event.set()
 
     # ------------------------------------------------------------------
@@ -104,6 +109,7 @@ class JobQueue:
             for lane in self._order:
                 q = self._queues[lane]
                 if q:
+                    self.taken[lane] += 1
                     return q.popleft()
             if self._closed:
                 return None
@@ -133,6 +139,17 @@ class JobQueue:
 
     def depths(self) -> Dict[str, int]:
         return {lane: len(self._queues[lane]) for lane in self._order}
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-lane flow: current depth + cumulative offered/taken."""
+        return {
+            lane: {
+                "depth": len(self._queues[lane]),
+                "offered": self.offered[lane],
+                "taken": self.taken[lane],
+            }
+            for lane in self._order
+        }
 
     def note_done(self) -> None:
         """Record one service completion (feeds the rate estimate)."""

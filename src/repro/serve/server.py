@@ -21,9 +21,19 @@ asyncio streams (keep-alive, JSON bodies)::
     POST /v1/jobs/<key>/cancel   cancel a queued job (best-effort)
     GET  /v1/events              completion-event tail (?after=SEQ&timeout_s=N)
     GET  /v1/slo                 SLO attainment report + ledger cross-check
-    GET  /v1/metrics             telemetry metrics snapshot
-    GET  /v1/health              queue depth, shard health, conservation
+    GET  /v1/metrics             metrics snapshot (+ time series / stage
+                                 percentiles when tracing is on)
+    GET  /v1/obs                 full observability snapshot (timeline, stage
+                                 stats, burn state, trace reconciliation)
+    GET  /v1/traces              completed job traces (?limit=N)
+    GET  /v1/health              queue depth, shard health, conservation,
+                                 SLO burn-rate alert state
     POST /v1/shutdown            graceful stop ({"drain": true} to finish work)
+
+With ``ServeConfig.tracing`` every job carries a
+:class:`~repro.serve.tracing.JobTrace` whose stage spans exactly tile
+its accept→terminal interval; with it off the service holds
+``tracer is None`` and each hook site pays a single branch.
 """
 
 from __future__ import annotations
@@ -46,7 +56,7 @@ from repro.campaign.store import (
     CampaignStore,
 )
 from repro.serve.queue import JobQueue, QueueFull, UnknownLane
-from repro.serve.slo import SLOTracker
+from repro.serve.slo import BurnRateMonitor, SLOTracker
 from repro.serve.state import (
     CANCELLED,
     DONE,
@@ -64,6 +74,7 @@ from repro.serve.state import (
     JobLedger,
     job_key,
 )
+from repro.serve.tracing import ServeTimeline, ServeTracer
 from repro.serve.workers import NoIdleShard, ShardPool
 from repro.telemetry import MetricsRegistry
 from repro.telemetry.log import get_logger
@@ -98,6 +109,26 @@ class ServeConfig:
     start_method: Optional[str] = None
     #: completion events kept for /v1/events tailing
     events_buffer: int = 65536
+    #: per-job stage-span tracing (admission/queue/dispatch/execute/…);
+    #: off by default — the off path pays one branch per hook site
+    tracing: bool = False
+    #: completed job traces retained for export and percentiles
+    trace_buffer: int = 4096
+    #: campaign trace_dir for jobs submitted with ``trace=True`` —
+    #: the per-point sim event log lands at ``<trace_dir>/<key>.jsonl``
+    trace_dir: Optional[str] = None
+    #: epoch counter granularity for per-point sim traces (cycles)
+    trace_epoch_cycles: Optional[int] = None
+    #: live time-series sampling period (requires tracing; <=0 disables)
+    timeline_interval_s: float = 1.0
+    #: timeline samples retained
+    timeline_buffer: int = 720
+    #: SLO objective feeding the error-budget burn-rate alert
+    slo_objective: float = 0.99
+    burn_fast_window_s: float = 60.0
+    burn_slow_window_s: float = 300.0
+    burn_fire_threshold: float = 2.0
+    burn_clear_threshold: float = 1.0
 
 
 class ServeService:
@@ -123,6 +154,24 @@ class ServeService:
         )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._init_metrics()
+        self.burn = BurnRateMonitor(
+            objective=self.config.slo_objective,
+            fast_window_s=self.config.burn_fast_window_s,
+            slow_window_s=self.config.burn_slow_window_s,
+            fire_threshold=self.config.burn_fire_threshold,
+            clear_threshold=self.config.burn_clear_threshold,
+        )
+        self.tracer: Optional[ServeTracer] = (
+            ServeTracer(buffer=self.config.trace_buffer,
+                        metrics=self.metrics,
+                        latency_bounds=LATENCY_BOUNDS)
+            if self.config.tracing else None
+        )
+        self.timeline: Optional[ServeTimeline] = (
+            ServeTimeline(self.config.timeline_buffer)
+            if self.config.tracing else None
+        )
+        self._timeline_task: Optional[asyncio.Task] = None
         #: alone-run artifacts known service-wide: key -> hint dict
         self._alone: Dict[str, dict] = {}
         if self.store is not None:
@@ -180,6 +229,10 @@ class ServeService:
         self._started_at = time.monotonic()
         await self.pool.start(self._on_result)
         self._dispatcher_task = asyncio.create_task(self._dispatcher())
+        if (self.timeline is not None
+                and self.config.timeline_interval_s > 0):
+            self._timeline_task = asyncio.create_task(
+                self._timeline_loop())
         _LOG.info(
             "serve: %d %s shard(s), queue capacity %d, store=%s",
             self.config.shards,
@@ -205,6 +258,13 @@ class ServeService:
             self._dispatcher_task.cancel()
             try:
                 await self._dispatcher_task
+            except asyncio.CancelledError:
+                pass
+        if self._timeline_task is not None:
+            self._sample_timeline()  # final post-drain sample
+            self._timeline_task.cancel()
+            try:
+                await self._timeline_task
             except asyncio.CancelledError:
                 pass
         await self.pool.shutdown()
@@ -234,16 +294,21 @@ class ServeService:
         kind: str = JOB_POINT,
         lane: str = "default",
         deadline_s: Optional[float] = None,
+        trace: bool = False,
     ) -> Tuple[str, Optional[Job], float]:
         """Submit one job; returns ``(outcome, job, retry_after)``.
 
         ``job`` is None only for :data:`OUTCOME_REJECTED`;
-        ``retry_after`` is meaningful only for rejections.
+        ``retry_after`` is meaningful only for rejections.  ``trace``
+        requests per-point sim tracing (needs ``ServeConfig.trace_dir``)
+        and is deliberately outside the job's content hash.
         """
         if lane not in self.queue.lanes:
             raise UnknownLane(
                 f"unknown lane {lane!r}; have {sorted(self.queue.lanes)}"
             )
+        tracer = self.tracer
+        t0_ns = time.monotonic_ns() if tracer is not None else 0
         point = CampaignPoint.from_dict(spec) if kind == JOB_POINT else None
         key = point.key if point is not None else job_key(kind, spec)
         self._c["submitted"].inc()
@@ -255,6 +320,8 @@ class ServeService:
             self.ledger.note(outcome)
             self._c["hit_ledger" if existing.terminal
                     else "hit_inflight"].inc()
+            if tracer is not None:
+                tracer.hit(key)
             return outcome, existing, 0.0
 
         if deadline_s is None:
@@ -271,11 +338,14 @@ class ServeService:
             self.ledger.add(job)
             self.ledger.note(OUTCOME_HIT_STORE)
             self._c["hit_store"].inc()
+            if tracer is not None:
+                # zero-execute trace: admission only, hit-annotated
+                tracer.begin(job, t0_ns, hit=OUTCOME_HIT_STORE)
             self._complete(job, DONE, payload=record["payload"])
             return OUTCOME_HIT_STORE, job, 0.0
 
         job = Job(key=key, kind=kind, spec=spec, lane=lane,
-                  deadline_s=deadline_s, point=point,
+                  deadline_s=deadline_s, point=point, trace=trace,
                   submitted_at=time.monotonic())
         try:
             self.queue.offer(job)
@@ -286,6 +356,9 @@ class ServeService:
         self.ledger.add(job)
         self.ledger.note(OUTCOME_ACCEPTED)
         self._c["accepted"].inc()
+        if tracer is not None:
+            tracer.begin(job, t0_ns)
+            tracer.stage(job, "queue_wait", time.monotonic_ns())
         return OUTCOME_ACCEPTED, job, 0.0
 
     def cancel(self, key: str) -> bool:
@@ -318,12 +391,19 @@ class ServeService:
                 break
             if job.status != QUEUED:
                 continue  # cancelled while queued
+            tracer = self.tracer
+            if tracer is not None:
+                # dispatch covers shard selection *and* any wait for
+                # an idle shard below
+                tracer.stage(job, "dispatch", time.monotonic_ns())
             while True:
                 try:
                     job.attempts += 1
                     job.status = RUNNING
                     job.started_at = time.monotonic()
                     job.shard = self.pool.dispatch(self._task_payload(job))
+                    if tracer is not None:
+                        tracer.stage(job, "execute", time.monotonic_ns())
                     break
                 except NoIdleShard:
                     job.attempts -= 1
@@ -336,13 +416,19 @@ class ServeService:
         if job.kind == KIND_NOOP:
             return {"kind": "noop", "key": job.key,
                     "attempt": job.attempts, "spec": job.spec}
-        return {
+        task = {
             "kind": "point",
             "key": job.key,
             "attempt": job.attempts,
             "point": job.spec,
             "alone_hints": self._hints_for(job.point),
         }
+        if job.trace and self.config.trace_dir:
+            task["trace"] = {
+                "dir": self.config.trace_dir,
+                "epoch_cycles": self.config.trace_epoch_cycles,
+            }
+        return task
 
     def _hints_for(self, point: CampaignPoint) -> List[dict]:
         hints = []
@@ -370,7 +456,25 @@ class ServeService:
         if (job is None or job.terminal or job.status != RUNNING
                 or msg["attempt"] != job.attempts):
             return  # stale attempt (timeout raced the real result)
+        tracer = self.tracer
+        # all execute-span boundaries come from the *service* clock
+        # (arrival of the result message); the worker's own duration
+        # is attached as an annotation so clock skew cannot break the
+        # tiling invariant
+        exec_detail = None
+        if tracer is not None:
+            exec_detail = {"shard": msg["shard"],
+                           "attempt": msg["attempt"],
+                           "worker_s": msg.get("duration", 0.0)}
         if msg["ok"]:
+            if tracer is not None:
+                tracer.stage(job, "report", time.monotonic_ns(),
+                             detail=exec_detail)
+                if job.trace:
+                    payload = msg.get("payload") or {}
+                    sim_trace = (payload.get("telemetry") or {}).get("trace")
+                    if sim_trace:
+                        tracer.annotate(job, sim_trace=sim_trace)
             self._absorb_alone(msg.get("alone") or ())
             self._persist_success(job, msg)
             self._complete(job, DONE, payload=msg["payload"])
@@ -380,6 +484,12 @@ class ServeService:
             self._c["retries"].inc()
             job.status = QUEUED
             job.shard = None
+            if tracer is not None:
+                exec_detail["error"] = msg["error"]
+                tracer.stage(
+                    job,
+                    "timeout_kill" if msg.get("timeout") else "retry_backoff",
+                    time.monotonic_ns(), detail=exec_detail)
             delay = self.config.backoff_s * (2 ** (job.attempts - 1))
             _LOG.warning("retrying %s in %.2fs (attempt %d failed: %s)",
                          job.key, delay, job.attempts, msg["error"])
@@ -387,11 +497,17 @@ class ServeService:
             return
         _LOG.error("%s failed permanently after %d attempts: %s",
                    job.key, job.attempts, msg["error"])
+        if tracer is not None:
+            exec_detail["error"] = msg["error"]
+            tracer.stage(job, "report", time.monotonic_ns(),
+                         detail=exec_detail)
         self._persist_failure(job, msg)
         self._complete(job, FAILED, error=msg["error"])
 
     def _requeue(self, job: Job) -> None:
         if job.status == QUEUED and not self._stopping:
+            if self.tracer is not None:
+                self.tracer.stage(job, "queue_wait", time.monotonic_ns())
             self.queue.offer(job, front=True)
 
     def _complete(self, job: Job, status: str, *,
@@ -402,9 +518,11 @@ class ServeService:
         self._c[status].inc()
         if status == DONE and not job.cached:
             self.queue.note_done()
-        self.slo.observe(job)
+        self.burn.observe(self.slo.observe(job))
         if job.latency_s is not None and status != CANCELLED:
             self._latency.observe(job.latency_s)
+        if self.tracer is not None:
+            self.tracer.finish(job, time.monotonic_ns())
         self._emit_event(job)
 
     # ------------------------------------------------------------------
@@ -513,6 +631,65 @@ class ServeService:
                 return self.events_since(after, limit)
 
     # ------------------------------------------------------------------
+    # live observability (timeline + snapshots)
+    # ------------------------------------------------------------------
+
+    async def _timeline_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.timeline_interval_s)
+            self._sample_timeline()
+
+    def _sample_timeline(self) -> None:
+        if self.timeline is None:
+            return
+        burn = self.burn.evaluate()  # ticking also ages alerts clear
+        c = self.ledger.counters
+        submitted = c["submitted"]
+        self.timeline.record({
+            "t_s": (time.monotonic() - self._started_at
+                    if self._started_at else 0.0),
+            "depth": self.queue.depth(),
+            "depths": self.queue.depths(),
+            "shards_busy": self.pool.busy_count,
+            "shards_alive": self.pool.alive_count,
+            "utilization": self.pool.busy_count / self.pool.size,
+            "busy_s": self.pool.busy_s,
+            "active": len(self.ledger.active),
+            "done": c["done"],
+            "failed": c["failed"],
+            "hit_rate": self.ledger.hits / submitted if submitted else 0.0,
+            "attainment": self.slo.attainment(),
+            "burn_fast": burn["burn_fast"],
+            "burn_slow": burn["burn_slow"],
+            "alert": burn["state"],
+        })
+
+    def obs_snapshot(self) -> dict:
+        """Everything the dashboard (and ``/v1/obs``) needs, one dict."""
+        snap = {
+            "format": "repro.serve.obs/v1",
+            "tracing": self.tracer is not None,
+            "uptime_s": (
+                time.monotonic() - self._started_at
+                if self._started_at else 0.0
+            ),
+            "jobs": self.ledger.counts(),
+            "conservation": self.ledger.conservation(),
+            "queue": self.queue.stats(),
+            "shards": self.pool.stats(),
+            "slo": self.slo_report(),
+            "burn": self.burn.evaluate(),
+            "timeline": (self.timeline.snapshot()
+                         if self.timeline is not None else []),
+        }
+        if self.tracer is not None:
+            snap["stages"] = self.tracer.stage_stats()
+            snap["lanes"] = self.tracer.lane_stats()
+            snap["tiling"] = self.tracer.tiling_report()
+            snap["reconcile"] = self.tracer.reconcile(self.ledger, self.slo)
+        return snap
+
+    # ------------------------------------------------------------------
     # reports
     # ------------------------------------------------------------------
 
@@ -549,6 +726,7 @@ class ServeService:
             "shards": self.pool.stats(),
             "jobs": self.ledger.counts(),
             "conservation": self.ledger.conservation(),
+            "slo_alert": self.burn.evaluate(),
             "store": store_info,
         }
 
@@ -685,6 +863,7 @@ class ServeServer:
                 spec, kind=kind,
                 lane=item.get("lane", "default"),
                 deadline_s=item.get("deadline_s"),
+                trace=bool(item.get("trace", False)),
             )
         except (UnknownLane, ValueError, KeyError, TypeError) as exc:
             return 400, {"error": repr(exc)}, {}
@@ -765,7 +944,24 @@ class ServeServer:
             return 200, self.service.slo_report(), {}
 
         if method == "GET" and path == "/v1/metrics":
-            return 200, {"metrics": self.service.metrics_snapshot()}, {}
+            payload = {"metrics": self.service.metrics_snapshot()}
+            if self.service.timeline is not None:
+                payload["series"] = self.service.timeline.snapshot()
+            if self.service.tracer is not None:
+                payload["stages"] = self.service.tracer.stage_stats()
+                payload["lanes"] = self.service.tracer.lane_stats()
+            return 200, payload, {}
+
+        if method == "GET" and path == "/v1/obs":
+            return 200, self.service.obs_snapshot(), {}
+
+        if method == "GET" and path == "/v1/traces":
+            tracer = self.service.tracer
+            if tracer is None:
+                return 404, {"error": "tracing disabled "
+                                      "(boot with ServeConfig.tracing)"}, {}
+            limit = int(query.get("limit", -1))
+            return 200, tracer.snapshot(None if limit < 0 else limit), {}
 
         if method == "GET" and path == "/v1/health":
             return 200, self.service.health(), {}

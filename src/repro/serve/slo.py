@@ -16,8 +16,10 @@ relies on.
 
 from __future__ import annotations
 
+import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.serve.state import CANCELLED, DONE, FAILED, Job
 
@@ -159,6 +161,100 @@ class SLOTracker:
             "counters": {"sat": self.num_sat, "not_sat": self.num_not_sat,
                          "no_deadline": self.num_no_deadline},
             "ledger": {"sat": sat, "not_sat": not_sat, "no_deadline": none},
+        }
+
+
+class BurnRateMonitor:
+    """SRE-style error-budget burn-rate alerting on SLO verdicts.
+
+    The error budget is ``1 - objective`` (e.g. objective 0.99 leaves
+    a 1 % budget).  The *burn rate* of a window is the window's
+    not-sat fraction divided by the budget: burn 1.0 consumes the
+    budget exactly at the sustainable pace, burn N consumes it N× too
+    fast.  The classic multi-window rule avoids flapping: the alert
+    **fires** only when both a fast and a slow window burn at or above
+    ``fire_threshold``, and **clears** once the fast window drops
+    below ``clear_threshold`` — so a drained service clears as the bad
+    verdicts age out of the fast window, without needing new traffic.
+
+    Only deadline-carrying verdicts enter the windows (no-deadline
+    jobs burn no budget, matching :class:`SLOTracker.attainment`).
+    ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(self, objective: float = 0.99,
+                 fast_window_s: float = 60.0,
+                 slow_window_s: float = 300.0,
+                 fire_threshold: float = 2.0,
+                 clear_threshold: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if not 0.0 < objective < 1.0:
+            raise ValueError(f"objective must be in (0, 1): {objective}")
+        self.objective = objective
+        self.budget = 1.0 - objective
+        self.fast_window_s = fast_window_s
+        self.slow_window_s = max(slow_window_s, fast_window_s)
+        self.fire_threshold = fire_threshold
+        self.clear_threshold = clear_threshold
+        self.clock = clock
+        self.samples: deque = deque()   # (t, sat: bool), time-ordered
+        self.state = "ok"
+        self.fired = 0
+        self.transitions: List[dict] = []
+
+    def observe(self, record: Optional[SLORecord]) -> None:
+        """Feed one terminal verdict (None / no-deadline are ignored)."""
+        if record is None or record.sat is None:
+            return
+        self.samples.append((self.clock(), record.sat))
+        self.evaluate()
+
+    def _burn(self, now: float, window_s: float) -> float:
+        served = missed = 0
+        cutoff = now - window_s
+        for t, sat in reversed(self.samples):
+            if t < cutoff:
+                break
+            served += 1
+            if not sat:
+                missed += 1
+        if served == 0:
+            return 0.0
+        return (missed / served) / self.budget
+
+    def evaluate(self, now: Optional[float] = None) -> dict:
+        """Re-derive burn rates and advance the alert state machine.
+
+        Called on every verdict *and* on timeline ticks, so the alert
+        clears by aging even when no new jobs arrive.
+        """
+        if now is None:
+            now = self.clock()
+        cutoff = now - self.slow_window_s
+        while self.samples and self.samples[0][0] < cutoff:
+            self.samples.popleft()
+        fast = self._burn(now, self.fast_window_s)
+        slow = self._burn(now, self.slow_window_s)
+        if self.state == "ok":
+            if fast >= self.fire_threshold and slow >= self.fire_threshold:
+                self.state = "firing"
+                self.fired += 1
+                self.transitions.append({"t": now, "state": "firing"})
+        elif fast < self.clear_threshold:
+            self.state = "ok"
+            self.transitions.append({"t": now, "state": "ok"})
+        return {
+            "state": self.state,
+            "objective": self.objective,
+            "budget": self.budget,
+            "burn_fast": fast,
+            "burn_slow": slow,
+            "fast_window_s": self.fast_window_s,
+            "slow_window_s": self.slow_window_s,
+            "fire_threshold": self.fire_threshold,
+            "clear_threshold": self.clear_threshold,
+            "fired": self.fired,
+            "window_verdicts": len(self.samples),
         }
 
 

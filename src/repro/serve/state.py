@@ -92,6 +92,11 @@ class Job:
     error: Optional[str] = None
     #: satisfied straight from the result store (no simulation run)
     cached: bool = False
+    #: run the simulation with per-point event tracing (the campaign
+    #: engine's ``trace_dir`` path); deliberately *not* part of the
+    #: hashed spec, so a traced and an untraced submission dedup to
+    #: the same job
+    trace: bool = False
     #: resolved lazily for point jobs (never serialised)
     point: Optional[CampaignPoint] = field(
         default=None, repr=False, compare=False
@@ -153,6 +158,7 @@ class Job:
             "attempts": self.attempts,
             "shard": self.shard,
             "cached": self.cached,
+            "trace": self.trace,
             "latency_s": self.latency_s,
             "sat": self.sat,
             "error": self.error,

@@ -1,0 +1,587 @@
+"""End-to-end job tracing for the serving layer.
+
+Every job admitted by :class:`~repro.serve.server.ServeService` gets a
+:class:`JobTrace`: a sequence of **disjoint, contiguous stage spans**
+
+    admission / queue_wait / dispatch / execute /
+    (retry_backoff | timeout_kill)* / report
+
+that exactly tiles the job's accept→terminal interval.  "Exactly" is
+load-bearing: all boundaries are captured as ``time.monotonic_ns()``
+integers on the *service* clock, so the telescoping sum
+
+    sum(end - start for span in spans) == terminal_ns - accepted_ns
+
+holds bit-for-bit — no float rounding, no worker-clock skew.  Worker
+shards report their own measured ``duration``; it is recorded as an
+annotation on the ``execute`` span (``worker_s``, with the service/
+worker delta in ``skew_s``) but never used for span boundaries, so a
+skewed or slow shard clock cannot break tiling.
+
+The tracer is the service-side counterpart of ``repro.obs``'s request
+spans: O(1) per transition, a bounded ring of completed traces for
+percentiles/export, cumulative per-lane/per-stage counters for exact
+reconciliation against the :class:`~repro.serve.state.JobLedger`
+conservation laws and the SLO record ledger, and Perfetto export
+through ``repro.telemetry.sinks`` so service traces open in the same
+UI as simulator traces (with sim spans nested under their job's
+``execute`` span when the job ran with sim tracing on).
+
+Everything here is behind the repo's one-branch-when-off guard: with
+``ServeConfig.tracing`` off the service holds ``tracer = None`` and
+every hook site pays a single ``is None`` test.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..telemetry.sinks import events_to_perfetto, rebase_trace_events
+
+#: canonical stage order (waterfall order; retries interleave)
+STAGES = (
+    "admission",
+    "queue_wait",
+    "dispatch",
+    "execute",
+    "retry_backoff",
+    "timeout_kill",
+    "report",
+)
+
+#: legal successor stages — the trace grammar as a transition table
+_NEXT = {
+    "admission": {"queue_wait", "report"},
+    "queue_wait": {"dispatch", "report"},
+    "dispatch": {"execute", "report"},
+    "execute": {"retry_backoff", "timeout_kill", "report"},
+    "retry_backoff": {"queue_wait", "report"},
+    "timeout_kill": {"queue_wait", "report"},
+    "report": set(),
+}
+
+_NS = 1_000_000_000
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (same rule as ``repro.serve.slo``)."""
+    if not sorted_values:
+        return 0.0
+    idx = max(0, min(len(sorted_values) - 1,
+                     int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[idx]
+
+
+@dataclass
+class StageSpan:
+    """One closed stage interval, ``[start_ns, end_ns)`` on the
+    service monotonic clock (ns since the tracer epoch)."""
+
+    __slots__ = ("stage", "start_ns", "end_ns", "detail")
+
+    stage: str
+    start_ns: int
+    end_ns: int
+    detail: Optional[Dict[str, Any]]
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_ns / _NS
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {
+            "stage": self.stage,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+        }
+        if self.detail:
+            d["detail"] = self.detail
+        return d
+
+
+@dataclass
+class JobTrace:
+    """All stage spans of one job, plus identity and annotations."""
+
+    key: str
+    kind: str
+    lane: str
+    spans: List[StageSpan] = field(default_factory=list)
+    status: Optional[str] = None
+    attempts: int = 0
+    hits: int = 0                      # dedup attachments after admission
+    hit: Optional[str] = None          # zero-execute tier: "hit-store"
+    annotations: Dict[str, Any] = field(default_factory=dict)
+    _open_stage: Optional[str] = None
+    _open_ns: int = 0
+
+    # -- span construction (driven by ServeTracer) --------------------
+    def _transition(self, stage: str, t_ns: int,
+                    detail: Optional[Dict[str, Any]] = None) -> None:
+        if self._open_stage is not None:
+            span = StageSpan(self._open_stage, self._open_ns,
+                             max(t_ns, self._open_ns), detail)
+            if detail is not None and "worker_s" in detail:
+                # worker-measured duration vs the service-clock span:
+                # the skew is diagnostic only, never a span boundary
+                detail["skew_s"] = span.duration_s - detail["worker_s"]
+            self.spans.append(span)
+        self._open_stage = stage
+        self._open_ns = max(t_ns, self._open_ns)
+
+    def _close(self, t_ns: int,
+               detail: Optional[Dict[str, Any]] = None) -> None:
+        if self._open_stage is None:
+            return
+        t = max(t_ns, self._open_ns)
+        if self._open_stage == "report":
+            # normal terminal: the report phase was opened when the
+            # result arrived; seal it at the terminal instant.
+            self.spans.append(StageSpan("report", self._open_ns, t, detail))
+        else:
+            # a trace sealed mid-stage (store hit, cancellation, …):
+            # close the open stage and append a zero-length report
+            # marker so the grammar still terminates in report.
+            self.spans.append(StageSpan(self._open_stage, self._open_ns, t,
+                                        detail))
+            self.spans.append(StageSpan("report", t, t, None))
+        self._open_stage = None
+
+    # -- invariants ---------------------------------------------------
+    @property
+    def accepted_ns(self) -> int:
+        return self.spans[0].start_ns if self.spans else 0
+
+    @property
+    def terminal_ns(self) -> int:
+        return self.spans[-1].end_ns if self.spans else 0
+
+    @property
+    def latency_s(self) -> float:
+        return (self.terminal_ns - self.accepted_ns) / _NS
+
+    def stage_s(self, stage: str) -> float:
+        return sum(s.duration_ns for s in self.spans
+                   if s.stage == stage) / _NS
+
+    def tiling_ok(self) -> bool:
+        """Exact tiling: non-negative, contiguous, telescoping spans."""
+        if not self.spans:
+            return False
+        if any(s.end_ns < s.start_ns for s in self.spans):
+            return False
+        for prev, cur in zip(self.spans, self.spans[1:]):
+            if cur.start_ns != prev.end_ns:
+                return False
+        total = sum(s.duration_ns for s in self.spans)
+        return total == self.terminal_ns - self.accepted_ns
+
+    def grammar_ok(self) -> bool:
+        """Spans follow the stage grammar and terminate in report."""
+        if not self.spans or self.spans[0].stage != "admission":
+            return False
+        if self.spans[-1].stage != "report":
+            return False
+        for prev, cur in zip(self.spans, self.spans[1:]):
+            if cur.stage not in _NEXT[prev.stage]:
+                return False
+        return True
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {
+            "key": self.key,
+            "kind": self.kind,
+            "lane": self.lane,
+            "status": self.status,
+            "attempts": self.attempts,
+            "hits": self.hits,
+            "accepted_ns": self.accepted_ns,
+            "terminal_ns": self.terminal_ns,
+            "latency_s": self.latency_s,
+            "spans": [s.to_dict() for s in self.spans],
+        }
+        if self.hit:
+            d["hit"] = self.hit
+        if self.annotations:
+            d["annotations"] = self.annotations
+        return d
+
+
+class ServeTracer:
+    """Collects :class:`JobTrace` objects and reconciles the books.
+
+    One instance per service; all methods are O(1) per call (the ring
+    buffer bounds memory at ``buffer`` completed traces while the
+    cumulative counters keep exact totals forever).
+    """
+
+    def __init__(self, buffer: int = 4096, metrics=None,
+                 latency_bounds: Optional[Sequence[float]] = None) -> None:
+        self.active: Dict[str, JobTrace] = {}
+        self.completed: deque = deque(maxlen=max(1, buffer))
+        self.started = 0
+        self.finished = 0
+        self.hits_attached = 0
+        self.tiling_checked = 0
+        self.tiling_violations = 0
+        self.grammar_violations = 0
+        self.first_violation: Optional[Dict[str, Any]] = None
+        #: lane -> status -> count of finished traces
+        self.finished_by_lane: Dict[str, Dict[str, int]] = {}
+        #: lane -> stage -> cumulative span count
+        self.spans_by_lane: Dict[str, Dict[str, int]] = {}
+        #: stage -> [count, total_s, max_s] (cumulative, exact)
+        self.stage_totals: Dict[str, List[float]] = {}
+        self._hist = {}
+        if metrics is not None and latency_bounds is not None:
+            for stage in STAGES:
+                self._hist[stage] = metrics.histogram(
+                    "serve.stage_s", {"stage": stage},
+                    bounds=latency_bounds)
+
+    # -- lifecycle hooks ----------------------------------------------
+    def begin(self, job, t_ns: int, hit: Optional[str] = None) -> JobTrace:
+        """Open a trace with its ``admission`` span starting at t_ns."""
+        trace = JobTrace(key=job.key, kind=job.kind, lane=job.lane, hit=hit)
+        trace._open_stage = "admission"
+        trace._open_ns = t_ns
+        self.active[job.key] = trace
+        self.started += 1
+        return trace
+
+    def stage(self, job, stage: str, t_ns: int,
+              detail: Optional[Dict[str, Any]] = None) -> None:
+        """Close the open stage (attaching ``detail`` to it) and open
+        ``stage`` — the single transition primitive."""
+        trace = self.active.get(job.key)
+        if trace is not None:
+            trace._transition(stage, t_ns, detail)
+
+    def annotate(self, job, **kv: Any) -> None:
+        trace = self.active.get(job.key)
+        if trace is not None:
+            trace.annotations.update(kv)
+
+    def hit(self, key: str) -> None:
+        """A dedup submission attached to an existing trace."""
+        self.hits_attached += 1
+        trace = self.active.get(key)
+        if trace is not None:
+            trace.hits += 1
+
+    def finish(self, job, t_ns: int,
+               detail: Optional[Dict[str, Any]] = None) -> None:
+        """Seal the trace at the job's terminal instant and audit it."""
+        trace = self.active.pop(job.key, None)
+        if trace is None:
+            return
+        trace._close(t_ns, detail)
+        trace.status = job.status
+        trace.attempts = job.attempts
+        self.finished += 1
+
+        lane = trace.lane
+        by_status = self.finished_by_lane.setdefault(lane, {})
+        by_status[trace.status] = by_status.get(trace.status, 0) + 1
+        by_stage = self.spans_by_lane.setdefault(lane, {})
+        for span in trace.spans:
+            by_stage[span.stage] = by_stage.get(span.stage, 0) + 1
+            agg = self.stage_totals.setdefault(span.stage, [0, 0.0, 0.0])
+            agg[0] += 1
+            agg[1] += span.duration_s
+            agg[2] = max(agg[2], span.duration_s)
+            hist = self._hist.get(span.stage)
+            if hist is not None:
+                hist.observe(span.duration_s)
+
+        self.tiling_checked += 1
+        tiling = trace.tiling_ok()
+        grammar = trace.grammar_ok()
+        if not tiling:
+            self.tiling_violations += 1
+        if not grammar:
+            self.grammar_violations += 1
+        if not (tiling and grammar) and self.first_violation is None:
+            self.first_violation = {
+                "key": trace.key,
+                "tiling_ok": tiling,
+                "grammar_ok": grammar,
+                "spans": [s.to_dict() for s in trace.spans],
+            }
+        self.completed.append(trace)
+
+    # -- aggregate views ----------------------------------------------
+    def stage_stats(self) -> Dict[str, Dict[str, float]]:
+        """Cumulative totals + percentiles over the completed ring."""
+        recent: Dict[str, List[float]] = {}
+        for trace in self.completed:
+            for span in trace.spans:
+                recent.setdefault(span.stage, []).append(span.duration_s)
+        stats: Dict[str, Dict[str, float]] = {}
+        for stage in STAGES:
+            agg = self.stage_totals.get(stage)
+            if agg is None:
+                continue
+            count, total_s, max_s = agg
+            durs = sorted(recent.get(stage, ()))
+            stats[stage] = {
+                "count": int(count),
+                "total_s": total_s,
+                "mean_s": total_s / count if count else 0.0,
+                "max_s": max_s,
+                "p50_s": _percentile(durs, 0.50),
+                "p90_s": _percentile(durs, 0.90),
+                "p99_s": _percentile(durs, 0.99),
+            }
+        return stats
+
+    def lane_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-lane wait/service percentiles over the completed ring."""
+        waits: Dict[str, List[float]] = {}
+        services: Dict[str, List[float]] = {}
+        for trace in self.completed:
+            waits.setdefault(trace.lane, []).append(
+                trace.stage_s("queue_wait"))
+            services.setdefault(trace.lane, []).append(
+                trace.stage_s("execute"))
+        lanes: Dict[str, Dict[str, Any]] = {}
+        for lane, by_status in sorted(self.finished_by_lane.items()):
+            w = sorted(waits.get(lane, ()))
+            s = sorted(services.get(lane, ()))
+            lanes[lane] = {
+                "finished": sum(by_status.values()),
+                "by_status": dict(sorted(by_status.items())),
+                "spans": dict(sorted(
+                    self.spans_by_lane.get(lane, {}).items())),
+                "wait": {"p50_s": _percentile(w, 0.50),
+                         "p90_s": _percentile(w, 0.90),
+                         "p99_s": _percentile(w, 0.99)},
+                "service": {"p50_s": _percentile(s, 0.50),
+                            "p90_s": _percentile(s, 0.90),
+                            "p99_s": _percentile(s, 0.99)},
+            }
+        return lanes
+
+    def tiling_report(self) -> Dict[str, Any]:
+        return {
+            "checked": self.tiling_checked,
+            "violations": self.tiling_violations,
+            "grammar_violations": self.grammar_violations,
+            "first_violation": self.first_violation,
+        }
+
+    def reconcile(self, ledger, slo) -> Dict[str, Any]:
+        """Cross-check the trace books against the job ledger and the
+        SLO record ledger — every check is an exact integer equality.
+        """
+        checks: Dict[str, Any] = {}
+        counters = ledger.counters
+        checks["started_eq_finished_plus_active"] = (
+            self.started == self.finished + len(self.active))
+        checks["started_eq_accepted_plus_store_hits"] = (
+            self.started == counters.get("accepted", 0)
+            + counters.get("hit_store", 0))
+        checks["hits_eq_ledger_dedup"] = (
+            self.hits_attached == counters.get("hit_inflight", 0)
+            + counters.get("hit_ledger", 0))
+
+        # per-lane: traces that reached a terminal state minus the
+        # cancellations (which the SLO tracker does not serve) must
+        # equal the SLO ledger's per-lane served counts; and every
+        # finished trace contributed exactly one report span.
+        slo_lanes: Dict[str, int] = {}
+        for record in slo.records:
+            slo_lanes[record.lane] = slo_lanes.get(record.lane, 0) + 1
+        lanes_ok = True
+        lane_detail: Dict[str, Dict[str, int]] = {}
+        for lane in sorted(set(self.finished_by_lane) | set(slo_lanes)):
+            by_status = self.finished_by_lane.get(lane, {})
+            finished = sum(by_status.values())
+            cancelled = by_status.get("cancelled", 0)
+            served = slo_lanes.get(lane, 0)
+            reports = self.spans_by_lane.get(lane, {}).get("report", 0)
+            ok = (finished - cancelled == served) and (reports == finished)
+            lanes_ok = lanes_ok and ok
+            lane_detail[lane] = {
+                "finished": finished, "cancelled": cancelled,
+                "slo_served": served, "report_spans": reports,
+            }
+        checks["lanes_match_slo_ledger"] = lanes_ok
+        checks["tiling_violations_zero"] = self.tiling_violations == 0
+        checks["grammar_violations_zero"] = self.grammar_violations == 0
+        conservation = ledger.conservation()
+        checks["ledger_conservation"] = bool(conservation["ok"])
+        return {
+            "ok": all(v for k, v in checks.items()),
+            "checks": checks,
+            "lanes": lane_detail,
+            "conservation": conservation,
+        }
+
+    def snapshot(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        traces = list(self.completed)
+        if limit is not None and limit >= 0:
+            traces = traces[-limit:]
+        return {
+            "format": "repro.serve.trace/v1",
+            "started": self.started,
+            "finished": self.finished,
+            "active": len(self.active),
+            "hits_attached": self.hits_attached,
+            "dropped": max(0, self.finished - len(self.completed)),
+            "tiling": self.tiling_report(),
+            "traces": [t.to_dict() for t in traces],
+        }
+
+
+class ServeTimeline:
+    """Periodic time-series snapshots of the live service surface.
+
+    A bounded ring of samples (queue depths per lane, shard
+    utilization, dedup-hit rate, burn state, …) powering the
+    ``/v1/metrics`` ``series`` key and the dashboard's lane/burn
+    charts.  Sampling cost is a handful of dict reads — it runs on an
+    asyncio timer, never on the job hot path.
+    """
+
+    def __init__(self, capacity: int = 720) -> None:
+        self.samples: deque = deque(maxlen=max(2, capacity))
+        self.ticks = 0
+
+    def record(self, sample: Dict[str, Any]) -> None:
+        self.ticks += 1
+        self.samples.append(sample)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return list(self.samples)
+
+
+# -- Perfetto export ---------------------------------------------------
+
+def trace_events(traces: List[Dict[str, Any]],
+                 timeline: Optional[List[Dict[str, Any]]] = None,
+                 ) -> List[Dict[str, Any]]:
+    """Flatten job traces (+ optional timeline) into ``job_span`` /
+    ``serve_sample`` telemetry events for ``events_to_perfetto``."""
+    events: List[Dict[str, Any]] = []
+    for trace in traces:
+        base = {
+            "key": trace["key"],
+            "lane": trace["lane"],
+            "status": trace.get("status"),
+        }
+        t0, t1 = trace["accepted_ns"], trace["terminal_ns"]
+        events.append({
+            "ev": "job_span", "stage": "job",
+            "ts": t0 / 1000.0, "dur": max(0.0, (t1 - t0) / 1000.0),
+            "hits": trace.get("hits", 0),
+            "attempts": trace.get("attempts", 0), **base,
+        })
+        for span in trace["spans"]:
+            ev = {
+                "ev": "job_span", "stage": span["stage"],
+                "ts": span["start_ns"] / 1000.0,
+                "dur": (span["end_ns"] - span["start_ns"]) / 1000.0,
+                **base,
+            }
+            detail = span.get("detail") or {}
+            if "shard" in detail:
+                ev["shard"] = detail["shard"]
+            events.append(ev)
+    for sample in timeline or ():
+        events.append({
+            "ev": "serve_sample",
+            "ts": sample.get("t_s", 0.0) * 1e6,
+            "depths": sample.get("depths", {}),
+            "shards_busy": sample.get("shards_busy", 0),
+            "burn_fast": sample.get("burn_fast", 0.0),
+        })
+    return events
+
+
+def traces_to_perfetto(traces: List[Dict[str, Any]],
+                       timeline: Optional[List[Dict[str, Any]]] = None,
+                       sim_trace_for: Optional[Callable[[Dict[str, Any]],
+                                                        Optional[str]]] = None,
+                       ) -> Dict[str, Any]:
+    """Convert job traces to one Perfetto/Chrome trace document.
+
+    ``sim_trace_for`` maps a trace dict to the path of its per-point
+    sim JSONL (or None); when it yields a path, the sim's own events
+    are converted with the shared ``events_to_perfetto`` and rebased —
+    unique pid block per job, timestamps linearly mapped into the
+    job's ``execute`` window — so the simulator's DRAM/policy tracks
+    nest visually under the service-side ``execute`` span.
+    """
+    doc = events_to_perfetto(trace_events(traces, timeline))
+    if sim_trace_for is None:
+        return doc
+    for idx, trace in enumerate(traces):
+        path = sim_trace_for(trace)
+        if not path:
+            continue
+        execute = [s for s in trace["spans"] if s["stage"] == "execute"]
+        if not execute:
+            continue
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                sim_events = [json.loads(line) for line in fh if line.strip()]
+        except OSError:
+            continue
+        if not sim_events:
+            continue
+        # map the sim's [0, t_max] onto the final execute window
+        t_max = 0.0
+        for ev in sim_events:
+            t_max = max(t_max, float(ev.get("ts", 0.0)),
+                        float(ev.get("end", 0.0)))
+        window = execute[-1]
+        start_us = window["start_ns"] / 1000.0
+        dur_us = (window["end_ns"] - window["start_ns"]) / 1000.0
+        scale = (dur_us / t_max) if t_max > 0 else 1.0
+        sub = events_to_perfetto(sim_events)
+        rebase_trace_events(
+            sub, ts_scale=scale, ts_offset=start_us,
+            pid_base=100 + 10 * idx,
+            process_prefix=f"sim {trace['key'][:8]} · ")
+        doc["traceEvents"].extend(sub["traceEvents"])
+    return doc
+
+
+def write_perfetto(traces: List[Dict[str, Any]], path: str,
+                   timeline: Optional[List[Dict[str, Any]]] = None,
+                   sim_trace_for: Optional[Callable[[Dict[str, Any]],
+                                                    Optional[str]]] = None,
+                   ) -> Dict[str, Any]:
+    """Write job traces as a Perfetto JSON file; returns the document."""
+    doc = traces_to_perfetto(traces, timeline, sim_trace_for)
+    from ..telemetry.sinks import _open_creating_dirs
+    with _open_creating_dirs(path) as fh:
+        json.dump(doc, fh)
+    return doc
+
+
+def sim_trace_locator(trace_dir: Optional[str]
+                      ) -> Callable[[Dict[str, Any]], Optional[str]]:
+    """Locator for per-point sim JSONLs: prefer the path the worker
+    annotated on the trace, else ``<trace_dir>/<key>.jsonl``."""
+    import os
+
+    def locate(trace: Dict[str, Any]) -> Optional[str]:
+        path = (trace.get("annotations") or {}).get("sim_trace")
+        if path and os.path.exists(path):
+            return path
+        if trace_dir:
+            candidate = os.path.join(trace_dir, f"{trace['key']}.jsonl")
+            if os.path.exists(candidate):
+                return candidate
+        return None
+
+    return locate

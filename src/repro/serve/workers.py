@@ -108,6 +108,7 @@ class _Shard:
         self.attempt: int = 0
         self.deadline: float = float("inf")
         self.tasks_done = 0
+        self.busy_s = 0.0
         self.respawns = 0
         self.proc = None
         self.task_q = None
@@ -161,6 +162,7 @@ class _Shard:
             "busy": not self.idle,
             "key": self.key,
             "tasks_done": self.tasks_done,
+            "busy_s": self.busy_s,
             "respawns": self.respawns,
         }
 
@@ -204,6 +206,7 @@ class ShardPool:
         self._executor: Optional[ThreadPoolExecutor] = None
         self._inline_busy: Dict[int, Optional[str]] = {}
         self._inline_done: List[int] = [0] * shards
+        self._inline_busy_s: List[float] = [0.0] * shards
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -338,6 +341,7 @@ class ShardPool:
     def _inline_result(self, slot: int, msg: dict) -> None:
         self._inline_busy[slot] = None
         self._inline_done[slot] += 1
+        self._inline_busy_s[slot] += msg.get("duration", 0.0)
         self.idle_event.set()
         self._on_result(msg)
 
@@ -367,6 +371,7 @@ class ShardPool:
             return
         shard.release()
         shard.tasks_done += 1
+        shard.busy_s += msg.get("duration", 0.0)
         self.idle_event.set()
         self._on_result(msg)
 
@@ -388,6 +393,7 @@ class ShardPool:
                     continue
                 key, attempt = shard.key, shard.attempt
                 if timed_out:
+                    shard.busy_s += self.timeout_s or 0.0
                     error = (f"TimeoutError('task exceeded "
                              f"{self.timeout_s}s')")
                     _LOG.warning("shard %d timed out on %s; respawning",
@@ -426,6 +432,7 @@ class ShardPool:
                     "busy": self._inline_busy.get(i) is not None,
                     "key": self._inline_busy.get(i),
                     "tasks_done": self._inline_done[i],
+                    "busy_s": self._inline_busy_s[i],
                     "respawns": 0,
                 }
                 for i in range(self.size)
@@ -437,3 +444,10 @@ class ShardPool:
         if self.inline:
             return sum(self._inline_done)
         return sum(s.tasks_done for s in self._shards)
+
+    @property
+    def busy_s(self) -> float:
+        """Cumulative task-execution seconds across all shards."""
+        if self.inline:
+            return sum(self._inline_busy_s)
+        return sum(s.busy_s for s in self._shards)

@@ -1,0 +1,100 @@
+"""Service dashboard + metrics report rendering from a live snapshot.
+
+Boots an inline tracing service, drives a small mixed load through it,
+and verifies that ``render_serve_dashboard`` emits valid self-contained
+HTML (zero JavaScript, inline SVG, dark-mode aware) and that
+``render_metrics_report`` renders the ``/v1/metrics`` payload as text.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.obs.dashboard import render_serve_dashboard, write_dashboard
+from repro.serve import ServeConfig, ServeService
+from repro.telemetry.report import render_metrics_report
+
+from tests.obs.test_dashboard import assert_self_contained, audited
+
+
+@pytest.fixture(scope="module")
+def snapshots():
+    async def scenario():
+        service = ServeService(config=ServeConfig(
+            shards=2, inline=True, queue_capacity=128, tracing=True,
+            timeline_interval_s=0.02))
+        await service.start()
+        try:
+            jobs = []
+            for i in range(12):
+                lane = ("interactive", "default", "batch")[i % 3]
+                spec = {"index": i}
+                if i == 7:
+                    spec["fail"] = True
+                # the injected failure carries no deadline: a missed
+                # deadline burns 1/12 / 1% ≈ 8x and would fire the alert
+                _, job, _ = service.submit(
+                    spec, kind="noop", lane=lane,
+                    deadline_s=None if i == 7 else 30.0)
+                jobs.append(job)
+            for job in jobs:
+                await job.wait(timeout=10.0)
+            await asyncio.sleep(0.08)
+            obs = service.obs_snapshot()
+            metrics = {"metrics": service.metrics_snapshot(),
+                       "series": service.timeline.snapshot(),
+                       "stages": service.tracer.stage_stats(),
+                       "lanes": service.tracer.lane_stats()}
+            return obs, metrics
+        finally:
+            await service.stop()
+
+    return asyncio.run(scenario())
+
+
+class TestServeDashboard:
+    def test_valid_and_self_contained(self, snapshots, tmp_path):
+        obs, _ = snapshots
+        html = render_serve_dashboard(obs, title="test service")
+        audit = audited(html)
+        assert_self_contained(html, audit)
+        # timeline + burn chart + waterfall, each with a table view
+        assert audit.counts["svg"] >= 3
+        assert audit.counts.get("table", 0) >= 3
+        out = write_dashboard(html, tmp_path / "serve.html")
+        assert (tmp_path / "serve.html").read_text().startswith(
+            "<!DOCTYPE html>") and out
+
+    def test_carries_service_panels(self, snapshots):
+        obs, _ = snapshots
+        html = render_serve_dashboard(obs, title="test service")
+        assert "Stage-latency waterfall" in html
+        assert "burn rate" in html
+        assert "queue interactive" in html
+        assert "trace reconciliation" in html
+        assert "tiling violations" in html
+        assert "execute" in html
+
+    def test_tracing_off_page_degrades(self):
+        obs = {"format": "repro.serve.obs/v1", "tracing": False,
+               "uptime_s": 1.0, "jobs": {"submitted": 0},
+               "conservation": {"ok": True}, "queue": {}, "shards": [],
+               "slo": {"overall": {}}, "burn": {"state": "ok"},
+               "timeline": []}
+        html = render_serve_dashboard(obs)
+        audit = audited(html)
+        assert_self_contained(html, audit)
+        assert "tracing off" in html
+
+
+class TestMetricsReport:
+    def test_renders_all_sections(self, snapshots):
+        _, metrics = snapshots
+        text = render_metrics_report(metrics)
+        assert "serve.jobs.submitted" in text
+        assert "execute" in text and "queue_wait" in text
+        assert "interactive" in text
+        assert "timeline:" in text and "alert ok" in text
+
+    def test_empty_snapshot(self):
+        assert render_metrics_report({}) == "(no registry metrics)"

@@ -1,0 +1,617 @@
+"""Job tracing: exact stage-span tiling, burn-rate alerts, export.
+
+The tentpole contract under test: every job's stage spans — on happy
+paths *and* ugly ones (retry, timeout-kill, cancel, all three dedup
+tiers) — exactly tile its accept→terminal interval on the service
+monotonic clock, and the trace books reconcile bit-for-bit against
+the job ledger and the SLO record ledger.
+"""
+
+import asyncio
+import json
+import multiprocessing as mp
+
+import pytest
+
+from repro.campaign import CampaignPoint, CampaignStore
+from repro.campaign.store import KIND_POINT
+from repro.config import SimConfig
+from repro.serve import (
+    BurnRateMonitor,
+    ServeClient,
+    ServeConfig,
+    ServeService,
+    ServeTracer,
+    noop_jobs,
+    sim_trace_locator,
+    start_serving,
+    traces_to_perfetto,
+    write_perfetto,
+)
+from repro.serve.slo import SLORecord
+from repro.serve.state import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    OUTCOME_HIT_INFLIGHT,
+    OUTCOME_HIT_LEDGER,
+    OUTCOME_HIT_STORE,
+)
+from repro.serve.tracing import JobTrace, StageSpan
+from repro.workloads import make_intensity_workload
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="process shards use the fork start method in CI",
+)
+
+
+def tiny_point(scheduler="tcm", seed=0, cycles=15_000):
+    w = make_intensity_workload(0.5, num_threads=2, seed=seed)
+    return CampaignPoint(workload=w, scheduler=scheduler,
+                         config=SimConfig(run_cycles=cycles))
+
+
+async def make_service(**cfg_kw):
+    store = cfg_kw.pop("store", None)
+    defaults = dict(shards=2, inline=True, backoff_s=0.02,
+                    queue_capacity=64, tracing=True,
+                    timeline_interval_s=0.0)
+    defaults.update(cfg_kw)
+    service = ServeService(store=store, config=ServeConfig(**defaults))
+    await service.start()
+    return service
+
+
+def stages_of(trace):
+    return [s.stage for s in trace.spans]
+
+
+def assert_exact_tiling(trace):
+    __tracer__ = None  # noqa: F841 (keep assertion output readable)
+    assert trace.tiling_ok(), [s.to_dict() for s in trace.spans]
+    assert trace.grammar_ok(), stages_of(trace)
+    total = sum(s.duration_ns for s in trace.spans)
+    assert total == trace.terminal_ns - trace.accepted_ns
+
+
+class FakeJob:
+    def __init__(self, key="k", kind="noop", lane="default",
+                 status=DONE, attempts=1):
+        self.key, self.kind, self.lane = key, kind, lane
+        self.status, self.attempts = status, attempts
+
+
+class TestJobTraceUnit:
+    def test_happy_path_tiles_exactly(self):
+        tracer = ServeTracer()
+        job = FakeJob()
+        tracer.begin(job, 1000)
+        tracer.stage(job, "queue_wait", 1500)
+        tracer.stage(job, "dispatch", 4000)
+        tracer.stage(job, "execute", 4200)
+        tracer.stage(job, "report", 9200,
+                     detail={"shard": 0, "worker_s": 3e-6})
+        tracer.finish(job, 10_000)
+        assert tracer.finished == 1 and tracer.tiling_violations == 0
+        trace = tracer.completed[-1]
+        assert stages_of(trace) == ["admission", "queue_wait", "dispatch",
+                                    "execute", "report"]
+        assert_exact_tiling(trace)
+        assert trace.accepted_ns == 1000 and trace.terminal_ns == 10_000
+        # worker-measured duration annotates execute; skew is span - worker
+        execute = trace.spans[3]
+        assert execute.detail["worker_s"] == 3e-6
+        assert execute.detail["skew_s"] == pytest.approx(
+            execute.duration_s - 3e-6)
+
+    def test_backwards_clock_is_clamped_not_violated(self):
+        """A transition timestamped before the open stage clamps to it,
+        preserving contiguity (a zero-length span, never a negative)."""
+        tracer = ServeTracer()
+        job = FakeJob()
+        tracer.begin(job, 5000)
+        tracer.stage(job, "queue_wait", 4000)   # goes "backwards"
+        tracer.stage(job, "dispatch", 6000)
+        tracer.stage(job, "execute", 6100)
+        tracer.stage(job, "report", 7000)
+        tracer.finish(job, 7100)
+        trace = tracer.completed[-1]
+        assert_exact_tiling(trace)
+        assert trace.spans[0].duration_ns == 0  # clamped admission
+
+    def test_mid_stage_seal_appends_zero_length_report(self):
+        tracer = ServeTracer()
+        job = FakeJob(status=CANCELLED, attempts=0)
+        tracer.begin(job, 100)
+        tracer.stage(job, "queue_wait", 200)
+        tracer.finish(job, 900)                 # cancelled while queued
+        trace = tracer.completed[-1]
+        assert stages_of(trace) == ["admission", "queue_wait", "report"]
+        assert trace.spans[-1].duration_ns == 0
+        assert_exact_tiling(trace)
+
+    def test_grammar_violations_detected(self):
+        bad = JobTrace(key="k", kind="noop", lane="default", spans=[
+            StageSpan("admission", 0, 10, None),
+            StageSpan("execute", 10, 20, None),   # skips queue/dispatch
+            StageSpan("report", 20, 20, None),
+        ])
+        assert bad.tiling_ok() and not bad.grammar_ok()
+        gap = JobTrace(key="k", kind="noop", lane="default", spans=[
+            StageSpan("admission", 0, 10, None),
+            StageSpan("queue_wait", 12, 20, None),  # 2ns hole
+            StageSpan("report", 20, 20, None),
+        ])
+        assert gap.grammar_ok() and not gap.tiling_ok()
+
+    def test_violation_counted_and_first_recorded(self):
+        tracer = ServeTracer()
+        job = FakeJob()
+        trace = tracer.begin(job, 0)
+        trace.spans.append(StageSpan("execute", 5, 3, None))  # corrupt
+        trace._open_stage = None
+        tracer.finish(job, 10)
+        assert tracer.tiling_violations == 1
+        assert tracer.grammar_violations == 1
+        assert tracer.first_violation["key"] == "k"
+
+
+class TestTracingEndToEnd:
+    def test_noop_happy_path(self):
+        async def scenario():
+            service = await make_service()
+            try:
+                _, job, _ = service.submit({"index": 1}, kind="noop")
+                await job.wait(timeout=5.0)
+                return service.tracer
+            finally:
+                await service.stop()
+
+        tracer = asyncio.run(scenario())
+        assert tracer.started == tracer.finished  # stop() seals all
+        trace = next(t for t in tracer.completed if t.status == DONE)
+        assert stages_of(trace) == ["admission", "queue_wait", "dispatch",
+                                    "execute", "report"]
+        assert_exact_tiling(trace)
+        execute = trace.spans[3]
+        assert execute.detail["shard"] in (0, 1)
+        assert execute.detail["attempt"] == 1
+        assert "skew_s" in execute.detail
+
+    def test_retry_with_backoff_path(self):
+        async def scenario():
+            service = await make_service(retries=1)
+            try:
+                _, job, _ = service.submit({"index": 2, "fail": True},
+                                           kind="noop")
+                await job.wait(timeout=10.0)
+                return job.status, service.tracer
+            finally:
+                await service.stop()
+
+        status, tracer = asyncio.run(scenario())
+        assert status == FAILED
+        trace = tracer.completed[-1]
+        assert stages_of(trace) == [
+            "admission", "queue_wait", "dispatch", "execute",
+            "retry_backoff", "queue_wait", "dispatch", "execute",
+            "report",
+        ]
+        assert_exact_tiling(trace)
+        assert trace.attempts == 2
+        first_exec = trace.spans[3]
+        assert "injected noop failure" in first_exec.detail["error"]
+        assert tracer.tiling_violations == 0
+
+    @needs_fork
+    def test_timeout_kill_respawn_path(self):
+        async def scenario():
+            service = await make_service(inline=False, shards=1,
+                                         job_timeout_s=0.3, retries=1)
+            try:
+                _, job, _ = service.submit({"index": 3, "hang": True},
+                                           kind="noop")
+                await job.wait(timeout=30.0)
+                return job.status, service.tracer
+            finally:
+                await service.stop()
+
+        status, tracer = asyncio.run(scenario())
+        assert status == FAILED
+        trace = tracer.completed[-1]
+        # first attempt times out -> kill/respawn -> requeue -> second
+        # attempt times out too -> permanent failure
+        assert "timeout_kill" in stages_of(trace)
+        assert_exact_tiling(trace)
+        assert trace.attempts == 2
+        first_exec = next(s for s in trace.spans if s.stage == "execute")
+        assert "exceeded" in str(first_exec.detail.get("error", ""))
+
+    def test_cancel_while_queued(self):
+        async def scenario():
+            service = await make_service(shards=1)
+            try:
+                _, blocker, _ = service.submit(
+                    {"index": 4, "sleep_s": 0.5}, kind="noop")
+                await asyncio.sleep(0.05)  # blocker occupies the shard
+                _, queued, _ = service.submit({"index": 5}, kind="noop")
+                assert service.cancel(queued.key)
+                await blocker.wait(timeout=5.0)
+                return queued.status, service.tracer
+            finally:
+                await service.stop()
+
+        status, tracer = asyncio.run(scenario())
+        assert status == CANCELLED
+        trace = next(t for t in tracer.completed
+                     if t.status == CANCELLED)
+        assert stages_of(trace) == ["admission", "queue_wait", "report"]
+        assert trace.spans[-1].duration_ns == 0
+        assert_exact_tiling(trace)
+
+    def test_dedup_inflight_and_ledger_attach_hits(self):
+        async def scenario():
+            service = await make_service(shards=1)
+            try:
+                _, blocker, _ = service.submit(
+                    {"index": 6, "sleep_s": 0.3}, kind="noop")
+                outcome_in, _, _ = service.submit(
+                    {"index": 6, "sleep_s": 0.3}, kind="noop")
+                await blocker.wait(timeout=5.0)
+                outcome_led, _, _ = service.submit(
+                    {"index": 6, "sleep_s": 0.3}, kind="noop")
+                return outcome_in, outcome_led, service.tracer
+            finally:
+                await service.stop()
+
+        outcome_in, outcome_led, tracer = asyncio.run(scenario())
+        assert outcome_in == OUTCOME_HIT_INFLIGHT
+        assert outcome_led == OUTCOME_HIT_LEDGER
+        assert tracer.hits_attached == 2
+        trace = tracer.completed[-1]
+        assert trace.hits == 1  # in-flight hit landed on the open trace
+        assert_exact_tiling(trace)
+
+    @pytest.mark.slow
+    def test_store_hit_yields_zero_execute_trace(self, tmp_path):
+        spec = tiny_point().to_dict()
+
+        async def first_run():
+            service = await make_service(store=tmp_path / "s")
+            try:
+                _, job, _ = service.submit(spec)
+                await job.wait(timeout=60.0)
+            finally:
+                await service.stop()
+
+        asyncio.run(first_run())
+
+        async def second_run():
+            service = await make_service(store=tmp_path / "s")
+            try:
+                outcome, job, _ = service.submit(spec)
+                return outcome, job.status, service.tracer
+            finally:
+                await service.stop()
+
+        outcome, status, tracer = asyncio.run(second_run())
+        assert outcome == OUTCOME_HIT_STORE and status == DONE
+        trace = tracer.completed[-1]
+        assert trace.hit == OUTCOME_HIT_STORE
+        assert stages_of(trace) == ["admission", "report"]
+        assert trace.stage_s("execute") == 0.0
+        assert_exact_tiling(trace)
+
+    def test_reconcile_exactly_matches_ledgers(self):
+        async def scenario():
+            service = await make_service(retries=0)
+            try:
+                jobs = []
+                for i in range(20):
+                    spec = {"index": i}
+                    if i % 5 == 0:
+                        spec["fail"] = True
+                    _, job, _ = service.submit(spec, kind="noop",
+                                               deadline_s=30.0)
+                    jobs.append(job)
+                for i in range(5):  # in-flight/ledger dedup traffic
+                    service.submit({"index": i}, kind="noop",
+                                   deadline_s=30.0)
+                for job in jobs:
+                    await job.wait(timeout=10.0)
+                return service.tracer.reconcile(service.ledger,
+                                                service.slo)
+            finally:
+                await service.stop()
+
+        result = asyncio.run(scenario())
+        assert result["ok"], result["checks"]
+        assert all(result["checks"].values()), result["checks"]
+        for lane in result["lanes"].values():
+            assert lane["finished"] - lane["cancelled"] == \
+                lane["slo_served"]
+            assert lane["report_spans"] == lane["finished"]
+
+
+class TestBurnRateMonitor:
+    def test_objective_validated(self):
+        with pytest.raises(ValueError):
+            BurnRateMonitor(objective=1.0)
+        with pytest.raises(ValueError):
+            BurnRateMonitor(objective=0.0)
+
+    def _record(self, sat):
+        return SLORecord(key="k", lane="default", status=DONE,
+                         latency_s=0.1, deadline_s=1.0, sat=sat,
+                         cached=False)
+
+    def test_fires_on_both_windows_and_clears_by_aging(self):
+        t = [0.0]
+        monitor = BurnRateMonitor(objective=0.9, fast_window_s=10.0,
+                                  slow_window_s=30.0,
+                                  clock=lambda: t[0])
+        # misses at 10x burn (all missed / 0.1 budget) fill both windows
+        for i in range(10):
+            t[0] = float(i)
+            monitor.observe(self._record(False))
+        assert monitor.state == "firing" and monitor.fired == 1
+        # no new traffic; the fast window ages the misses out
+        t[0] = 25.0
+        verdict = monitor.evaluate()
+        assert verdict["state"] == "ok"
+        assert verdict["burn_fast"] == 0.0
+        assert [x["state"] for x in monitor.transitions] == \
+            ["firing", "ok"]
+
+    def test_fast_window_alone_does_not_fire(self):
+        t = [0.0]
+        monitor = BurnRateMonitor(objective=0.9, fast_window_s=5.0,
+                                  slow_window_s=100.0,
+                                  clock=lambda: t[0])
+        # long good history keeps the slow window below threshold
+        for i in range(80):
+            t[0] = float(i)
+            monitor.observe(self._record(True))
+        for i in range(3):
+            t[0] = 80.0 + i
+            monitor.observe(self._record(False))
+        assert monitor.state == "ok"
+
+    def test_no_deadline_verdicts_ignored(self):
+        monitor = BurnRateMonitor(objective=0.5)
+        monitor.observe(None)
+        monitor.observe(SLORecord(key="k", lane="default", status=DONE,
+                                  latency_s=0.1, deadline_s=None,
+                                  sat=None, cached=False))
+        assert monitor.evaluate()["window_verdicts"] == 0
+
+
+class TestHttpSurface:
+    def serve_scenario(self, fn, **cfg_kw):
+        async def runner():
+            defaults = dict(shards=2, inline=True, backoff_s=0.02,
+                            queue_capacity=64, tracing=True,
+                            timeline_interval_s=0.02)
+            defaults.update(cfg_kw)
+            service, server = await start_serving(
+                config=ServeConfig(**defaults))
+            client = ServeClient("127.0.0.1", server.port)
+            try:
+                return await fn(client, service, server)
+            finally:
+                await client.close()
+                await server.stop()
+                await service.stop()
+
+        return asyncio.run(runner())
+
+    def test_metrics_series_stages_lanes(self):
+        async def fn(client, service, server):
+            for i in range(10):
+                _, job, _ = service.submit({"index": i}, kind="noop",
+                                           deadline_s=30.0)
+                await job.wait(timeout=5.0)
+            await asyncio.sleep(0.08)  # let the timeline tick
+            _, metrics = await client.metrics()
+            return metrics
+
+        metrics = self.serve_scenario(fn)
+        assert metrics["metrics"]["serve.jobs.submitted"] == 10
+        assert len(metrics["series"]) >= 2
+        sample = metrics["series"][-1]
+        assert {"t_s", "depths", "shards_busy", "burn_fast",
+                "alert"} <= set(sample)
+        assert metrics["stages"]["execute"]["count"] == 10
+        assert metrics["lanes"]["default"]["finished"] == 10
+
+    def test_obs_traces_and_health_alert(self):
+        async def fn(client, service, server):
+            for i in range(6):
+                _, job, _ = service.submit({"index": i}, kind="noop")
+                await job.wait(timeout=5.0)
+            _, obs = await client.obs()
+            _, traces = await client.traces(limit=3)
+            _, health = await client.health()
+            return obs, traces, health
+
+        obs, traces, health = self.serve_scenario(fn)
+        assert obs["format"] == "repro.serve.obs/v1"
+        assert obs["tracing"] is True
+        assert obs["tiling"]["checked"] == 6
+        assert obs["tiling"]["violations"] == 0
+        assert obs["reconcile"]["ok"], obs["reconcile"]["checks"]
+        assert traces["format"] == "repro.serve.trace/v1"
+        assert len(traces["traces"]) == 3 and traces["finished"] == 6
+        for t in traces["traces"]:
+            assert t["spans"][0]["stage"] == "admission"
+            assert t["spans"][-1]["stage"] == "report"
+        assert health["slo_alert"]["state"] == "ok"
+
+    def test_traces_404_when_tracing_off(self):
+        async def fn(client, service, server):
+            assert service.tracer is None and service.timeline is None
+            status, body = await client.traces()
+            _, health = await client.health()
+            return status, body, health
+
+        status, body, health = self.serve_scenario(
+            fn, tracing=False, timeline_interval_s=0.0)
+        assert status == 404 and "tracing disabled" in body["error"]
+        # burn-rate alerting is SLO accounting: on regardless of tracing
+        assert health["slo_alert"]["state"] == "ok"
+
+    def test_submit_trace_flag_roundtrip(self):
+        async def fn(client, service, server):
+            status, body = await client.submit({"index": 1}, kind="noop",
+                                               trace=True)
+            key = body["job"]["key"]
+            await client.wait(key, timeout_s=5.0)
+            return service.ledger.get(key).trace
+
+        assert self.serve_scenario(fn) is True
+
+
+class TestPerfettoExport:
+    def _traces(self):
+        async def scenario():
+            service = await make_service(
+                timeline_interval_s=0.02)
+            try:
+                jobs = []
+                for i in range(5):
+                    _, job, _ = service.submit({"index": i}, kind="noop")
+                    jobs.append(job)
+                for job in jobs:
+                    await job.wait(timeout=5.0)
+                await asyncio.sleep(0.05)
+                snap = service.tracer.snapshot()
+                timeline = service.timeline.snapshot()
+                return snap, timeline
+            finally:
+                await service.stop()
+
+        return asyncio.run(scenario())
+
+    def test_job_spans_become_async_pairs(self):
+        snap, timeline = self._traces()
+        doc = traces_to_perfetto(snap["traces"], timeline)
+        events = doc["traceEvents"]
+        assert any(e.get("ph") == "M" and e.get("pid") == 4
+                   and e.get("args", {}).get("name") == "serve"
+                   for e in events)
+        begins = [e for e in events if e.get("ph") == "b"]
+        ends = [e for e in events if e.get("ph") == "e"]
+        assert len(begins) == len(ends) > 0
+        # per-job envelope + every stage span, all on the serve pid
+        assert all(e["pid"] == 4 for e in begins)
+        execs = [e for e in events if e.get("ph") == "X"
+                 and e.get("pid") == 4]
+        assert execs and all(e["tid"] >= 1 for e in execs)
+        counters = {e["name"] for e in events if e.get("ph") == "C"}
+        assert "shards busy" in counters and "burn rate" in counters
+
+    def test_sim_trace_nests_under_execute(self, tmp_path):
+        spec = tiny_point(cycles=8_000).to_dict()
+
+        async def scenario():
+            service = await make_service(
+                store=tmp_path / "s", trace_dir=str(tmp_path / "traces"),
+                trace_epoch_cycles=2_000)
+            try:
+                _, job, _ = service.submit(spec, trace=True)
+                await job.wait(timeout=60.0)
+                return service.tracer.snapshot()
+            finally:
+                await service.stop()
+
+        snap = asyncio.run(scenario())
+        trace = snap["traces"][-1]
+        sim_path = trace["annotations"]["sim_trace"]
+        assert sim_path and json.loads(
+            open(sim_path).readline())["ev"] == "run_begin"
+
+        out = tmp_path / "perfetto.json"
+        doc = write_perfetto(snap["traces"], out,
+                             sim_trace_for=sim_trace_locator(
+                                 str(tmp_path / "traces")))
+        assert out.exists()
+        nested = [e for e in doc["traceEvents"] if e.get("pid", 0) >= 100]
+        assert nested, "sim events should be rebased into a pid block"
+        execute = next(s for s in trace["spans"]
+                       if s["stage"] == "execute")
+        lo, hi = execute["start_ns"] / 1000.0, execute["end_ns"] / 1000.0
+        for e in nested:
+            if "ts" in e:
+                assert lo - 1 <= e["ts"] <= hi + 1
+        prefixed = [e for e in nested
+                    if e.get("ph") == "M"
+                    and e.get("name") == "process_name"
+                    and e["args"]["name"].startswith("sim ")]
+        assert prefixed
+
+
+@pytest.mark.slow
+class TestTracedSoakWithOverload:
+    def test_soak_tiles_reconciles_and_burn_alert_cycles(self):
+        """≥5k traced jobs + a 2x overload phase: exact tiling on every
+        trace, exact ledger/SLO reconciliation, and the burn-rate alert
+        fires during overload then clears after drain."""
+
+        async def scenario():
+            service = await make_service(
+                shards=2, queue_capacity=8192, trace_buffer=8192,
+                timeline_interval_s=0.05,
+                slo_objective=0.9,
+                burn_fast_window_s=0.5, burn_slow_window_s=1.0)
+            try:
+                jobs = []
+                lanes = ("interactive", "default", "batch")
+                for i in range(5000):
+                    _, job, _ = service.submit(
+                        {"index": i}, kind="noop",
+                        lane=lanes[i % 3], deadline_s=30.0)
+                    jobs.append(job)
+                for job in jobs:
+                    await job.wait(timeout=60.0)
+
+                # age the soak's good verdicts out of the slow window,
+                # then overload: service time >> deadline, so every
+                # verdict burns budget at 1/0.1 = 10x in both windows
+                await asyncio.sleep(1.1)
+                overload = []
+                for i in range(40):
+                    _, job, _ = service.submit(
+                        {"index": 10_000 + i, "sleep_s": 0.004},
+                        kind="noop", lane="interactive",
+                        deadline_s=0.0005)
+                    overload.append(job)
+                for job in overload:
+                    await job.wait(timeout=60.0)
+                fired_state = service.burn.state
+                fired = service.burn.fired
+
+                # drain: no new traffic; misses age out of the fast
+                # window and the timeline tick clears the alert
+                for _ in range(60):
+                    await asyncio.sleep(0.05)
+                    if service.burn.state == "ok":
+                        break
+                cleared_state = service.burn.state
+
+                reconcile = service.tracer.reconcile(service.ledger,
+                                                     service.slo)
+                tiling = service.tracer.tiling_report()
+                return fired_state, fired, cleared_state, \
+                    reconcile, tiling
+            finally:
+                await service.stop()
+
+        fired_state, fired, cleared_state, reconcile, tiling = \
+            asyncio.run(scenario())
+        assert fired_state == "firing" and fired >= 1
+        assert cleared_state == "ok"
+        assert tiling["checked"] >= 5040
+        assert tiling["violations"] == 0
+        assert tiling["grammar_violations"] == 0
+        assert reconcile["ok"], reconcile["checks"]
