@@ -4,15 +4,21 @@ Not a paper experiment — tracks the event-driven engine's own speed
 (the practical limit on how closely the paper's 100M-cycle scale can
 be approached).  Three layers:
 
-* **Per-scheduler speed** — every policy in the registry, not just the
-  former frfcfs/tcm/parbs trio; TCM's shuffle path and PAR-BS's
-  batch-ranking are the likely hot spots and were previously
-  unmeasured.  Each bench attaches ``repro.prof`` component shares as
-  ``extra_info`` so the artifact says *where* the cycles went, and
-  appends a ``repro.prof.history`` record when ``REPRO_BENCH_RECORD=1``.
+* **Per-scheduler speed, per engine backend** — every policy in the
+  registry on both the ``reference`` and the ``fast`` engine
+  (``repro.engine``; see docs/PERFORMANCE.md).  Reference records keep
+  their historical names (``engine_speed[tcm]``); fast-backend records
+  append a backend tag (``engine_speed[tcm,fast]``) so `prof compare`
+  tracks the two speed trajectories independently.  Each bench
+  attaches ``repro.prof`` component shares as ``extra_info`` so the
+  artifact says *where* the cycles went, and appends a
+  ``repro.prof.history`` record when ``REPRO_BENCH_RECORD=1``.
 * **Profiler identity** — a profiled run returns a ``RunResult`` equal
   to the plain run's (the wrapping idiom must never perturb the
-  simulation).
+  simulation).  On the fast backend this doubles as the
+  observed-vs-bare loop identity check: profiling forces the observed
+  loop, the plain run takes the bare loop, and the results must still
+  be equal bit for bit.
 * **Off-path overhead guard** — best-of-5 plain-run wall clock against
   the committed ``BENCH_history.json`` record for ``engine_speed[tcm]``
   via :func:`repro.prof.history.compare` at 3% tolerance.  Asserted
@@ -29,6 +35,7 @@ import pytest
 
 from conftest import REPO_ROOT, record_history
 from repro import SimConfig, System, make_scheduler
+from repro.engine import HAS_NUMPY
 from repro.prof import history as prof_history
 from repro.prof import profile_run
 from repro.schedulers.registry import SCHEDULERS
@@ -41,38 +48,57 @@ STRICT = os.environ.get("REPRO_BENCH_STRICT") == "1"
 #: profiler off-path budget vs the committed engine-speed record
 OFF_PATH_TOLERANCE = 1.03
 
+BACKENDS = [
+    "reference",
+    pytest.param("fast", marks=pytest.mark.skipif(
+        not HAS_NUMPY, reason="fast backend requires numpy (repro[fast])"
+    )),
+]
+
 
 def _workload():
     return make_intensity_workload(0.75, num_threads=THREADS, seed=0)
 
 
-def _system(scheduler_name):
-    cfg = SimConfig(run_cycles=CYCLES)
+def _system(scheduler_name, backend="reference"):
+    cfg = SimConfig(run_cycles=CYCLES, backend=backend)
     return System(_workload(), make_scheduler(scheduler_name), cfg, seed=0)
 
 
-def _timed_run(scheduler_name):
-    system = _system(scheduler_name)
+def _timed_run(scheduler_name, backend="reference"):
+    system = _system(scheduler_name, backend)
     t0 = time.perf_counter()
     result = system.run()
     return time.perf_counter() - t0, result, system
 
 
+def _record_key(name, backend):
+    """Reference keeps the historical record name; fast gets a tag."""
+    if backend == "reference":
+        return f"engine_speed[{name}]"
+    return f"engine_speed[{name},{backend}]"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("name", sorted(SCHEDULERS))
-def test_engine_speed(benchmark, name):
+def test_engine_speed(benchmark, name, backend):
     """Engine speed and component shares for one registered policy."""
     rounds, result, events = [], None, 0
     for _ in range(ROUNDS):
-        dt, result, system = _timed_run(name)
+        dt, result, system = _timed_run(name, backend)
         rounds.append(dt)
         events = system._seq
     assert result.total_requests > 500
     median = statistics.median(rounds)
 
     # Where the cycles go: one profiled run (not a timed round — the
-    # wrappers cost wall time by design).  Also the identity check.
+    # wrappers cost wall time by design).  Also the identity check: on
+    # the fast backend the profiler forces the observed loop while the
+    # timed rounds took the bare loop, so this equality pins the two
+    # loops to each other as well.
     prof_result, report = profile_run(
-        _workload(), name, SimConfig(run_cycles=CYCLES), seed=0
+        _workload(), name, SimConfig(run_cycles=CYCLES, backend=backend),
+        seed=0,
     )
     assert prof_result == result, "profiler changed the simulated outcome"
     shares = {k: round(v, 4) for k, v in report.component_shares().items()}
@@ -85,7 +111,7 @@ def test_engine_speed(benchmark, name):
     )
     benchmark.extra_info["component_shares"] = shares
     record_history(
-        f"engine_speed[{name}]", "engine_speed", rounds,
+        _record_key(name, backend), "engine_speed", rounds,
         requests=result.total_requests,
         cycles=CYCLES,
         events=events,
@@ -93,7 +119,8 @@ def test_engine_speed(benchmark, name):
         requests_per_sec=round(result.total_requests / median),
         extra={"component_shares": shares},
     )
-    benchmark.pedantic(lambda: _system(name).run(), rounds=1, iterations=1)
+    benchmark.pedantic(lambda: _system(name, backend).run(),
+                       rounds=1, iterations=1)
 
 
 def test_prof_off_path_overhead_vs_history(benchmark):

@@ -12,7 +12,14 @@ below belongs in the commit message).
     PYTHONPATH=src python scripts/update_goldens.py --check   # verify only
 
 ``--check`` recomputes the matrix, prints a field-level drift report,
-and exits 1 on any drift (0 when clean) — this is what CI runs.
+and exits 1 on any drift (0 when clean) — this is what CI runs.  By
+default the check runs on **both** engine backends (``--backend
+both``), so a golden pass certifies the cross-backend parity contract
+at golden scale, not just the reference engine's stability; narrow to
+one backend with ``--backend reference`` or ``--backend fast``.
+Regeneration writes reference-backend fingerprints; with ``--backend
+both`` it refuses to write unless the fast backend reproduces them
+bit-for-bit.
 """
 import argparse
 import sys
@@ -33,6 +40,10 @@ def main() -> int:
     parser.add_argument("--check", action="store_true",
                         help="verify against the committed goldens instead "
                              "of rewriting them; exit 1 on drift")
+    parser.add_argument("--backend", default="both",
+                        choices=("reference", "fast", "both"),
+                        help="engine backend(s) to compute the matrix on "
+                             "(default: both — also proves backend parity)")
     parser.add_argument("--path", default=None,
                         help=f"golden matrix file (default {GOLDEN_PATH})")
     parser.add_argument("--quiet", action="store_true",
@@ -42,7 +53,8 @@ def main() -> int:
     progress = not args.quiet
 
     if args.check:
-        drifts = check_goldens(path, progress=progress)
+        drifts = check_goldens(path, progress=progress,
+                               backend=args.backend)
         if drifts:
             print(format_drift_report(drifts))
             print(
@@ -51,10 +63,18 @@ def main() -> int:
                 "    PYTHONPATH=src python scripts/update_goldens.py"
             )
             return 1
-        print("goldens: no drift")
+        print(f"goldens: no drift (backend: {args.backend})")
         return 0
 
-    fresh = compute_golden_matrix(progress=progress)
+    fresh = compute_golden_matrix(progress=progress, backend="reference")
+    if args.backend == "both":
+        fast = compute_golden_matrix(progress=progress, backend="fast")
+        parity = compare_fingerprints(fresh, fast)
+        if parity:
+            print(format_drift_report(parity))
+            print("\nbackend parity violated — refusing to write goldens "
+                  "(regenerate with --backend reference to override)")
+            return 1
     try:
         drifts = compare_fingerprints(load_goldens(path), fresh)
     except (FileNotFoundError, ValueError):

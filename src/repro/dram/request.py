@@ -9,7 +9,7 @@ from typing import Optional
 _request_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryRequest:
     """A single read request from a thread to a DRAM bank.
 

@@ -1,0 +1,257 @@
+"""Bucketed timing wheel — the fast backend's event core.
+
+Replaces the reference engine's ``heapq`` with per-cycle ready-lists:
+events land in the bucket of their cycle (``time % horizon`` on a
+ring) in push order, and the wheel drains cycles in increasing order.
+Per-event cost drops from two O(log n) heap operations on 5-tuples to
+one list append plus one indexed read.
+
+**Ordering contract.**  The reference heap pops events in ``(time,
+seq)`` order, where ``seq`` is the global push counter — so within a
+cycle, events run in push order, except telemetry *sample* events,
+whose seq is offset beyond any reachable ordinary seq
+(``repro.sim.system._SAMPLE_SEQ_BASE``) so they always run last in
+their cycle.  The wheel reproduces this exactly with two lists per
+bucket: ordinary events drain first in append order (appends landing
+in the *current* cycle while it drains are picked up, matching the
+heap), then sample events.  ``tests/engine/test_wheel.py`` pins the
+equivalence against a live ``heapq`` on randomized schedules,
+including wrap-around at bucket-horizon boundaries.
+
+**Finding work.**  Simulated events are sparse in cycles (well under
+one per cycle at the default scale), so the drain must not walk empty
+buckets.  Populated slots are tracked in a two-level bitmap — a
+64-bit-per-group summary ``_occ_hi`` over per-group slot masks
+``_occ_lo`` — and the next populated cycle falls out of two
+trailing-zero counts on machine-word-sized ints.
+
+Events beyond the wheel's span go to a small overflow heap keyed
+``(time, seq)`` and migrate into buckets as the cursor advances —
+always *before* any same-cycle direct push can occur (a cycle becomes
+directly pushable only once it is inside the window, and migration
+runs whenever the window moves), so heap order is preserved across
+the horizon boundary: an overflow event's seq is necessarily smaller
+than the seq of any event pushed after its cycle entered the window.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+#: Default wheel span in cycles.  Much larger than a DRAM service
+#: round trip, so only quantum boundaries, scheduler timers and very
+#: sparse threads' issue gaps overflow.
+DEFAULT_HORIZON = 4096
+
+#: Overflow-heap seq offset marking sample-class events (sorts after
+#: every ordinary seq at the same time, like _SAMPLE_SEQ_BASE).
+_SAMPLE_FLAG = 1 << 62
+
+
+def scan_occupancy(occ_hi: int, occ_lo: List[int], slot: int,
+                   span: int) -> int:
+    """Cycles from ``slot`` to the next populated slot, ring order.
+
+    ``slot`` itself counts as distance 0.  Returns -1 when the bitmap
+    is empty.  The ring is walked as slots ``slot..span-1`` then the
+    wrapped ``0..slot-1`` — matching cycle order, since in-window
+    cycles wrap the slot ring at most once.
+    """
+    bit = slot & 63
+    group = slot >> 6
+    bits = occ_lo[group] >> bit
+    if bits:
+        return (bits & -bits).bit_length() - 1
+    hi = occ_hi >> (group + 1)
+    if hi:
+        g = group + 1 + ((hi & -hi).bit_length() - 1)
+        lo = occ_lo[g]
+        return (g << 6) - slot + (lo & -lo).bit_length() - 1
+    # wrapped region: groups before this one, then this group's low bits
+    hi = occ_hi & ((1 << group) - 1)
+    if hi:
+        g = (hi & -hi).bit_length() - 1
+        lo = occ_lo[g]
+        return span - slot + (g << 6) + (lo & -lo).bit_length() - 1
+    bits = occ_lo[group] & ((1 << bit) - 1)
+    if bits:
+        return span - slot + (group << 6) + (bits & -bits).bit_length() - 1
+    return -1
+
+
+class TimingWheel:
+    """Cycle-bucketed event queue with heap-identical pop order.
+
+    Entries are ``(kind, payload, aux)`` triples (the sim's event
+    payload without the time/seq bookkeeping the heap tuples carried).
+    """
+
+    __slots__ = (
+        "horizon", "now", "_ordinary", "_samples", "_overflow",
+        "_count", "_seq", "_occ_hi", "_occ_lo",
+    )
+
+    def __init__(self, horizon: int = DEFAULT_HORIZON, now: int = 0):
+        if horizon < 1:
+            raise ValueError("wheel horizon must be >= 1")
+        self.horizon = horizon
+        #: the earliest cycle still drainable; pushes may not target
+        #: earlier cycles (the reference heap never receives them either)
+        self.now = now
+        self._ordinary: List[Optional[list]] = [None] * horizon
+        self._samples: List[Optional[list]] = [None] * horizon
+        self._overflow: List[Tuple[int, int, tuple]] = []
+        self._count = 0
+        self._seq = 0
+        # two-level occupancy bitmap over slots: _occ_lo[g] bit b set
+        # iff slot g*64+b holds events; _occ_hi bit g summarises group g
+        self._occ_hi = 0
+        self._occ_lo = [0] * ((horizon + 63) >> 6)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _mark(self, slot: int) -> None:
+        group = slot >> 6
+        lo = self._occ_lo[group]
+        if not lo:
+            self._occ_hi |= 1 << group
+        self._occ_lo[group] = lo | (1 << (slot & 63))
+
+    def _clear(self, slot: int) -> None:
+        group = slot >> 6
+        lo = self._occ_lo[group] & ~(1 << (slot & 63))
+        self._occ_lo[group] = lo
+        if not lo:
+            self._occ_hi &= ~(1 << group)
+
+    # -- pushes ---------------------------------------------------------
+
+    def push(self, time: int, kind: int, payload=None, aux: int = 0) -> None:
+        """Queue an ordinary event at ``time`` (>= the current cycle)."""
+        self._seq += 1
+        self._count += 1
+        if time - self.now < self.horizon:
+            if time < self.now:
+                raise ValueError(
+                    f"event at {time} pushed while wheel is at {self.now}"
+                )
+            slot = time % self.horizon
+            bucket = self._ordinary[slot]
+            if bucket is None:
+                self._ordinary[slot] = [(kind, payload, aux)]
+                self._mark(slot)
+            else:
+                bucket.append((kind, payload, aux))
+        else:
+            heapq.heappush(
+                self._overflow, (time, self._seq, (kind, payload, aux))
+            )
+
+    def push_sample(self, time: int, kind: int, payload=None,
+                    aux: int = 0) -> None:
+        """Queue a sample-class event: runs after all ordinary events
+        of its cycle (the heap's ``_SAMPLE_SEQ_BASE`` offset)."""
+        self._seq += 1
+        self._count += 1
+        if time - self.now < self.horizon:
+            if time < self.now:
+                raise ValueError(
+                    f"sample at {time} pushed while wheel is at {self.now}"
+                )
+            slot = time % self.horizon
+            bucket = self._samples[slot]
+            if bucket is None:
+                self._samples[slot] = [(kind, payload, aux)]
+                self._mark(slot)
+            else:
+                bucket.append((kind, payload, aux))
+        else:
+            heapq.heappush(
+                self._overflow,
+                (time, self._seq | _SAMPLE_FLAG, (kind, payload, aux)),
+            )
+
+    # -- draining -------------------------------------------------------
+
+    def drain(self, handler, limit: int) -> None:
+        """Deliver every event with ``time <= limit`` to ``handler``.
+
+        ``handler(time, kind, payload, aux)`` may push new events,
+        same-cycle ordinary pushes included.  Events later than
+        ``limit`` stay queued, exactly like the reference loop's
+        ``while events[0][0] <= horizon`` guard.  On return the cursor
+        parks at ``limit + 1`` — every cycle up to ``limit`` is over,
+        whether the queue emptied early or not.
+        """
+        ordinary = self._ordinary
+        samples = self._samples
+        span = self.horizon
+        overflow = self._overflow
+        occ_lo = self._occ_lo
+        time = self.now
+        while self._count:
+            # bring every overflow event whose cycle is now in window
+            # into its bucket (seq order via the heap, ahead of any
+            # future direct push to those cycles)
+            edge = time + span
+            while overflow and overflow[0][0] < edge:
+                o_time, o_seq, entry = heapq.heappop(overflow)
+                target = samples if o_seq & _SAMPLE_FLAG else ordinary
+                slot = o_time % span
+                bucket = target[slot]
+                if bucket is None:
+                    target[slot] = [entry]
+                    self._mark(slot)
+                else:
+                    bucket.append(entry)
+            # hop straight to the next populated cycle
+            delta = scan_occupancy(self._occ_hi, occ_lo, time % span, span)
+            if delta < 0:
+                # window exhausted: every remaining event sits in
+                # overflow — jump straight to the next one
+                if overflow and overflow[0][0] <= limit:
+                    time = self.now = overflow[0][0]
+                    continue
+                self.now = limit + 1
+                return
+            next_time = time + delta
+            if next_time > limit:
+                # park: the rest is beyond the limit (overflow is even
+                # later — it all sits at >= edge > next_time)
+                self.now = limit + 1
+                return
+            time = self.now = next_time
+            slot = time % span
+            bucket = ordinary[slot]
+            if bucket is not None:
+                index = 0
+                # index loop: the handler may append same-cycle events
+                while index < len(bucket):
+                    kind, payload, aux = bucket[index]
+                    index += 1
+                    self._count -= 1
+                    handler(time, kind, payload, aux)
+                ordinary[slot] = None
+            bucket = samples[slot]
+            if bucket is not None:
+                index = 0
+                while index < len(bucket):
+                    kind, payload, aux = bucket[index]
+                    index += 1
+                    self._count -= 1
+                    handler(time, kind, payload, aux)
+                samples[slot] = None
+                if ordinary[slot] is not None:  # pragma: no cover
+                    # a sample handler pushed an ordinary event into
+                    # its own cycle — the heap would order it *before*
+                    # the remaining samples, which the wheel cannot
+                    raise RuntimeError(
+                        f"ordinary event pushed at {time} during sample "
+                        "processing; wheel ordering cannot honour it"
+                    )
+            self._clear(slot)
+            time += 1
+            self.now = time
+        self.now = limit + 1

@@ -523,6 +523,7 @@ def _cmd_validate(args, config):
         OracleConfig,
         check_goldens,
         checked_run,
+        compare_fingerprints,
         compute_golden_matrix,
         format_drift_report,
         save_goldens,
@@ -537,17 +538,26 @@ def _cmd_validate(args, config):
     if action == "goldens":
         path = args.goldens_path or None
         kwargs = {"path": path} if path else {}
+        backend = args.goldens_backend
         if args.update:
-            matrix = compute_golden_matrix(progress=True)
+            matrix = compute_golden_matrix(progress=True,
+                                           backend="reference")
+            if backend == "both":
+                fast = compute_golden_matrix(progress=True, backend="fast")
+                parity = compare_fingerprints(matrix, fast)
+                if parity:
+                    print(format_drift_report(parity))
+                    print("backend parity violated — not writing goldens")
+                    raise SystemExit(1)
             where = save_goldens(matrix, **kwargs) if path else \
                 save_goldens(matrix)
             print(f"wrote {where} ({len(matrix)} points)")
             return
-        drifts = check_goldens(**kwargs, progress=True)
+        drifts = check_goldens(**kwargs, progress=True, backend=backend)
         if drifts:
             print(format_drift_report(drifts))
             raise SystemExit(1)
-        print("goldens: no drift")
+        print(f"goldens: no drift (backend: {backend})")
         return
 
     from repro.schedulers import SCHEDULERS
@@ -1083,6 +1093,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--goldens-path", default=None,
                         help="golden matrix JSON path (validate goldens; "
                              "default tests/goldens/golden_matrix.json)")
+    parser.add_argument("--backend", dest="goldens_backend", default="both",
+                        choices=("reference", "fast", "both"),
+                        help="engine backend(s) for validate goldens "
+                             "(default both — the check then also proves "
+                             "cross-backend parity at golden scale)")
     parser.add_argument("--host", default="127.0.0.1",
                         help="serve: bind/connect address")
     parser.add_argument("--port", type=int, default=8765,

@@ -34,8 +34,20 @@ class Scheduler:
     #: short identifier used in registries and reports
     name = "base"
 
+    #: Class-level ``select`` overrides must still return a request of
+    #: maximal ``priority`` tuple (demand before prefetch) — they exist
+    #: to compute the same answer faster, not to change policy.  The
+    #: invariant oracle audits every grant against ``priority`` under
+    #: this flag; a scheduler whose grant rule genuinely cannot be
+    #: expressed as a priority maximum sets it to False to opt out.
+    SELECT_IS_PRIORITY_MAXIMAL = True
+
     def __init__(self):
         self.system: Optional["System"] = None
+        #: False once the bound system is known to inject no prefetch
+        #: requests — ``select`` then compares bare priority tuples
+        #: (the demand-over-prefetch class bit is constant).
+        self._prefetch_possible = True
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -44,6 +56,9 @@ class Scheduler:
     def attach(self, system: "System") -> None:
         """Bind the scheduler to a simulation system before the run."""
         self.system = system
+        self._prefetch_possible = (
+            getattr(system, "prefetchers", None) is not None
+        )
         # Stub systems used in unit tests may not carry a registry.
         metrics = getattr(system, "metrics", None)
         if metrics is not None:
@@ -168,11 +183,35 @@ class Scheduler:
             raise RuntimeError(
                 f"select() on empty queue ch{channel.channel_id}/b{bank_id}"
             )
+        # ``priority`` is a pure decision function (policy contract), so
+        # a single candidate needs no scoring, and the manual loop below
+        # keeps max()'s first-maximal tie-break without the per-element
+        # key lambda.
+        best = queue[0]
+        if len(queue) == 1:
+            return best
         open_row = channel.banks[bank_id].open_row
-        return max(
-            queue,
-            key=lambda r: (
-                (not r.is_prefetch,)
-                + self.priority(r, r.row == open_row, now)
-            ),
+        priority = self.priority
+        if not self._prefetch_possible:
+            # all-demand queue: the class bit is constant, compare the
+            # policy tuples directly
+            best_key = priority(best, best.row == open_row, now)
+            for index in range(1, len(queue)):
+                request = queue[index]
+                key = priority(request, request.row == open_row, now)
+                if key > best_key:
+                    best = request
+                    best_key = key
+            return best
+        best_key = (not best.is_prefetch,) + priority(
+            best, best.row == open_row, now
         )
+        for index in range(1, len(queue)):
+            request = queue[index]
+            key = (not request.is_prefetch,) + priority(
+                request, request.row == open_row, now
+            )
+            if key > best_key:
+                best = request
+                best_key = key
+        return best

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
+from repro.dram.channel import Channel
 from repro.dram.request import MemoryRequest
 from repro.schedulers.base import Scheduler
 
@@ -22,3 +23,20 @@ class FCFSScheduler(Scheduler):
         self, request: MemoryRequest, row_hit: bool, now: int
     ) -> Tuple:
         return (-request.arrival,)
+
+    def select(
+        self, channel: Channel, bank_id: int, now: int
+    ) -> MemoryRequest:
+        # Queues append in arrival order, so the oldest request is the
+        # head; same-cycle ties resolve to the first append, exactly
+        # like the base first-maximal scan over ``(-arrival,)``.  The
+        # demand-over-prefetch class bit only matters when prefetches
+        # can exist, so defer to the generic scan then.
+        if self._prefetch_possible:
+            return super().select(channel, bank_id, now)
+        queue = channel.queues[bank_id]
+        if not queue:
+            raise RuntimeError(
+                f"select() on empty queue ch{channel.channel_id}/b{bank_id}"
+            )
+        return queue[0]

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
+from repro.dram.channel import Channel
 from repro.dram.request import MemoryRequest
 from repro.schedulers.base import Scheduler
 
@@ -22,3 +23,26 @@ class FRFCFSScheduler(Scheduler):
         self, request: MemoryRequest, row_hit: bool, now: int
     ) -> Tuple:
         return (row_hit, -request.arrival)
+
+    def select(
+        self, channel: Channel, bank_id: int, now: int
+    ) -> MemoryRequest:
+        # Queues append in arrival order, so the first row hit in queue
+        # order is the oldest row hit, and the head is the oldest
+        # request overall — the base first-maximal scan over
+        # ``(row_hit, -arrival)`` reduced to two attribute compares.
+        # The demand-over-prefetch class bit only matters when
+        # prefetches can exist; defer to the generic scan then.
+        if self._prefetch_possible:
+            return super().select(channel, bank_id, now)
+        queue = channel.queues[bank_id]
+        if not queue:
+            raise RuntimeError(
+                f"select() on empty queue ch{channel.channel_id}/b{bank_id}"
+            )
+        open_row = channel.banks[bank_id].open_row
+        if open_row is not None:
+            for request in queue:
+                if request.row == open_row:
+                    return request
+        return queue[0]

@@ -21,6 +21,7 @@ from repro.core.monitor import BehaviorMonitor
 from repro.cpu.thread import ThreadModel
 from repro.dram.channel import Channel
 from repro.dram.request import MemoryRequest
+from repro.engine import resolve_backend
 from repro.schedulers.base import Scheduler
 from repro.telemetry.registry import MetricsRegistry
 from repro.workloads.mixes import Workload
@@ -75,19 +76,38 @@ class System:
         self.workload = workload
         self.seed = self.config.seed if seed is None else seed
         weights = workload.weights or tuple([1] * workload.num_threads)
-        self.threads: List[ThreadModel] = [
-            ThreadModel(
-                tid,
-                spec,
+        #: resolved engine backend for this run ("reference" or "fast");
+        #: the two are bit-identical by contract (see repro.engine), so
+        #: the choice never reaches cache keys or results
+        self.backend = resolve_backend(self.config.backend)
+        if self.backend == "fast":
+            from repro.engine.cpu import build_cpu_batch
+            from repro.engine.wheel import TimingWheel
+
+            self._batch, self.threads = build_cpu_batch(
+                workload.specs,
                 self.config,
                 self.seed,
-                weight=weights[tid],
-                stream=stream,
+                weights,
+                _benchmark_streams(workload),
             )
-            for tid, (spec, stream) in enumerate(
-                zip(workload.specs, _benchmark_streams(workload))
-            )
-        ]
+            self._wheel = TimingWheel()
+        else:
+            self._batch = None
+            self._wheel = None
+            self.threads: List[ThreadModel] = [
+                ThreadModel(
+                    tid,
+                    spec,
+                    self.config,
+                    self.seed,
+                    weight=weights[tid],
+                    stream=stream,
+                )
+                for tid, (spec, stream) in enumerate(
+                    zip(workload.specs, _benchmark_streams(workload))
+                )
+            ]
         self.channels: List[Channel] = [
             Channel(ch, self.config) for ch in range(self.config.num_channels)
         ]
@@ -167,6 +187,10 @@ class System:
 
     def _push_sample(self, time: int) -> None:
         """Queue an epoch-sampler tick sorting after all peers at ``time``."""
+        wheel = self._wheel
+        if wheel is not None:
+            wheel.push_sample(time, _EV_SAMPLE)
+            return
         self._seq += 1
         heapq.heappush(
             self._events,
@@ -186,6 +210,10 @@ class System:
     # ------------------------------------------------------------------
 
     def _push(self, time: int, kind: int, payload: object = None, aux: int = 0):
+        wheel = self._wheel
+        if wheel is not None:
+            wheel.push(time, kind, payload, aux)
+            return
         self._seq += 1
         heapq.heappush(self._events, (time, self._seq, kind, payload, aux))
 
@@ -409,25 +437,33 @@ class System:
         if self._prof is not None:
             self._prof.begin_run(self)
 
-        events = self._events
-        while events and events[0][0] <= horizon:
-            time, _seq, kind, payload, aux = heapq.heappop(events)
-            self.now = time
-            if kind == _EV_ISSUE:
-                self._issue_miss(payload)
-            elif kind == _EV_BANK_FREE:
-                self._try_schedule(payload, aux)
-            elif kind == _EV_DONE:
-                self._complete_request(payload)
-            elif kind == _EV_QUANTUM:
-                self._quantum_boundary()
-            elif kind == _EV_TIMER:
-                self.scheduler.on_timer(self.now, payload)
-            elif kind == _EV_PHIT:
-                if self.threads[payload].on_request_completed(aux):
+        if self._wheel is not None:
+            from repro.engine.fast import drive
+
+            drive(self, horizon)
+            # the bench and profiler read the event counter off the
+            # system; the wheel's push counter is its equivalent
+            self._seq = self._wheel._seq
+        else:
+            events = self._events
+            while events and events[0][0] <= horizon:
+                time, _seq, kind, payload, aux = heapq.heappop(events)
+                self.now = time
+                if kind == _EV_ISSUE:
                     self._issue_miss(payload)
-            elif kind == _EV_SAMPLE:
-                self._take_sample()
+                elif kind == _EV_BANK_FREE:
+                    self._try_schedule(payload, aux)
+                elif kind == _EV_DONE:
+                    self._complete_request(payload)
+                elif kind == _EV_QUANTUM:
+                    self._quantum_boundary()
+                elif kind == _EV_TIMER:
+                    self.scheduler.on_timer(self.now, payload)
+                elif kind == _EV_PHIT:
+                    if self.threads[payload].on_request_completed(aux):
+                        self._issue_miss(payload)
+                elif kind == _EV_SAMPLE:
+                    self._take_sample()
         self.now = horizon
         if self._prof is not None:
             self._prof.end_run(self, horizon)

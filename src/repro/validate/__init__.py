@@ -41,6 +41,7 @@ from repro.validate.fingerprint import (
     format_drift_report,
 )
 from repro.validate.goldens import (
+    GOLDEN_BACKENDS,
     GOLDEN_CONFIG,
     GOLDEN_PATH,
     GOLDEN_SCHEDULERS,
@@ -65,6 +66,7 @@ from repro.validate.oracle import (
 __all__ = [
     "Drift",
     "FLOAT_DIGITS",
+    "GOLDEN_BACKENDS",
     "GOLDEN_CONFIG",
     "GOLDEN_PATH",
     "GOLDEN_SCHEDULERS",

@@ -74,6 +74,7 @@ def compute_golden_matrix(
     mixes: Optional[Sequence[Workload]] = None,
     seeds: Sequence[int] = GOLDEN_SEEDS,
     progress: bool = False,
+    backend: Optional[str] = None,
 ) -> Dict[str, Dict]:
     """Run the pinned matrix and fingerprint every point.
 
@@ -81,10 +82,16 @@ def compute_golden_matrix(
     per benchmark by the runner, so the whole matrix costs
     ``len(schedulers) * len(mixes) * len(seeds)`` shared runs plus one
     alone run per distinct benchmark.
+
+    ``backend`` forces every run onto one engine backend (the parity
+    contract makes the fingerprints backend-independent; checking the
+    matrix on ``"fast"`` *is* the contract's golden-scale enforcement).
     """
     from repro.experiments.runner import alone_ipcs, run_shared
 
     config = config or GOLDEN_CONFIG
+    if backend is not None:
+        config = config.with_(backend=backend)
     matrix: Dict[str, Dict] = {}
     for workload in (mixes if mixes is not None else golden_mixes()):
         for seed in seeds:
@@ -136,13 +143,36 @@ def load_goldens(path=GOLDEN_PATH) -> Dict[str, Dict]:
     return document["matrix"]
 
 
+#: Backends ``check_goldens``'s ``backend="both"`` expands to.
+GOLDEN_BACKENDS: Tuple[str, ...] = ("reference", "fast")
+
+
 def check_goldens(
-    path=GOLDEN_PATH, progress: bool = False
+    path=GOLDEN_PATH, progress: bool = False,
+    backend: Optional[str] = None,
 ) -> List[Drift]:
     """Recompute the matrix and diff it against the committed goldens.
 
-    Returns the drift list (empty = regression-free).
+    Returns the drift list (empty = regression-free).  ``backend``
+    selects the engine backend the recomputation runs on —
+    ``"reference"`` (the default, ``None``), ``"fast"``, or
+    ``"both"``, which checks each backend in turn and tags any drift's
+    key with the backend that produced it.  A clean ``"both"`` check
+    certifies the committed fingerprints hold bit-for-bit on either
+    engine.
     """
+    if backend == "both":
+        drifts: List[Drift] = []
+        for one in GOLDEN_BACKENDS:
+            if progress:
+                print(f" backend {one}", flush=True)
+            for drift in check_goldens(path, progress=progress,
+                                       backend=one):
+                drifts.append(Drift(
+                    f"[{one}] {drift.key}", drift.path,
+                    drift.golden, drift.fresh,
+                ))
+        return drifts
     golden = load_goldens(path)
-    fresh = compute_golden_matrix(progress=progress)
+    fresh = compute_golden_matrix(progress=progress, backend=backend)
     return compare_fingerprints(golden, fresh)

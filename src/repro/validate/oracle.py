@@ -54,7 +54,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.dram.request import MemoryRequest
-from repro.schedulers.base import Scheduler
 from repro.telemetry.sinks import Sink
 from repro.telemetry.tracer import Tracer
 
@@ -188,7 +187,12 @@ class InvariantOracle:
         self._sink: Optional[_OracleSink] = None
         self._created_tracer = False
         self._attached = False
-        self._generic_select = type(system.scheduler).select is Scheduler.select
+        # fcfs/frfcfs override select() for speed but keep the
+        # priority-maximal contract (SELECT_IS_PRIORITY_MAXIMAL), so
+        # their grants are audited like everyone else's.
+        self._generic_select = getattr(
+            type(system.scheduler), "SELECT_IS_PRIORITY_MAXIMAL", True
+        )
 
     # ------------------------------------------------------------------
     # bookkeeping helpers

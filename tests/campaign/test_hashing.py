@@ -122,6 +122,8 @@ class TestCacheKeyCompleteness:
 
         base = SimConfig()
         for f in dataclasses.fields(SimConfig):
+            if f.name in SimConfig.CACHE_KEY_EXCLUDE:
+                continue  # covered by the exclusion test below
             if f.name == "timings":
                 changed = base.with_(
                     timings=dataclasses.replace(base.timings, t_rcd=999)
@@ -132,6 +134,18 @@ class TestCacheKeyCompleteness:
                 value = getattr(base, f.name)
                 changed = base.with_(**{f.name: value + 1})
             assert changed.cache_key() != base.cache_key(), f.name
+
+    def test_excluded_fields_do_not_change_the_key(self):
+        # backend is excluded by the parity contract: both engines
+        # produce bit-identical results, so caches are shared freely
+        # across backends (docs/PERFORMANCE.md).
+        base = SimConfig()
+        assert "backend" in SimConfig.CACHE_KEY_EXCLUDE
+        fast = base.with_(backend="fast")
+        assert fast.cache_key() == base.cache_key()
+        assert point_key(workload(), "tcm", fast, 0) == point_key(
+            workload(), "tcm", base, 0
+        )
 
     def test_cache_key_is_hashable(self):
         assert hash(SimConfig().cache_key()) == hash(SimConfig().cache_key())

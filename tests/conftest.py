@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import pytest
 from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
 
+from repro.config import DramTimings, SimConfig
 from repro.experiments import runner
 from repro.schedulers import registry
 
@@ -31,6 +33,50 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")
+
+
+# ----------------------------------------------------------------------
+# shared hypothesis strategies
+# ----------------------------------------------------------------------
+
+#: Values are ordered simplest-first, so hypothesis shrinks a failing
+#: configuration towards the smallest system that still reproduces it
+#: (1 channel x 1 bank, tiny window, stationary phases, open pages,
+#: no writes, no prefetch).
+_dram_timings = st.builds(
+    DramTimings,
+    page_policy=st.sampled_from(["open", "closed"]),
+    detailed=st.booleans(),
+)
+
+
+def sim_configs(max_run_cycles: int = 8_000) -> st.SearchStrategy:
+    """Shrink-friendly :class:`repro.config.SimConfig` strategy.
+
+    Covers the geometry, CPU-model and feature axes that steer the
+    simulator down different code paths — including the ones that
+    decide between the fast backend's bare and observed loops
+    (``detailed`` timings, prefetchers, write modelling).  Run lengths
+    are kept small: property tests trade cycles per example for
+    examples.  ``num_threads`` is deliberately tiny — thread count is
+    the workload's axis, and interleaving bugs need only two actors.
+    """
+    return st.builds(
+        SimConfig,
+        num_threads=st.integers(min_value=1, max_value=4),
+        num_channels=st.sampled_from([1, 2, 4]),
+        banks_per_channel=st.sampled_from([1, 2, 4]),
+        num_rows=st.sampled_from([16, 64, 1024]),
+        window_size=st.sampled_from([2, 8, 32]),
+        ipc_peak=st.sampled_from([1.0, 3.0]),
+        quantum_cycles=st.sampled_from([1_000, 2_500]),
+        run_cycles=st.integers(min_value=500, max_value=max_run_cycles),
+        phase_mean_cycles=st.sampled_from([0, 1_500]),
+        model_writes=st.booleans(),
+        prefetch_degree=st.sampled_from([0, 2]),
+        timings=_dram_timings,
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
 
 
 @pytest.fixture(autouse=True)

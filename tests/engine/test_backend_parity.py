@@ -1,0 +1,215 @@
+"""Cross-backend differential matrix: ``fast`` must equal ``reference``.
+
+The fast backend's contract (docs/PERFORMANCE.md, "Backends and the
+parity contract") is *bit-identity*: for any configuration both
+backends must produce equal :class:`~repro.sim.results.RunResult`
+objects — every instruction count, latency sum, float IPC and
+per-quantum timeline entry, not statistical agreement.  This module is
+the contract's enforcement:
+
+* a **smoke tier** (always on) differencing six scheduler/intensity
+  points plus telemetry counters and span tilings;
+* a **full tier** (``-m slow``) differencing all eight registered
+  schedulers across the three golden intensity classes (24 points) and
+  checking the committed golden matrix itself on the fast backend.
+
+Request ids come from a process-global counter, so any check touching
+them (span identity) compares *structure* — lifecycle timestamps and
+cause-tagged intervals — never ``request_id``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import HAS_NUMPY
+
+pytestmark = pytest.mark.skipif(
+    not HAS_NUMPY, reason="fast backend requires numpy (repro[fast])"
+)
+
+from repro.config import SimConfig  # noqa: E402
+from repro.schedulers.registry import SCHEDULERS, make_scheduler
+from repro.sim.system import System
+from repro.telemetry import Telemetry
+from repro.telemetry.registry import MetricsRegistry
+from repro.validate.fingerprint import fingerprint_run
+from repro.validate.goldens import (
+    GOLDEN_MIX_INTENSITIES,
+    GOLDEN_MIX_SEED,
+    GOLDEN_SCHEDULERS,
+    GOLDEN_SEEDS,
+    GOLDEN_THREADS,
+)
+from repro.workloads.mixes import make_intensity_workload
+
+RUN_SEED = GOLDEN_SEEDS[0]
+
+#: Smoke tier: one low- and one high-intensity point for the paper's
+#: headline policies, one mid point for the remaining families.
+SMOKE_POINTS = [
+    ("fcfs", 0.25),
+    ("frfcfs", 1.0),
+    ("atlas", 0.5),
+    ("stfm", 0.5),
+    ("parbs", 1.0),
+    ("tcm", 0.75),
+]
+
+#: Full tier: the golden matrix axes — every registered scheduler
+#: crossed with every intensity class.
+FULL_POINTS = [
+    (scheduler, intensity)
+    for scheduler in GOLDEN_SCHEDULERS
+    for intensity in GOLDEN_MIX_INTENSITIES
+]
+
+
+def _run(scheduler, intensity, backend, run_cycles, telemetry=None):
+    config = SimConfig(
+        run_cycles=run_cycles,
+        num_threads=GOLDEN_THREADS,
+        backend=backend,
+    )
+    workload = make_intensity_workload(
+        intensity, num_threads=GOLDEN_THREADS, seed=GOLDEN_MIX_SEED
+    )
+    system = System(
+        workload,
+        make_scheduler(scheduler),
+        config,
+        seed=RUN_SEED,
+        telemetry=telemetry,
+    )
+    return system, system.run()
+
+
+def _pair(scheduler, intensity, run_cycles=12_000):
+    ref_sys, ref = _run(scheduler, intensity, "reference", run_cycles)
+    fast_sys, fast = _run(scheduler, intensity, "fast", run_cycles)
+    return ref_sys, ref, fast_sys, fast
+
+
+@pytest.mark.parametrize("scheduler,intensity", SMOKE_POINTS)
+def test_smoke_parity(scheduler, intensity):
+    """Fast and reference backends agree bit-for-bit (smoke tier)."""
+    ref_sys, ref, fast_sys, fast = _pair(scheduler, intensity)
+    assert ref == fast
+    assert fingerprint_run(ref) == fingerprint_run(fast)
+    # the engines also agree on how much work they did
+    assert ref_sys._seq == fast_sys._seq
+    assert ref_sys.sched_decisions == fast_sys.sched_decisions
+    assert ref_sys._latency_sum == fast_sys._latency_sum
+    assert ref_sys._latency_count == fast_sys._latency_count
+
+
+def test_registry_covered_by_matrix():
+    """The full tier covers every registered scheduler (no new policy
+    can ship without entering the differential matrix)."""
+    assert set(GOLDEN_SCHEDULERS) == set(SCHEDULERS)
+
+
+@pytest.mark.slow
+@pytest.mark.validate
+@pytest.mark.parametrize("scheduler,intensity", FULL_POINTS)
+def test_full_matrix_parity(scheduler, intensity):
+    """All 24 scheduler x intensity points are bit-identical."""
+    _, ref, _, fast = _pair(scheduler, intensity, run_cycles=60_000)
+    assert ref == fast
+    assert fingerprint_run(ref) == fingerprint_run(fast)
+
+
+@pytest.mark.slow
+@pytest.mark.validate
+def test_golden_matrix_on_fast_backend():
+    """The committed goldens hold verbatim on the fast backend.
+
+    ``check_goldens(backend="fast")`` recomputes the full golden
+    matrix — golden scale, alone runs included — with every simulation
+    running the fast engine, and diffs it against the fingerprints the
+    reference backend committed.  Zero drift means the two backends
+    are interchangeable at the level CI already trusts for behavioural
+    regressions.
+    """
+    from repro.validate.goldens import check_goldens
+
+    drifts = check_goldens(backend="fast")
+    assert not drifts, "\n".join(str(d) for d in drifts)
+
+
+def test_telemetry_counter_parity():
+    """Metric registries (polled counters) agree across backends."""
+    registries = {}
+    for backend in ("reference", "fast"):
+        telemetry = Telemetry(registry=MetricsRegistry())
+        system, _ = _run("tcm", 0.75, backend, 12_000, telemetry=telemetry)
+        registries[backend] = system.metrics.snapshot()
+    assert registries["reference"] == registries["fast"]
+
+
+def test_observed_run_parity():
+    """Sampled/traced runs route through the fast backend's observed
+    path; samples and counters still agree with the reference."""
+    outcomes = {}
+    for backend in ("reference", "fast"):
+        telemetry = Telemetry.in_memory(epoch_cycles=4_000)
+        system, result = _run(
+            "atlas", 0.5, backend, 12_000, telemetry=telemetry
+        )
+        outcomes[backend] = (
+            result,
+            list(telemetry.samples),
+            system.metrics.snapshot(),
+        )
+    ref, fast = outcomes["reference"], outcomes["fast"]
+    assert ref[0] == fast[0]
+    assert ref[1] == fast[1]
+    assert ref[2] == fast[2]
+
+
+def _span_structure(span):
+    """A request span minus its process-global ``request_id``."""
+    return (
+        span.thread_id,
+        span.channel_id,
+        span.bank_id,
+        span.row,
+        span.arrival,
+        span.start_service,
+        span.completion,
+        span.kind,
+        span.is_prefetch,
+        tuple(span.intervals),
+    )
+
+
+def test_span_tiling_parity():
+    """Interference tilings are structurally identical across backends.
+
+    Spans force the observed fast path (the collector hooks the
+    scheduling seams), and carry process-global request ids — so the
+    comparison is structural: same lifecycle timestamps, same
+    cause-tagged wait intervals, same culprits, in the same arrival
+    order.
+    """
+    spans = {}
+    for backend in ("reference", "fast"):
+        telemetry = Telemetry.observing()
+        _, result = _run("stfm", 0.75, backend, 12_000, telemetry=telemetry)
+        spans[backend] = [
+            _span_structure(span)
+            for span in telemetry.spans.all_spans()
+        ]
+    assert spans["reference"] == spans["fast"]
+    assert len(spans["reference"]) > 100
+
+
+def test_env_override_selects_fast(monkeypatch):
+    """REPRO_BACKEND overrides the config default at System build."""
+    monkeypatch.setenv("REPRO_BACKEND", "fast")
+    system, fast = _run("fcfs", 0.5, "reference", 6_000)
+    assert system.backend == "fast"
+    monkeypatch.delenv("REPRO_BACKEND")
+    system, ref = _run("fcfs", 0.5, "reference", 6_000)
+    assert system.backend == "reference"
+    assert ref == fast

@@ -1,0 +1,74 @@
+"""Property-based parity: random configurations, identical results.
+
+The example-based matrix (``test_backend_parity``) pins the golden
+axes; this module turns hypothesis loose on the configuration space —
+geometry, window size, page policy, detailed timings, writes,
+prefetchers, phases, seeds — and requires the two backends to agree
+bit-for-bit on every drawn point.  The shared ``sim_configs`` strategy
+(``tests/conftest.py``) is ordered simplest-first, so a parity break
+shrinks to the smallest system that still exhibits it, which is
+usually a one-line repro.
+
+The suite runs under the pinned, derandomised "repro" hypothesis
+profile: the drawn examples are identical on every machine and CI run.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers.registry import SCHEDULERS, make_scheduler
+from repro.engine import HAS_NUMPY
+from repro.sim.system import System
+from repro.workloads.mixes import make_intensity_workload
+from tests.conftest import sim_configs
+
+pytestmark = [
+    pytest.mark.property,
+    pytest.mark.skipif(
+        not HAS_NUMPY, reason="fast backend requires numpy (repro[fast])"
+    ),
+]
+
+
+def _run(config, scheduler, intensity, mix_seed, backend):
+    workload = make_intensity_workload(
+        intensity, num_threads=config.num_threads, seed=mix_seed
+    )
+    system = System(
+        workload,
+        make_scheduler(scheduler),
+        config.with_(backend=backend),
+        seed=config.seed,
+    )
+    return system, system.run()
+
+
+@given(
+    config=sim_configs(),
+    scheduler=st.sampled_from(sorted(SCHEDULERS)),
+    intensity=st.sampled_from([0.0, 0.5, 1.0]),
+    mix_seed=st.integers(min_value=0, max_value=7),
+)
+@settings(max_examples=60, deadline=None)
+def test_backends_bit_identical(config, scheduler, intensity, mix_seed):
+    """For any drawn configuration, fast == reference exactly."""
+    ref_sys, ref = _run(config, scheduler, intensity, mix_seed, "reference")
+    fast_sys, fast = _run(config, scheduler, intensity, mix_seed, "fast")
+    assert ref == fast
+    assert ref_sys._seq == fast_sys._seq
+    assert ref_sys.sched_decisions == fast_sys.sched_decisions
+
+
+@given(config=sim_configs(max_run_cycles=4_000))
+@settings(max_examples=20, deadline=None)
+def test_fast_backend_idempotent(config):
+    """Two fast-backend runs of one configuration are identical (the
+    engine holds no state that leaks across ``System`` instances —
+    buffered RNG blocks, wheel cursors, batch columns are all
+    per-run)."""
+    _, first = _run(config, "tcm", 0.75, 3, "fast")
+    _, second = _run(config, "tcm", 0.75, 3, "fast")
+    assert first == second

@@ -1,0 +1,282 @@
+"""Timing-wheel unit tests: heap-identical delivery, proven directly.
+
+The wheel's contract (``repro.engine.wheel``) is that it delivers
+events in exactly the order the reference engine's ``(time, seq)``
+heap would — push order within a cycle, sample-class events last in
+their cycle, overflow events interleaving correctly with direct pushes
+as the window slides.  A model heap implementing the reference
+ordering verbatim is differenced against the wheel on randomized,
+reactive schedules (handlers pushing new events mid-drain), plus
+directed cases for the boundaries: horizon wrap-around, overflow
+migration, park/resume at drain limits, past-time rejection.
+
+The tail of the module closes the loop on the real simulator: DRAM
+refresh (detailed timing) piles events onto the same cycles at every
+``t_refi`` tick, and the invariant oracle re-derives every scheduling
+decision on a fast-backend run.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.wheel import DEFAULT_HORIZON, TimingWheel, scan_occupancy
+
+#: Reference sample-seq offset (repro.sim.system._SAMPLE_SEQ_BASE).
+_SAMPLE_BASE = 1 << 60
+
+
+class ModelHeap:
+    """The reference engine's event ordering, verbatim.
+
+    A plain ``(time, seq)`` heap: ``seq`` is the global push counter,
+    sample-class events get ``seq`` offset beyond any ordinary value.
+    """
+
+    def __init__(self, now: int = 0):
+        self.now = now
+        self._heap = []
+        self._seq = 0
+
+    def push(self, time, kind, payload=None, aux=0):
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, (kind, payload, aux)))
+
+    def push_sample(self, time, kind, payload=None, aux=0):
+        self._seq += 1
+        heapq.heappush(
+            self._heap, (time, _SAMPLE_BASE + self._seq, (kind, payload, aux))
+        )
+
+    def drain(self, handler, limit):
+        while self._heap and self._heap[0][0] <= limit:
+            time, _, (kind, payload, aux) = heapq.heappop(self._heap)
+            self.now = time
+            handler(time, kind, payload, aux)
+        self.now = limit + 1
+
+    def __len__(self):
+        return len(self._heap)
+
+
+def _drive(queue, schedule, limits):
+    """Drain ``queue`` over ``limits`` and log every delivery.
+
+    ``schedule`` is a list of ``(offset, sample, followup)`` triples;
+    followups make the schedule *reactive*: delivering event ``i``
+    with ``followup=(delta, f_sample)`` pushes a fresh event at
+    ``time + delta`` from inside the handler — same-cycle appends
+    (``delta=0``), in-window and overflow pushes included.
+    """
+    log = []
+
+    def handler(time, kind, payload, aux):
+        log.append((time, kind, payload, aux))
+        followup = payload
+        if followup is not None:
+            delta, f_sample = followup
+            if f_sample:
+                queue.push_sample(time + delta, kind, None, len(log))
+            else:
+                queue.push(time + delta, kind, None, len(log))
+
+    for index, (offset, sample, followup) in enumerate(schedule):
+        if sample:
+            if followup is not None and followup[0] == 0:
+                # same-cycle pushes from a *sample* handler are outside
+                # the wheel's contract (the simulator never does this;
+                # the wheel raises by design) — keep them 1 cycle out
+                followup = (1, followup[1])
+            queue.push_sample(offset, index, followup, index)
+        else:
+            queue.push(offset, index, followup, index)
+    for limit in limits:
+        queue.drain(handler, limit)
+        log.append(("parked", queue.now, len(queue)))
+    return log
+
+
+_followups = st.one_of(
+    st.none(),
+    st.tuples(st.integers(min_value=0, max_value=150), st.booleans()),
+)
+
+
+@pytest.mark.property
+@given(
+    horizon=st.sampled_from([1, 4, 16, 64]),
+    schedule=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=200),
+            st.booleans(),
+            _followups,
+        ),
+        max_size=60,
+    ),
+    limits=st.lists(
+        st.integers(min_value=0, max_value=400),
+        min_size=1,
+        max_size=4,
+    ).map(sorted),
+)
+@settings(max_examples=120, deadline=None)
+def test_wheel_matches_heap(horizon, schedule, limits):
+    """Randomized reactive schedules drain identically to the heap."""
+    wheel_log = _drive(TimingWheel(horizon), schedule, limits)
+    heap_log = _drive(ModelHeap(), schedule, limits)
+    assert wheel_log == heap_log
+
+
+def test_same_cycle_push_order_with_samples():
+    """Within one cycle: ordinary events in push order, samples last —
+    even when pushes interleave sample/ordinary arbitrarily."""
+    wheel = TimingWheel(8)
+    wheel.push_sample(3, 0, None, 0)
+    wheel.push(3, 1, None, 1)
+    wheel.push_sample(3, 2, None, 2)
+    wheel.push(3, 3, None, 3)
+    order = []
+    wheel.drain(lambda t, k, p, a: order.append(a), 10)
+    assert order == [1, 3, 0, 2]
+
+
+def test_wrap_around_at_horizon_boundary():
+    """Slots are a ring: cycle ``horizon`` reuses slot 0 after cycle 0
+    drains, and events pushed mid-drain land on wrapped slots."""
+    wheel = TimingWheel(4)
+    seen = []
+
+    def handler(time, kind, payload, aux):
+        seen.append((time, aux))
+        if time == 1:
+            wheel.push(4, 0, None, "wrapped")  # slot 0, second lap
+
+    wheel.push(1, 0, None, "first")
+    wheel.push(3, 0, None, "third")  # slot 3, last of the first lap
+    wheel.drain(handler, 6)
+    assert seen == [(1, "first"), (3, "third"), (4, "wrapped")]
+    assert wheel.now == 7
+    assert len(wheel) == 0
+
+
+def test_overflow_migrates_before_direct_pushes():
+    """An overflow event keeps its (earlier) seq when its cycle enters
+    the window: it must drain before any later direct push to the same
+    cycle."""
+    wheel = TimingWheel(4)
+    wheel.push(100, 0, None, "overflow-first")  # far beyond the window
+    order = []
+
+    def handler(time, kind, payload, aux):
+        order.append(aux)
+        if aux == "near":
+            # 100 is now in window: this push is *later* than the
+            # overflow event already queued there
+            wheel.push(100, 0, None, "direct-second")
+
+    wheel.push(98, 0, None, "near")
+    wheel.drain(handler, 200)
+    assert order == ["near", "overflow-first", "direct-second"]
+
+
+def test_park_at_limit_and_resume():
+    """Nothing beyond the drain limit is delivered; the cursor parks
+    at ``limit + 1`` and a later drain picks the events up."""
+    wheel = TimingWheel(8)
+    wheel.push(10, 0, None, "late")
+    delivered = []
+    wheel.drain(lambda t, k, p, a: delivered.append(a), 5)
+    assert delivered == []
+    assert wheel.now == 6
+    assert len(wheel) == 1
+    wheel.drain(lambda t, k, p, a: delivered.append(a), 10)
+    assert delivered == ["late"]
+    assert wheel.now == 11
+
+
+def test_push_into_past_rejected():
+    wheel = TimingWheel(8, now=5)
+    with pytest.raises(ValueError):
+        wheel.push(4, 0)
+    with pytest.raises(ValueError):
+        wheel.push_sample(4, 0)
+
+
+def test_scan_occupancy_ring_order():
+    """The two-level bitmap scan walks the ring in cycle order."""
+    span = 128
+    occ_lo = [0] * (span >> 6)
+    assert scan_occupancy(0, occ_lo, 17, span) == -1
+    for slot in (3, 70, 127):
+        occ_lo[slot >> 6] |= 1 << (slot & 63)
+    occ_hi = sum(1 << g for g, lo in enumerate(occ_lo) if lo)
+    assert scan_occupancy(occ_hi, occ_lo, 0, span) == 3
+    assert scan_occupancy(occ_hi, occ_lo, 3, span) == 0
+    assert scan_occupancy(occ_hi, occ_lo, 4, span) == 66
+    assert scan_occupancy(occ_hi, occ_lo, 71, span) == 56
+    assert scan_occupancy(occ_hi, occ_lo, 127, span) == 0
+    # wrapped: from past the last populated slot back around to 3
+    occ_lo[127 >> 6] &= ~(1 << (127 & 63))
+    occ_hi = sum(1 << g for g, lo in enumerate(occ_lo) if lo)
+    assert scan_occupancy(occ_hi, occ_lo, 100, span) == span - 100 + 3
+
+
+def test_default_horizon_sized_for_dram_round_trips():
+    """The default span must comfortably cover a service round trip
+    (BANK_FREE/DONE pushes stay on the no-overflow fast path)."""
+    from repro.config import DramTimings
+
+    timings = DramTimings()
+    assert DEFAULT_HORIZON > 4 * (
+        timings.conflict_occupancy + timings.fixed_overhead
+    )
+
+
+# ----------------------------------------------------------------------
+# the wheel under the real simulator
+# ----------------------------------------------------------------------
+
+
+def test_refresh_collision_parity():
+    """Detailed timing piles refresh work onto every ``t_refi`` tick
+    across all banks at once — the densest same-cycle collision the
+    simulator produces.  Both backends must agree through it."""
+    from repro.config import DramTimings, SimConfig
+    from repro.schedulers.registry import make_scheduler
+    from repro.sim.system import System
+    from repro.workloads.mixes import make_intensity_workload
+
+    timings = DramTimings(detailed=True, t_refi=1_500, t_rfc=200)
+    results = {}
+    for backend in ("reference", "fast"):
+        config = SimConfig(
+            run_cycles=12_000, num_threads=4, backend=backend,
+            timings=timings,
+        )
+        workload = make_intensity_workload(1.0, num_threads=4, seed=2)
+        system = System(workload, make_scheduler("frfcfs"), config, seed=9)
+        results[backend] = system.run()
+    assert results["reference"] == results["fast"]
+
+
+@pytest.mark.validate
+def test_checked_run_oracle_on_fast_backend():
+    """The invariant oracle (which re-derives every grant decision
+    from ``priority`` and audits bank legality) passes on the fast
+    backend, spans attached."""
+    from repro.config import SimConfig
+    from repro.validate.oracle import checked_run
+    from repro.workloads.mixes import make_intensity_workload
+
+    config = SimConfig(run_cycles=12_000, num_threads=4, backend="fast")
+    workload = make_intensity_workload(0.75, num_threads=4, seed=1)
+    result, report = checked_run(
+        workload, "tcm", config, seed=4, spans=True
+    )
+    assert report.ok
+    assert report.total_checks > 1_000
+    assert result.total_requests > 100
