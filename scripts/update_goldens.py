@@ -11,8 +11,13 @@ below belongs in the commit message).
     PYTHONPATH=src python scripts/update_goldens.py           # regenerate
     PYTHONPATH=src python scripts/update_goldens.py --check   # verify only
 
-``--check`` recomputes the matrix, prints a field-level drift report,
-and exits 1 on any drift (0 when clean) — this is what CI runs.  By
+``--check`` recomputes the matrix, prints a field-level drift report
+plus a per-point mismatch table, and exits non-zero on any drift —
+**3** when fingerprint values differ (behavioural/parity drift), **4**
+when only the matrix structure changed (goldens out of date) — this is
+what CI runs; ``--forensics DIR`` additionally lockstep-bisects the
+first drifting point (reference vs fast, see docs/DIVERGENCE.md) and
+writes the forensic artifacts there for upload.  By
 default the check runs on **both** engine backends (``--backend
 both``), so a golden pass certifies the cross-backend parity contract
 at golden scale, not just the reference engine's stability; narrow to
@@ -24,11 +29,14 @@ bit-for-bit.
 import argparse
 import sys
 
+from repro.experiments.reporting import format_table
 from repro.validate import (
     GOLDEN_PATH,
     check_goldens,
     compare_fingerprints,
     compute_golden_matrix,
+    drift_point_rows,
+    drifts_exit_code,
     format_drift_report,
     load_goldens,
     save_goldens,
@@ -48,6 +56,10 @@ def main() -> int:
                         help=f"golden matrix file (default {GOLDEN_PATH})")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-point progress output")
+    parser.add_argument("--forensics", default=None,
+                        help="--check only: on drift, lockstep-bisect the "
+                             "first failing point (reference vs fast) and "
+                             "write forensic artifacts to this directory")
     args = parser.parse_args()
     path = args.path or GOLDEN_PATH
     progress = not args.quiet
@@ -57,12 +69,28 @@ def main() -> int:
                                backend=args.backend)
         if drifts:
             print(format_drift_report(drifts))
+            print()
+            print(format_table(
+                ["backend", "mix", "scheduler", "seed", "field",
+                 "expected", "actual"],
+                drift_point_rows(drifts),
+                title="golden mismatches by point",
+            ))
+            if args.forensics:
+                from repro.experiments.cli import _goldens_forensics
+
+                _goldens_forensics(drifts, args.forensics)
+            code = drifts_exit_code(drifts)
             print(
-                "\nIf this drift is an intended behavioural change, "
+                f"\nexit {code}: "
+                + ("fingerprint drift — behaviour changed"
+                   if code == 3 else
+                   "matrix structure changed — goldens out of date")
+                + "\nIf this drift is an intended behavioural change, "
                 "regenerate with:\n"
                 "    PYTHONPATH=src python scripts/update_goldens.py"
             )
-            return 1
+            return code
         print(f"goldens: no drift (backend: {args.backend})")
         return 0
 

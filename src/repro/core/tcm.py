@@ -106,6 +106,33 @@ class TCMScheduler(Scheduler):
             "rank": self.current_rank(thread_id),
         }
 
+    def state_digest(self) -> dict:
+        digest = super().state_digest()
+        if self._clustering is None:
+            digest["clustering"] = None
+        else:
+            digest["clustering"] = {
+                "latency": list(self._clustering.latency_cluster),
+                "bandwidth": list(self._clustering.bandwidth_cluster),
+            }
+        digest.update(
+            ranks=[sorted(ranks.items()) for ranks in self._ranks],
+            shuffle_orders=[s.order() for s in self._shufflers],
+            shuffles_performed=self.shuffles_performed,
+            shuffle_algo_history=list(self.shuffle_algo_history),
+        )
+        if self._rng is not None:
+            # the shuffle RNG cursor: PCG64 state words, so two runs
+            # that consumed a different number of draws digest apart
+            state = self._rng.bit_generator.state
+            digest["rng"] = {
+                "state": state["state"]["state"],
+                "inc": state["state"]["inc"],
+                "has_uint32": state["has_uint32"],
+                "uinteger": state["uinteger"],
+            }
+        return digest
+
     def on_attach(self) -> None:
         n = self.system.workload.num_threads
         self._weights = (

@@ -1,0 +1,530 @@
+"""StateProbe — canonical fingerprints of live simulation state.
+
+The parity contract (PR 8) pins two backends bit-identical at the
+*end* of a run; this module makes the same claim checkable at any
+cycle in the middle.  A :class:`StateProbe` attached to a
+:class:`~repro.sim.system.System` can, at any checkpoint, produce a
+**canonical snapshot** of every component that feeds future scheduling
+decisions, and hash each component into a short fingerprint:
+
+``events``
+    The pending-event multiset in dispatch order — the reference heap
+    sorted by ``(time, seq)`` and the timing wheel's
+    :meth:`~repro.engine.wheel.TimingWheel.pending_events` produce the
+    same canonical list (sequence numbers are dropped; order is kept).
+``dram``
+    Per-bank row-buffer state (open row, owner, busy-until, service
+    counters), per-channel queues, bus reservation, write buffer and
+    refresh cursor.
+``cpu``
+    Per-thread sliding-window columns in a backend-neutral form: the
+    reference model's ``(deque, completed set)`` and the fast batch's
+    ``(head, length, bitmask, credit ring)`` map to the same
+    ``(head, credits, completed offsets)`` triple.
+``rng``
+    Logical RNG cursors.  Raw generators are captured as PCG64 state
+    words; block-buffered façades (:mod:`repro.engine.rng`) cannot be
+    compared that way — their underlying generator sits whole blocks
+    ahead — so buffered and scalar streams are both canonicalised as
+    *the next few draws*, peeked from a clone without consuming the
+    stream.
+``monitor``
+    The behaviour monitor's shadow row-buffers, outstanding/BLP
+    integrals and lifetime counters.
+``scheduler``
+    The policy's own :meth:`~repro.schedulers.base.Scheduler.\
+state_digest` (ranks, clusters, virtual times, shuffle RNG cursor).
+``progress``
+    Scalar run progress: current cycle, event sequence counter,
+    decisions, quanta, latency accumulators, IPC timeline.
+
+Snapshots are strictly JSON-native (dicts with string keys, lists,
+ints, floats, strings, None), so they hash canonically, diff with
+:func:`repro.validate.fingerprint.compare_fingerprints`, and survive a
+JSON round trip unchanged.
+
+Attachment rides the run's one-branch-when-off observer seams: a
+``None`` probe costs one ``is None`` test per dispatched event and per
+grant, and the fast backend's bare loop stays fully detached
+(``bare_eligible`` routes probed runs through the observed loop).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from hashlib import blake2b
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cpu.thread import MAX_OUTSTANDING_MISSES
+from repro.dram.request import MemoryRequest
+
+#: Component keys in canonical order.
+COMPONENTS = (
+    "events", "dram", "cpu", "rng", "monitor", "scheduler", "progress",
+)
+
+#: Hex digits of each component fingerprint (blake2b, 8-byte digest).
+DIGEST_SIZE = 8
+
+#: Draws peeked per buffered RNG stream when canonicalising its cursor.
+#: Enough that two streams at different logical positions cannot digest
+#: equal by accident (4 × 64 bits of stream content).
+PEEK_DRAWS = 4
+
+_EVENT_KINDS = (
+    "issue", "bank_free", "done", "quantum", "timer", "phit", "sample",
+)
+
+
+def _jsonify(value):
+    """Recursively coerce to JSON-native types (tuples -> lists,
+    numpy scalars -> Python scalars, dict keys -> strings)."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def _request_digest(request: MemoryRequest) -> list:
+    """A request's identity and lifecycle state, minus ``request_id``
+    (a process-global counter, meaningless across separate runs)."""
+    return [
+        request.thread_id,
+        request.channel_id,
+        request.bank_id,
+        request.row,
+        request.arrival,
+        request.episode_id,
+        int(request.is_write),
+        int(request.is_prefetch),
+        int(request.marked),
+        request.start_service,
+        request.completion,
+        request.interference,
+    ]
+
+
+def _event_entry(time: int, kind: int, payload, aux: int) -> list:
+    """One canonical event record; request payloads are digested
+    immediately (they mutate as the run proceeds)."""
+    if isinstance(payload, MemoryRequest):
+        payload = _request_digest(payload)
+    name = _EVENT_KINDS[kind] if kind < len(_EVENT_KINDS) else str(kind)
+    return [time, name, payload, aux]
+
+
+# ----------------------------------------------------------------------
+# per-component snapshots
+# ----------------------------------------------------------------------
+
+def snapshot_events(system) -> list:
+    """Pending-event multiset in dispatch order, both backends."""
+    if system._wheel is not None:
+        pending = system._wheel.pending_events()
+    else:
+        pending = [
+            (time, kind, payload, aux)
+            for time, _seq, kind, payload, aux in sorted(system._events)
+        ]
+    return [_event_entry(*event) for event in pending]
+
+
+def snapshot_dram(system) -> list:
+    channels = []
+    for channel in system.channels:
+        channels.append({
+            "banks": [
+                {
+                    "open_row": bank.open_row,
+                    "open_row_owner": bank.open_row_owner,
+                    "busy_until": bank.busy_until,
+                    "last_activate": bank.last_activate,
+                    "row_hits": bank.row_hits,
+                    "row_conflicts": bank.row_conflicts,
+                    "row_closed": bank.row_closed,
+                    "busy_cycles": bank.busy_cycles,
+                }
+                for bank in channel.banks
+            ],
+            "queues": [
+                [_request_digest(request) for request in queue]
+                for queue in channel.queues
+            ],
+            "bus_free_until": channel.bus_free_until,
+            "bus_owner": channel.bus_owner,
+            "serviced_requests": channel.serviced_requests,
+            "write_buffer": [
+                _request_digest(request)
+                for request in channel.write_buffer
+            ],
+            "serviced_writes": channel.serviced_writes,
+            "dropped_writes": channel.dropped_writes,
+            "recent_activates": list(channel._recent_activates),
+            "next_refresh": channel._next_refresh,
+            "refreshes_performed": channel.refreshes_performed,
+        })
+    return channels
+
+
+def _stats_snapshot(stats) -> dict:
+    return {
+        "instructions": stats.instructions,
+        "misses": stats.misses,
+        "episodes": stats.episodes,
+        "quantum_instructions": stats.quantum_instructions,
+        "quantum_misses": stats.quantum_misses,
+    }
+
+
+def _addr_snapshot(addr) -> dict:
+    # field names are shared by the reference AddressStream and the
+    # fast FastAddressStream by construction
+    return {
+        "base": addr._base,
+        "pos": addr._pos,
+        "spread": addr._spread,
+        "last_row": [
+            [bank, row] for bank, row in sorted(addr._last_row.items())
+        ],
+        "accesses": addr.accesses,
+        "row_reuses": addr.row_reuses,
+        "drifts": addr.drifts,
+    }
+
+
+def snapshot_cpu(system) -> list:
+    """Per-thread window state, backend-neutral.
+
+    The reference keeps ``(deque of (id, credit), completed-id set)``;
+    the fast batch keeps ``(head id, length, completion bitmask, credit
+    ring)``.  Both reduce to: the head id (``issued + 1`` when the
+    window is empty, matching the batch's rest state), the in-window
+    credits oldest-first, and completed-but-unretired offsets from the
+    head.
+    """
+    batch = system._batch
+    threads = []
+    if batch is None:
+        for thread in system.threads:
+            rob = list(thread._rob)
+            head = rob[0][0] if rob else thread.issued + 1
+            threads.append({
+                "issued": thread.issued,
+                "head": head,
+                "rob_credits": [credit for _id, credit in rob],
+                "completed": sorted(
+                    issue_id - head for issue_id in thread._completed
+                ),
+                "window_blocked": bool(thread.window_blocked),
+                "instr_credit": thread._instr_credit,
+                "pending_credit": thread._pending_credit,
+                "gap_carry": thread._gap_carry,
+                "program_time": thread.program_time,
+                "last_issue_time": thread._last_issue_time,
+                "current_ipm": thread._current_ipm,
+                "phase_multiplier": thread.phase_multiplier,
+                "phase_end": thread._phase_end,
+                "max_outstanding": thread.max_outstanding,
+                "stats": _stats_snapshot(thread.stats),
+                "addr": _addr_snapshot(thread._addr),
+            })
+        return threads
+    for tid in range(len(batch.specs)):
+        head = batch.head_id[tid]
+        length = batch.rob_len[tid]
+        base = tid * MAX_OUTSTANDING_MISSES
+        mask = batch.completed_mask[tid]
+        threads.append({
+            "issued": batch.issued[tid],
+            "head": head,
+            "rob_credits": [
+                batch.credits[base + (head + k) % MAX_OUTSTANDING_MISSES]
+                for k in range(length)
+            ],
+            "completed": [k for k in range(length) if (mask >> k) & 1],
+            "window_blocked": bool(batch.window_blocked[tid]),
+            "instr_credit": batch.instr_credit[tid],
+            "pending_credit": batch.pending_credit[tid],
+            "gap_carry": batch.gap_carry[tid],
+            "program_time": batch.program_time[tid],
+            "last_issue_time": batch.last_issue_time[tid],
+            "current_ipm": batch.current_ipm[tid],
+            "phase_multiplier": batch.phase_multiplier[tid],
+            "phase_end": batch.phase_end[tid],
+            "max_outstanding": batch.max_outstanding[tid],
+            "stats": _stats_snapshot(batch.stats[tid]),
+            "addr": _addr_snapshot(batch.addr[tid]),
+        })
+    return threads
+
+
+# -- RNG cursors -------------------------------------------------------
+
+def _clone_generator(generator: np.random.Generator) -> np.random.Generator:
+    bit_gen = type(generator.bit_generator)()
+    bit_gen.state = generator.bit_generator.state
+    return np.random.Generator(bit_gen)
+
+
+def _generator_cursor(generator: np.random.Generator) -> dict:
+    """A raw generator's cursor: PCG64 state words plus the half-word
+    bank (zeroed when empty — numpy leaves the stale value behind)."""
+    state = generator.bit_generator.state
+    has32 = int(state["has_uint32"])
+    return {
+        "state": state["state"]["state"],
+        "inc": state["state"]["inc"],
+        "has_uint32": has32,
+        "uinteger": int(state["uinteger"]) if has32 else 0,
+    }
+
+
+def _peek_words(source) -> dict:
+    """A bit-stream cursor as content: the half-word bank plus the next
+    :data:`PEEK_DRAWS` raw 64-bit words, peeked without consuming.
+
+    Works for a raw ``numpy.random.Generator`` and for
+    :class:`~repro.engine.rng.BufferedPCG64` — at the same logical
+    position both produce the same words, even though the buffered
+    façade's underlying generator sits a pre-fetched block ahead.
+    """
+    if isinstance(source, np.random.Generator):
+        state = source.bit_generator.state
+        has32 = int(state["has_uint32"])
+        half = int(state["uinteger"]) if has32 else 0
+        clone = _clone_generator(source)
+        words = clone.integers(
+            0, 1 << 64, size=PEEK_DRAWS, dtype=np.uint64
+        ).tolist()
+        return {"has_uint32": has32, "half": half, "words": words}
+    # BufferedPCG64: remaining buffer words first, then the wrapped
+    # generator (whose position is exactly the buffer's end)
+    has32 = int(source._has32)
+    half = int(source._half) if has32 else 0
+    words = list(source._buf[source._i:source._n])
+    missing = PEEK_DRAWS - len(words)
+    if missing > 0:
+        clone = _clone_generator(source._rng)
+        words.extend(
+            clone.integers(0, 1 << 64, size=missing, dtype=np.uint64)
+            .tolist()
+        )
+    return {"has_uint32": has32, "half": half, "words": words[:PEEK_DRAWS]}
+
+
+def _peek_uniforms(source, low: float = 0.9, high: float = 1.1) -> list:
+    """The next :data:`PEEK_DRAWS` ``uniform(low, high)`` draws, peeked
+    from a clone — canonical across a scalar generator and a
+    :class:`~repro.engine.rng.BufferedUniform` block stream."""
+    if isinstance(source, np.random.Generator):
+        clone = _clone_generator(source)
+        return clone.uniform(low, high, size=PEEK_DRAWS).tolist()
+    draws = list(source._buf[source._i:source._n])
+    missing = PEEK_DRAWS - len(draws)
+    if missing > 0:
+        clone = _clone_generator(source._rng)
+        draws.extend(
+            clone.uniform(source._low, source._high, size=missing).tolist()
+        )
+    return draws[:PEEK_DRAWS]
+
+
+def snapshot_rng(system) -> dict:
+    """Every RNG cursor the run consumes (the policy RNG is digested by
+    the scheduler component via ``state_digest``)."""
+    batch = system._batch
+    threads = []
+    if batch is None:
+        for thread in system.threads:
+            threads.append({
+                "jitter": _peek_uniforms(thread._rng),
+                "phase": _generator_cursor(thread._phase_rng),
+                "addr": _peek_words(thread._addr._rng),
+            })
+    else:
+        for tid in range(len(batch.specs)):
+            threads.append({
+                "jitter": _peek_uniforms(batch.jitter[tid]),
+                "phase": _generator_cursor(batch.phase_rng[tid]),
+                "addr": _peek_words(batch.addr[tid]._rng),
+            })
+    return {
+        "threads": threads,
+        "writeback": _generator_cursor(system._wb_rng),
+    }
+
+
+def snapshot_monitor(system) -> dict:
+    monitor = system.monitor
+    return {
+        "service_cycles": [list(row) for row in monitor.service_cycles],
+        "shadow_rows": [
+            [
+                [[bank, row] for bank, row in sorted(shadow.items())]
+                for shadow in per_channel
+            ]
+            for per_channel in monitor._shadow_rows
+        ],
+        "shadow_hits": [list(row) for row in monitor.shadow_hits],
+        "shadow_accesses": [list(row) for row in monitor.shadow_accesses],
+        "bank_outstanding": [
+            [[bank, count] for bank, count in sorted(counts.items())]
+            for counts in monitor._bank_outstanding
+        ],
+        "active_banks": list(monitor._active_banks),
+        "outstanding": list(monitor._outstanding),
+        "last_update": list(monitor._last_update),
+        "blp_integral": list(monitor._blp_integral),
+        "busy_time": list(monitor._busy_time),
+        "lifetime_service_cycles": list(monitor.lifetime_service_cycles),
+        "lifetime_shadow_hits": list(monitor.lifetime_shadow_hits),
+        "lifetime_shadow_accesses": list(monitor.lifetime_shadow_accesses),
+        "lifetime_blp_integral": list(monitor.lifetime_blp_integral),
+        "lifetime_busy_time": list(monitor.lifetime_busy_time),
+    }
+
+
+def snapshot_progress(system) -> dict:
+    return {
+        "now": system.now,
+        "event_seq": system._seq if system._wheel is None
+        else system._wheel._seq,
+        "sched_decisions": system.sched_decisions,
+        "quantum_count": system.quantum_count,
+        "latency_sum": list(system._latency_sum),
+        "latency_count": list(system._latency_count),
+        "ipc_timeline": [list(row) for row in system.ipc_timeline],
+    }
+
+
+_SNAPSHOTS = {
+    "events": snapshot_events,
+    "dram": snapshot_dram,
+    "cpu": snapshot_cpu,
+    "rng": snapshot_rng,
+    "monitor": snapshot_monitor,
+    "scheduler": lambda system: system.scheduler.state_digest(),
+    "progress": snapshot_progress,
+}
+
+
+def snapshot_state(
+    system, components: Iterable[str] = COMPONENTS
+) -> Dict[str, object]:
+    """Canonical (JSON-native) snapshot of the selected components."""
+    snapshot = {}
+    for name in components:
+        try:
+            taker = _SNAPSHOTS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown state component {name!r}; "
+                f"choose from {', '.join(COMPONENTS)}"
+            ) from None
+        snapshot[name] = _jsonify(taker(system))
+    return snapshot
+
+
+def fingerprint_component(value) -> str:
+    """Short stable hash of one canonical component snapshot."""
+    payload = json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return blake2b(payload.encode(), digest_size=DIGEST_SIZE).hexdigest()
+
+
+def fingerprint_state(
+    system, components: Iterable[str] = COMPONENTS
+) -> Dict[str, str]:
+    """Per-component fingerprints of the system's current state."""
+    return {
+        name: fingerprint_component(value)
+        for name, value in snapshot_state(system, components).items()
+    }
+
+
+# ----------------------------------------------------------------------
+# the probe
+# ----------------------------------------------------------------------
+
+class StateProbe:
+    """Attached observer: ring buffers plus on-demand fingerprints.
+
+    ``attach`` binds the probe to ``System._probe``; the event loops
+    then feed it every dispatched event (:meth:`on_event`) and every
+    grant (:meth:`on_decision`), which the probe keeps in bounded ring
+    buffers for the forensic report.  Fingerprints and snapshots are
+    computed only when asked (between :meth:`~repro.sim.system.System.\
+advance` windows), so probe overhead scales with checkpoint cadence,
+    not event rate.
+    """
+
+    def __init__(
+        self,
+        components: Optional[Iterable[str]] = None,
+        ring: int = 64,
+    ):
+        self.components: Tuple[str, ...] = (
+            tuple(components) if components is not None else COMPONENTS
+        )
+        for name in self.components:
+            if name not in _SNAPSHOTS:
+                raise ValueError(
+                    f"unknown state component {name!r}; "
+                    f"choose from {', '.join(COMPONENTS)}"
+                )
+        self.ring = ring
+        self.events: deque = deque(maxlen=ring)
+        self.decisions: deque = deque(maxlen=ring)
+        self.system = None
+
+    def attach(self, system) -> "StateProbe":
+        if system._probe is not None:
+            raise RuntimeError("system already carries a divergence probe")
+        system._probe = self
+        self.system = system
+        return self
+
+    def detach(self) -> None:
+        if self.system is not None:
+            self.system._probe = None
+            self.system = None
+
+    # -- loop hooks (one is-None branch each when detached) -------------
+
+    def on_event(self, time: int, kind: int, payload, aux: int) -> None:
+        self.events.append(_event_entry(time, kind, payload, aux))
+
+    def on_decision(
+        self, now: int, channel_id: int, bank_id: int, request, queued, access
+    ) -> None:
+        self.decisions.append({
+            "cycle": now,
+            "ch": channel_id,
+            "bank": bank_id,
+            "tid": request.thread_id,
+            "row": request.row,
+            "arrival": request.arrival,
+            "queued": queued,
+            "kind": access.kind,
+            "row_hit": bool(access.is_row_hit),
+            "data_end": access.data_end,
+        })
+
+    # -- checkpoints -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        return snapshot_state(self.system, self.components)
+
+    def fingerprint(self) -> Dict[str, str]:
+        return fingerprint_state(self.system, self.components)
+
+    def rings(self) -> dict:
+        return {
+            "events": list(self.events),
+            "decisions": list(self.decisions),
+        }

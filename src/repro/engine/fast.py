@@ -89,6 +89,7 @@ def bare_eligible(system) -> bool:
         or system._spans is not None
         or system._sampler is not None
         or system._prof is not None
+        or system._probe is not None
         or system.trace_recorder is not None
         or system.prefetchers is not None
         or system.config.model_writes
@@ -142,9 +143,12 @@ def _drive_observed(system, horizon: int) -> None:
 
     threads = system.threads
     scheduler = system.scheduler
+    probe = system._probe
 
     def handler(time, kind, payload, aux):
         system.now = time
+        if probe is not None:
+            probe.on_event(time, kind, payload, aux)
         if kind == _EV_ISSUE:
             system._issue_miss(payload)
         elif kind == _EV_BANK_FREE:

@@ -173,6 +173,50 @@ class TimingWheel:
                 (time, self._seq | _SAMPLE_FLAG, (kind, payload, aux)),
             )
 
+    # -- introspection --------------------------------------------------
+
+    def pending_events(self) -> List[Tuple[int, int, object, int]]:
+        """Snapshot of every queued event as ``(time, kind, payload,
+        aux)`` in drain order — the wheel-side equivalent of sorting
+        the reference heap by ``(time, seq)``.
+
+        Read-only (buckets and the overflow heap are left untouched);
+        used by the divergence probe (:mod:`repro.diverge`) to compare
+        the pending-event multiset across backends.  Bucket slots map
+        back to absolute cycles through the cursor (each occupied slot
+        holds exactly one in-window cycle), overflow entries carry
+        their cycle explicitly, and sample-class events sort after
+        ordinary events of their cycle, matching the drain.
+        """
+        span = self.horizon
+        now = self.now
+        entries = []
+        for slot in range(span):
+            ordinary = self._ordinary[slot]
+            samples = self._samples[slot]
+            if ordinary is None and samples is None:
+                continue
+            time = now + ((slot - now) % span)
+            if ordinary is not None:
+                for index, (kind, payload, aux) in enumerate(ordinary):
+                    entries.append((time, 0, 0, index, kind, payload, aux))
+            if samples is not None:
+                for index, (kind, payload, aux) in enumerate(samples):
+                    entries.append((time, 1, 0, index, kind, payload, aux))
+        # At rest every overflow cycle is at or beyond the migration
+        # edge, hence after every bucketed cycle — the source rank only
+        # breaks (impossible) exact ties deterministically.
+        for o_time, o_seq, (kind, payload, aux) in self._overflow:
+            sample = 1 if o_seq & _SAMPLE_FLAG else 0
+            entries.append(
+                (o_time, sample, 1, o_seq & ~_SAMPLE_FLAG, kind, payload, aux)
+            )
+        entries.sort(key=lambda entry: entry[:4])
+        return [
+            (time, kind, payload, aux)
+            for time, _sample, _src, _idx, kind, payload, aux in entries
+        ]
+
     # -- draining -------------------------------------------------------
 
     def drain(self, handler, limit: int) -> None:

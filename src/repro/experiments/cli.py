@@ -61,7 +61,27 @@ Validation subcommands (see docs/VALIDATION.md)::
 ``validate run`` executes the workload under every registered
 scheduler with the invariant oracle attached and exits non-zero on
 any violation; ``validate goldens`` recomputes the pinned golden
-matrix and fails on fingerprint drift (``--update`` regenerates it).
+matrix and fails on fingerprint drift (``--update`` regenerates it) —
+exit 3 means values drifted, exit 4 means only the matrix structure
+changed, and ``--forensics DIR`` launches a lockstep bisection of the
+first failing point.
+
+Divergence-forensics subcommands (see docs/DIVERGENCE.md)::
+
+    python -m repro.experiments.cli diverge run --cycles 150000
+    python -m repro.experiments.cli diverge bisect --seed 11 --seed-b 12 \\
+        --backend-b reference --json-out report.json
+    python -m repro.experiments.cli diverge bisect --record baseline.json
+    python -m repro.experiments.cli diverge run --baseline baseline.json
+    python -m repro.experiments.cli diverge report --json-in report.json \\
+        --out report.html --perfetto trace.json
+
+``diverge run`` lockstep-compares two runs (reference vs fast by
+default; vary ``--seed-b``/``--scheduler-b``/``--backend-*``)
+checkpoint by checkpoint and stops at the first mismatch; ``bisect``
+refines that mismatch down to the exact first divergent cycle and
+prints the field-level state diff; ``report`` re-renders a saved
+forensic report.  Exit code 2 signals a divergence.
 
 Self-profiling subcommands (see docs/PROFILING.md)::
 
@@ -518,6 +538,63 @@ def _cmd_obs(args, config):
 # ----------------------------------------------------------------------
 
 
+def _goldens_forensics(drifts, directory) -> None:
+    """Bisect the first drifting golden point (reference vs fast) and
+    drop forensic artifacts — drift list, report JSON, HTML panel —
+    into ``directory`` for CI upload."""
+    import json as json_mod
+    from pathlib import Path
+
+    from repro.diverge import (
+        bisect_divergence,
+        build_report,
+        resolve_cadence,
+        spec_for_golden_key,
+        write_report,
+        write_report_html,
+    )
+    from repro.validate import drift_point_rows
+    from repro.validate.goldens import is_structural
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "goldens_drift.json").write_text(json_mod.dumps(
+        [dict(zip(("backend", "mix", "scheduler", "seed", "field",
+                   "expected", "actual"), row))
+         for row in drift_point_rows(drifts)],
+        indent=1,
+    ))
+    # bisect a point whose fingerprint *value* drifted if there is one;
+    # structural drifts (missing/new entries) have nothing to replay
+    key = next(
+        (d.key for d in drifts if not is_structural(d)), drifts[0].key
+    )
+    try:
+        spec_a = spec_for_golden_key(key, backend="reference")
+        spec_b = spec_for_golden_key(key, backend="fast")
+    except ValueError as exc:
+        print(f"forensics: {exc}; wrote drift list only")
+        return
+    print(f"forensics: lockstep bisect on {key} (reference vs fast)")
+    result = bisect_divergence(
+        spec_a.factory(), spec_b.factory(),
+        horizon=spec_a.run_cycles,
+        cadence=resolve_cadence("quantum"),
+    )
+    print(f"forensics: {result.summary()}")
+    if not result.diverged:
+        print("forensics: both backends agree — the drift is against "
+              "the *committed* golden, i.e. behaviour changed on both "
+              "engines (see the drift list)")
+    report = build_report(
+        result, label_a=spec_a.label(), label_b=spec_b.label(),
+        context={"golden_key": key, "reason": "goldens drift"},
+    )
+    write_report(report, directory / "diverge_report.json")
+    write_report_html(report, directory / "diverge_report.html")
+    print(f"forensics: artifacts in {directory}")
+
+
 def _cmd_validate(args, config):
     from repro.validate import (
         OracleConfig,
@@ -525,6 +602,8 @@ def _cmd_validate(args, config):
         checked_run,
         compare_fingerprints,
         compute_golden_matrix,
+        drift_point_rows,
+        drifts_exit_code,
         format_drift_report,
         save_goldens,
     )
@@ -539,6 +618,9 @@ def _cmd_validate(args, config):
         path = args.goldens_path or None
         kwargs = {"path": path} if path else {}
         backend = args.goldens_backend
+        if args.update and args.check:
+            raise SystemExit("validate goldens: --update and --check "
+                             "are mutually exclusive")
         if args.update:
             matrix = compute_golden_matrix(progress=True,
                                            backend="reference")
@@ -556,7 +638,22 @@ def _cmd_validate(args, config):
         drifts = check_goldens(**kwargs, progress=True, backend=backend)
         if drifts:
             print(format_drift_report(drifts))
-            raise SystemExit(1)
+            print()
+            print(format_table(
+                ["backend", "mix", "scheduler", "seed", "field",
+                 "expected", "actual"],
+                drift_point_rows(drifts),
+                title="golden mismatches by point",
+            ))
+            if args.forensics:
+                _goldens_forensics(drifts, args.forensics)
+            code = drifts_exit_code(drifts)
+            print(f"exit {code}: "
+                  + ("fingerprint drift — behaviour changed"
+                     if code == 3 else
+                     "matrix structure changed — goldens out of date "
+                     "(regenerate with scripts/update_goldens.py)"))
+            raise SystemExit(code)
         print(f"goldens: no drift (backend: {backend})")
         return
 
@@ -589,6 +686,123 @@ def _cmd_validate(args, config):
     )
     if failed:
         raise SystemExit(1)
+
+
+# ----------------------------------------------------------------------
+# diverge subcommands
+# ----------------------------------------------------------------------
+
+
+def _cmd_diverge(args, config):
+    import json as json_mod
+    from pathlib import Path
+
+    from repro.diverge import (
+        RunSpec,
+        bisect_divergence,
+        build_report,
+        compare_to_recording,
+        export_perfetto,
+        load_report,
+        lockstep_compare,
+        record_checkpoints,
+        resolve_cadence,
+        write_report,
+        write_report_html,
+    )
+
+    action = args.action or "bisect"
+    if action not in ("run", "bisect", "report"):
+        raise SystemExit(
+            f"diverge: unknown action {action!r} (run|bisect|report)"
+        )
+
+    if action == "report":
+        if not args.json_in:
+            raise SystemExit("diverge report: --json-in REPORT.json "
+                             "is required")
+        report = load_report(args.json_in)
+        print(report["summary"])
+        if args.out:
+            where = write_report_html(report, args.out)
+            print(f"wrote {where}")
+        if args.perfetto:
+            where = export_perfetto(report, args.perfetto)
+            print(f"wrote {where} (load at https://ui.perfetto.dev)")
+        return
+
+    cadence = resolve_cadence(args.cadence, config)
+    scheduler = args.scheduler or "tcm"
+    spec_a = RunSpec(
+        scheduler=scheduler,
+        intensity=args.intensity,
+        seed=args.seed,
+        backend=args.backend_a,
+        run_cycles=args.cycles,
+    )
+
+    if args.record:
+        recording = record_checkpoints(
+            spec_a.factory(), args.cycles, cadence,
+            path=args.record, spec=spec_a,
+        )
+        print(f"wrote {args.record} "
+              f"({len(recording['checkpoints'])} checkpoints, "
+              f"cadence {cadence})")
+        return
+
+    if args.baseline:
+        recording = json_mod.loads(Path(args.baseline).read_text())
+        result = compare_to_recording(spec_a.factory(), recording)
+        label_a = f"baseline:{args.baseline}"
+        label_b = spec_a.label()
+        context = {"spec_b": spec_a.to_json(),
+                   "baseline_spec": recording.get("spec")}
+    else:
+        spec_b = RunSpec(
+            scheduler=args.scheduler_b or scheduler,
+            intensity=args.intensity,
+            seed=args.seed if args.seed_b is None else args.seed_b,
+            backend=args.backend_b,
+            run_cycles=args.cycles,
+        )
+        if spec_a == spec_b:
+            raise SystemExit(
+                "diverge: both sides are the identical run — vary "
+                "--backend-a/--backend-b, --seed-b or --scheduler-b"
+            )
+        label_a, label_b = spec_a.label(), spec_b.label()
+        context = {"spec_a": spec_a.to_json(), "spec_b": spec_b.to_json()}
+        compare = lockstep_compare if action == "run" else bisect_divergence
+        kwargs = {} if action == "run" else {"refine": args.refine}
+        result = compare(
+            spec_a.factory(), spec_b.factory(), args.cycles, cadence,
+            **kwargs,
+        )
+
+    print(f"{label_a}  vs  {label_b}")
+    print(result.summary())
+    divergence = result.divergence
+    if divergence is not None:
+        shown = divergence.diff[:10]
+        for entry in shown:
+            print(f"  {entry['path']}: {entry['a']!r} -> {entry['b']!r}")
+        more = len(divergence.diff) - len(shown)
+        if more > 0:
+            print(f"  ... and {more} more differing field(s) "
+                  "(see --json-out report)")
+    report = build_report(result, label_a, label_b, context=context)
+    if args.json_out:
+        where = write_report(report, args.json_out)
+        print(f"wrote {where}")
+    if args.out:
+        where = write_report_html(report, args.out)
+        print(f"wrote {where}")
+    if args.perfetto:
+        where = export_perfetto(report, args.perfetto)
+        print(f"wrote {where} (load at https://ui.perfetto.dev)")
+    if result.diverged:
+        raise SystemExit(2)
 
 
 # ----------------------------------------------------------------------
@@ -980,6 +1194,7 @@ def _cmd_serve(args, config):
 
 _COMMANDS = {
     "campaign": _cmd_campaign,
+    "diverge": _cmd_diverge,
     "serve": _cmd_serve,
     "obs": _cmd_obs,
     "prof": _cmd_prof,
@@ -1017,6 +1232,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "loadgen | shutdown | trace | dashboard; "
                              "telemetry action: report | trace; "
                              "validate action: run | goldens; "
+                             "diverge action: run | bisect | report; "
                              "obs action: report | attribution | dashboard; "
                              "prof action: run | flame | history | "
                              "compare | dashboard")
@@ -1090,6 +1306,48 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--update", action="store_true",
                         help="regenerate the golden matrix instead of "
                              "checking it (validate goldens)")
+    parser.add_argument("--check", action="store_true",
+                        help="validate goldens: explicitly request the "
+                             "check (the default); on failure prints the "
+                             "per-point mismatch table and exits 3 "
+                             "(value drift) or 4 (structure changed)")
+    parser.add_argument("--forensics", default=None,
+                        help="validate goldens: on drift, lockstep-bisect "
+                             "the first failing point (reference vs fast) "
+                             "and write forensic artifacts to this "
+                             "directory")
+    parser.add_argument("--cadence", default=None,
+                        help="diverge: checkpoint cadence — 'quantum' "
+                             "(default), 'cycle', or an integer cycle "
+                             "count")
+    parser.add_argument("--refine", type=int, default=8,
+                        help="diverge bisect: cadence shrink factor per "
+                             "refinement round")
+    parser.add_argument("--backend-a", default="reference",
+                        choices=("reference", "fast"),
+                        help="diverge: engine backend for side A")
+    parser.add_argument("--backend-b", default="fast",
+                        choices=("reference", "fast"),
+                        help="diverge: engine backend for side B")
+    parser.add_argument("--seed-b", type=int, default=None,
+                        help="diverge: run seed for side B (default: "
+                             "same as --seed)")
+    parser.add_argument("--scheduler-b", default=None,
+                        help="diverge: scheduler for side B (default: "
+                             "same as --scheduler)")
+    parser.add_argument("--record", default=None,
+                        help="diverge run|bisect: record side A's "
+                             "checkpoint fingerprints to this JSON "
+                             "baseline instead of comparing")
+    parser.add_argument("--baseline", default=None,
+                        help="diverge: compare side A against a recorded "
+                             "baseline instead of a second live run")
+    parser.add_argument("--json-in", default=None,
+                        help="diverge report: forensic report JSON to "
+                             "render")
+    parser.add_argument("--perfetto", default=None,
+                        help="diverge: also export a Chrome trace_event "
+                             "JSON with the divergence marked")
     parser.add_argument("--goldens-path", default=None,
                         help="golden matrix JSON path (validate goldens; "
                              "default tests/goldens/golden_matrix.json)")
@@ -1155,7 +1413,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "SLO attainment report JSON here")
     parser.add_argument("--json-out", default=None,
                         help="serve submit/loadgen: write the full "
-                             "loadgen report JSON here")
+                             "loadgen report JSON here; diverge: write "
+                             "the forensic report JSON here")
     add_log_level_argument(parser)
     return parser
 

@@ -834,6 +834,93 @@ def render_serve_dashboard(obs: dict, title: str = "service") -> str:
     )
 
 
+# ----------------------------------------------------------------------
+# divergence forensics panel (repro.diverge)
+# ----------------------------------------------------------------------
+
+def render_diverge_dashboard(report: Dict) -> str:
+    """A divergence forensic report as a self-contained no-JS page.
+
+    ``report`` is the JSON document built by
+    :func:`repro.diverge.report.build_report`.
+    """
+    body: List[str] = []
+    divergence = report.get("divergence")
+    tiles = [
+        ("side A", report.get("label_a", "a")),
+        ("side B", report.get("label_b", "b")),
+        ("horizon", _fmt(report.get("horizon"))),
+        ("cadence", _fmt(report.get("cadence"))),
+        ("checkpoints", _fmt(report.get("checkpoints"))),
+        ("rounds", _fmt(report.get("rounds"))),
+    ]
+    if divergence is None:
+        tiles.append(("first divergence", "none"))
+        body.append(_tiles(tiles))
+        body.append("<p>No fingerprint mismatch at any checkpoint — "
+                    "both sides agree over the whole horizon.</p>")
+    else:
+        where = str(divergence["cycle"])
+        if not divergence["exact"]:
+            where += f" (window from {divergence['last_match']})"
+        tiles.append(("first divergence", where))
+        tiles.append(("components", ", ".join(divergence["components"])))
+        body.append(_tiles(tiles))
+        fp_a = divergence["fingerprint_a"]
+        fp_b = divergence["fingerprint_b"]
+        body.append("<h2>Component fingerprints</h2>")
+        body.append(_details_table(
+            ["component", "side A", "side B", "match"],
+            [
+                [name, fp_a.get(name, "-"), fp_b.get(name, "-"),
+                 "ok" if fp_a.get(name) == fp_b.get(name) else "DIFF"]
+                for name in sorted(set(fp_a) | set(fp_b))
+            ],
+            summary="Fingerprints at the divergent checkpoint",
+        ))
+        diff = divergence.get("diff") or []
+        body.append("<h2>State diff</h2>")
+        if diff:
+            body.append(_details_table(
+                ["field", "side A", "side B"],
+                [[d["path"], repr(d["a"]), repr(d["b"])] for d in diff],
+                summary=f"{len(diff)} differing field(s)"
+                + (f" (+{divergence['diff_truncated']} truncated)"
+                   if divergence.get("diff_truncated") else ""),
+            ))
+        else:
+            body.append("<p>No field-level diff available (baseline "
+                        "recordings store fingerprints only).</p>")
+        for side, label in (("a", report.get("label_a", "a")),
+                            ("b", report.get("label_b", "b"))):
+            rings = divergence.get(f"rings_{side}") or {}
+            events = rings.get("events") or []
+            decisions = rings.get("decisions") or []
+            body.append(f"<h2>Side {side.upper()} — {escape(str(label))}"
+                        "</h2>")
+            if events:
+                body.append(_details_table(
+                    ["cycle", "kind", "payload", "aux"],
+                    [[e[0], e[1], repr(e[2]), e[3]] for e in events],
+                    summary=f"Last {len(events)} events",
+                ))
+            if decisions:
+                body.append(_details_table(
+                    ["cycle", "ch", "bank", "tid", "row", "queued",
+                     "kind", "row hit", "data end"],
+                    [[d["cycle"], d["ch"], d["bank"], d["tid"], d["row"],
+                      d["queued"], d["kind"],
+                      "yes" if d["row_hit"] else "no", d["data_end"]]
+                     for d in decisions],
+                    summary=f"Last {len(decisions)} scheduler decisions",
+                ))
+    return _page(
+        "repro.diverge — divergence forensics",
+        report.get("summary", ""),
+        "".join(body),
+    )
+
+
 def write_dashboard(html: str, path) -> str:
     """Write a rendered dashboard to ``path`` (UTF-8); returns the path."""
     from pathlib import Path

@@ -46,6 +46,16 @@ class ATLASScheduler(Scheduler):
             return {}
         return {"rank": self._rank.get(thread_id, 0)}
 
+    def state_digest(self) -> dict:
+        digest = super().state_digest()
+        digest.update(
+            attained=list(self._attained),
+            quantum_service=list(self._quantum_service),
+            rank=sorted(self._rank.items()),
+            quanta_completed=self.quanta_completed,
+        )
+        return digest
+
     def on_attach(self) -> None:
         n = self.system.workload.num_threads
         self._attained = [0.0] * n

@@ -134,6 +134,21 @@ class Scheduler:
         """
         return {}
 
+    def state_digest(self) -> dict:
+        """Canonical JSON-able snapshot of the policy's decision state.
+
+        Consumed by the divergence probe (:mod:`repro.diverge`): two
+        runs whose digests agree at a checkpoint hold identical policy
+        state, so any later drift originated elsewhere.  Stateful
+        policies override this — extending ``super()``'s dict — with
+        exactly the fields their ``priority``/``select``/hooks read
+        (ranks, clusters, virtual times, shuffle cursors, policy RNG
+        state).  Stateless policies (FCFS, FR-FCFS) inherit the base
+        digest: the policy identity alone.  Values must round-trip
+        through JSON unchanged (ints, floats, strings, lists).
+        """
+        return {"policy": self.name}
+
     # ------------------------------------------------------------------
     # event hooks
     # ------------------------------------------------------------------

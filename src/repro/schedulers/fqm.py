@@ -63,6 +63,14 @@ class FQMScheduler(Scheduler):
 
     # ------------------------------------------------------------------
 
+    def state_digest(self) -> dict:
+        digest = super().state_digest()
+        digest.update(
+            virtual_time=list(self._virtual_time),
+            active=list(self._active),
+        )
+        return digest
+
     def prof_points(self):
         # virtual-time floor scan over all threads, run per arrival
         return super().prof_points() + [

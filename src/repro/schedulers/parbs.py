@@ -52,6 +52,15 @@ class PARBSScheduler(Scheduler):
             return {}
         return {"rank": self._rank.get(thread_id, 0)}
 
+    def state_digest(self) -> dict:
+        digest = super().state_digest()
+        digest.update(
+            marked_remaining=self._marked_remaining,
+            rank=sorted(self._rank.items()),
+            batches_formed=self.batches_formed,
+        )
+        return digest
+
     # ------------------------------------------------------------------
     # batch formation
     # ------------------------------------------------------------------

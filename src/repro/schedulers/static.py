@@ -40,6 +40,11 @@ class StaticPriorityScheduler(Scheduler):
             tid: len(order) - pos for pos, tid in enumerate(order)
         }
 
+    def state_digest(self) -> dict:
+        digest = super().state_digest()
+        digest.update(order=list(self.order))
+        return digest
+
     def priority(
         self, request: MemoryRequest, row_hit: bool, now: int
     ) -> Tuple:

@@ -59,6 +59,18 @@ class STFMScheduler(Scheduler):
             ("sched.eval[STFM]", "_reevaluate"),
         ]
 
+    def state_digest(self) -> dict:
+        digest = super().state_digest()
+        digest.update(
+            t_shared=list(self._t_shared),
+            t_interference=list(self._t_interference),
+            victim=self._victim,
+            next_eval=self._next_eval,
+            evaluations=self.evaluations,
+            last_unfairness=self.last_unfairness,
+        )
+        return digest
+
     def on_attach(self) -> None:
         n = self.system.workload.num_threads
         self._t_shared = [0] * n

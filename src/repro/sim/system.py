@@ -155,6 +155,10 @@ class System:
         # Profiler.attach, exactly like the invariant oracle; when None
         # (the default everywhere) the run pays two branches total.
         self._prof = None
+        # divergence probe (repro.diverge): bound via StateProbe.attach;
+        # None costs one branch per dispatched event and per grant.
+        self._probe = None
+        self._started = False
         self._sample_period = 0
         self._register_metrics()
         if self.config.prefetch_degree > 0:
@@ -337,6 +341,10 @@ class System:
         access, completion = channel.start_service(request, self.now)
         busy_cycles = access.data_end - self.now
         self.sched_decisions += 1
+        if self._probe is not None:
+            self._probe.on_decision(
+                self.now, channel_id, bank_id, request, queued, access
+            )
         if self._tracer is not None:
             self._tracer.emit(
                 "sched_decision", self.now,
@@ -415,11 +423,18 @@ class System:
     # run
     # ------------------------------------------------------------------
 
-    def run(self, cycles: Optional[int] = None):
-        """Simulate for ``cycles`` (default: config.run_cycles)."""
-        from repro.sim.results import RunResult, ThreadResult
+    def start_run(self) -> None:
+        """Prime the event queue and begin-of-run observers.
 
-        horizon = cycles if cycles is not None else self.config.run_cycles
+        First stage of :meth:`run`.  Callable at most once per system:
+        the initial issue gaps consume RNG draws, so re-priming would
+        change the simulated outcome.  Exposed separately so the
+        divergence tooling (:mod:`repro.diverge`) can advance a run
+        checkpoint-by-checkpoint via :meth:`advance`.
+        """
+        if self._started:
+            raise RuntimeError("System.start_run() called twice")
+        self._started = True
         for tid, thread in enumerate(self.threads):
             self._push(thread.issue_gap(), _EV_ISSUE, tid)
         self._push(self.config.quantum_cycles, _EV_QUANTUM)
@@ -437,18 +452,29 @@ class System:
         if self._prof is not None:
             self._prof.begin_run(self)
 
+    def advance(self, limit: int) -> None:
+        """Dispatch every pending event with ``time <= limit``.
+
+        Middle stage of :meth:`run`; resumable — repeated calls with
+        increasing limits drain the run in windows, and the state after
+        ``advance(a); advance(b)`` is bit-identical to ``advance(b)``
+        (the loop condition is a pure time bound on both backends).
+        """
         if self._wheel is not None:
             from repro.engine.fast import drive
 
-            drive(self, horizon)
+            drive(self, limit)
             # the bench and profiler read the event counter off the
             # system; the wheel's push counter is its equivalent
             self._seq = self._wheel._seq
         else:
             events = self._events
-            while events and events[0][0] <= horizon:
+            probe = self._probe
+            while events and events[0][0] <= limit:
                 time, _seq, kind, payload, aux = heapq.heappop(events)
                 self.now = time
+                if probe is not None:
+                    probe.on_event(time, kind, payload, aux)
                 if kind == _EV_ISSUE:
                     self._issue_miss(payload)
                 elif kind == _EV_BANK_FREE:
@@ -464,6 +490,23 @@ class System:
                         self._issue_miss(payload)
                 elif kind == _EV_SAMPLE:
                     self._take_sample()
+
+    def run(self, cycles: Optional[int] = None):
+        """Simulate for ``cycles`` (default: config.run_cycles)."""
+        horizon = cycles if cycles is not None else self.config.run_cycles
+        self.start_run()
+        self.advance(horizon)
+        return self.finish_run(horizon)
+
+    def finish_run(self, horizon: int):
+        """Finalize threads and assemble the :class:`RunResult`.
+
+        Last stage of :meth:`run`; call exactly once, after the final
+        :meth:`advance` — finalization flushes residual instruction
+        credit into the stats, so it is not idempotent.
+        """
+        from repro.sim.results import RunResult, ThreadResult
+
         self.now = horizon
         if self._prof is not None:
             self._prof.end_run(self, horizon)

@@ -41,17 +41,24 @@ from repro.validate.fingerprint import (
     format_drift_report,
 )
 from repro.validate.goldens import (
+    EXIT_DRIFT,
+    EXIT_MISSING,
     GOLDEN_BACKENDS,
     GOLDEN_CONFIG,
     GOLDEN_PATH,
     GOLDEN_SCHEDULERS,
     GOLDEN_SEEDS,
     check_goldens,
+    classify_drifts,
     compute_golden_matrix,
+    drift_point_rows,
+    drifts_exit_code,
     golden_document,
     golden_key,
     golden_mixes,
+    is_structural,
     load_goldens,
+    parse_golden_key,
     save_goldens,
 )
 from repro.validate.oracle import (
@@ -65,6 +72,8 @@ from repro.validate.oracle import (
 
 __all__ = [
     "Drift",
+    "EXIT_DRIFT",
+    "EXIT_MISSING",
     "FLOAT_DIGITS",
     "GOLDEN_BACKENDS",
     "GOLDEN_CONFIG",
@@ -82,15 +91,20 @@ __all__ = [
     "attach_oracle",
     "check_goldens",
     "checked_run",
+    "classify_drifts",
     "compare_fingerprints",
     "compute_golden_matrix",
     "differential_groups",
+    "drift_point_rows",
+    "drifts_exit_code",
     "fingerprint_run",
     "format_drift_report",
     "golden_document",
     "golden_key",
     "golden_mixes",
+    "is_structural",
     "load_goldens",
+    "parse_golden_key",
     "permute_workload",
     "run_matrix",
     "run_outcome",

@@ -176,3 +176,78 @@ def check_goldens(
     golden = load_goldens(path)
     fresh = compute_golden_matrix(progress=progress, backend=backend)
     return compare_fingerprints(golden, fresh)
+
+
+# ----------------------------------------------------------------------
+# failure triage (exit codes + per-point mismatch table)
+# ----------------------------------------------------------------------
+
+#: ``validate goldens`` exit code: fingerprint *values* differ — a
+#: behavioural regression or a backend-parity violation.
+EXIT_DRIFT = 3
+
+#: ``validate goldens`` exit code: only whole entries or fields are
+#: missing/new — the golden file is out of date (matrix reshaped,
+#: fingerprint format changed), not a behavioural drift.
+EXIT_MISSING = 4
+
+#: Sentinels :mod:`repro.validate.fingerprint` emits for structural
+#: (rather than value) mismatches.
+_STRUCTURAL_MARKERS = frozenset(("<absent>", "<new entry>", "<entry>"))
+
+
+def parse_golden_key(key: str):
+    """Split a (possibly backend-tagged) matrix key back into
+    ``(backend, mix, scheduler, seed)`` strings.
+
+    Keys look like ``mix-50pct-s7/tcm/s11`` or, from a
+    ``backend="both"`` check, ``[fast] mix-50pct-s7/tcm/s11``.
+    """
+    backend = ""
+    if key.startswith("["):
+        backend, _, key = key.partition("] ")
+        backend = backend[1:]
+    parts = key.rsplit("/", 2)
+    if len(parts) != 3:
+        return backend, key, "", ""
+    mix, scheduler, seed = parts
+    return backend, mix, scheduler, seed.lstrip("s")
+
+
+def is_structural(drift: Drift) -> bool:
+    """True when the drift marks an absent/new entry or field rather
+    than a changed fingerprint value."""
+    return (drift.golden in _STRUCTURAL_MARKERS
+            or drift.fresh in _STRUCTURAL_MARKERS)
+
+
+def classify_drifts(drifts: Sequence[Drift]) -> str:
+    """``"drift"`` when any fingerprint *value* changed; ``"missing"``
+    when every mismatch is structural (absent/new entries or fields)."""
+    for drift in drifts:
+        if not is_structural(drift):
+            return "drift"
+    return "missing"
+
+
+def drifts_exit_code(drifts: Sequence[Drift]) -> int:
+    """The distinct exit code for a failing check: 0 when clean,
+    :data:`EXIT_DRIFT` for value drift, :data:`EXIT_MISSING` when only
+    matrix structure changed."""
+    if not drifts:
+        return 0
+    return EXIT_DRIFT if classify_drifts(drifts) == "drift" else EXIT_MISSING
+
+
+def drift_point_rows(drifts: Sequence[Drift]) -> List[List[object]]:
+    """Per-point mismatch rows for the CLI table:
+    ``[backend, mix, scheduler, seed, field, expected, actual]``."""
+    rows: List[List[object]] = []
+    for drift in drifts:
+        backend, mix, scheduler, seed = parse_golden_key(drift.key)
+        rows.append([
+            backend or "-", mix, scheduler, seed or "-",
+            drift.path or "<entry>",
+            repr(drift.golden), repr(drift.fresh),
+        ])
+    return rows

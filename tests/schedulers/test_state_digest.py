@@ -1,0 +1,124 @@
+"""The ``Scheduler.state_digest()`` contract across the registry.
+
+Every registered policy must expose a canonical, JSON-round-trippable
+snapshot of exactly the state its decisions read — this is what the
+divergence probe fingerprints, so a digest that omits decision state
+would let real divergences hide, and one with non-JSON values would
+break fingerprinting outright.
+
+Equality is always asserted on *canonical JSON text*: digests may
+contain tuples (e.g. ``sorted(dict.items())``) that serialise
+identically to the lists a round trip returns.
+"""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import System, make_scheduler
+from repro.config import SimConfig
+from repro.schedulers import SCHEDULERS
+from repro.validate import permute_workload
+from repro.workloads import make_intensity_workload
+
+from tests.conftest import sim_configs
+
+CYCLES = 6_000
+
+#: Policies whose decisions never read per-thread identity; their
+#: digests must be invariant under any thread permutation.
+THREAD_OBLIVIOUS = ("fcfs", "frfcfs")
+
+
+def canonical(digest: dict) -> str:
+    return json.dumps(digest, sort_keys=True)
+
+
+def _run(scheduler_name, workload=None, seed=11, config=None):
+    workload = workload or make_intensity_workload(
+        0.5, num_threads=4, seed=7
+    )
+    config = config or SimConfig(run_cycles=CYCLES)
+    system = System(
+        workload, make_scheduler(scheduler_name), config, seed=seed
+    )
+    system.run(config.run_cycles)
+    return system.scheduler
+
+
+class TestContract:
+    @pytest.mark.parametrize("name", sorted(SCHEDULERS))
+    def test_digest_is_json_round_trippable(self, name):
+        scheduler = _run(name)
+        digest = scheduler.state_digest()
+        assert digest["policy"] == scheduler.name
+        text = canonical(digest)
+        assert canonical(json.loads(text)) == text
+
+    @pytest.mark.parametrize("name", sorted(SCHEDULERS))
+    def test_digest_is_deterministic(self, name):
+        first = _run(name).state_digest()
+        second = _run(name).state_digest()
+        assert canonical(first) == canonical(second)
+
+    @pytest.mark.parametrize("name", sorted(SCHEDULERS))
+    def test_seed_reaches_stateful_digests(self, name):
+        """A different run seed must not crash digesting, and for the
+        policies that track per-thread service it should show up."""
+        digest_a = canonical(_run(name, seed=11).state_digest())
+        digest_b = canonical(_run(name, seed=12).state_digest())
+        if name in ("atlas", "stfm", "fqm", "tcm"):
+            assert digest_a != digest_b, (
+                f"{name} digest blind to a different history"
+            )
+
+
+class TestPermutationInvariance:
+    @pytest.mark.parametrize("name", THREAD_OBLIVIOUS)
+    def test_thread_oblivious_digest_unmoved(self, name):
+        workload = make_intensity_workload(0.5, num_threads=4, seed=7)
+        base = _run(name, workload=workload).state_digest()
+        permuted = _run(
+            name, workload=permute_workload(workload, [3, 2, 1, 0])
+        ).state_digest()
+        assert canonical(base) == canonical(permuted)
+
+
+class TestTcmClusters:
+    def test_different_clusterings_digest_differently(self):
+        # several quanta must complete for clustering to be computed
+        config = SimConfig(run_cycles=CYCLES, quantum_cycles=2_000)
+        light = make_intensity_workload(0.25, num_threads=4, seed=7)
+        heavy = make_intensity_workload(1.0, num_threads=4, seed=7)
+        digest_light = _run("tcm", workload=light,
+                            config=config).state_digest()
+        digest_heavy = _run("tcm", workload=heavy,
+                            config=config).state_digest()
+        assert digest_light["clustering"] is not None
+        assert digest_heavy["clustering"] is not None
+        assert digest_light["clustering"] != digest_heavy["clustering"]
+        assert canonical(digest_light) != canonical(digest_heavy)
+
+    def test_tcm_digest_carries_rng_cursor(self):
+        digest = _run("tcm").state_digest()
+        assert {"state", "inc", "has_uint32", "uinteger"} <= set(
+            digest["rng"]
+        )
+
+
+class TestPropertyRoundTrip:
+    @given(
+        config=sim_configs(max_run_cycles=3_000),
+        name=st.sampled_from(sorted(SCHEDULERS)),
+    )
+    def test_digest_round_trips_on_any_config(self, config, name):
+        workload = make_intensity_workload(
+            0.5, num_threads=config.num_threads, seed=3
+        )
+        scheduler = _run(name, workload=workload, config=config,
+                         seed=config.seed)
+        digest = scheduler.state_digest()
+        text = canonical(digest)
+        assert canonical(json.loads(text)) == text

@@ -94,5 +94,8 @@ class TestGoldenRegression:
             capture_output=True, text=True, cwd=REPO,
             env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
         )
-        assert proc.returncode == 1, proc.stderr
+        # distinct failure codes: 3 = value drift (this case), 4 =
+        # matrix structure changed (see repro.validate.goldens)
+        assert proc.returncode == 3, proc.stderr
         assert "total_requests" in proc.stdout
+        assert "golden mismatches by point" in proc.stdout
