@@ -49,6 +49,7 @@ class TCMScheduler(Scheduler):
     """Thread Cluster Memory scheduler."""
 
     name = "TCM"
+    PRIORITY_COMPONENTS = ("rank", "row_hit", "age")
 
     def __init__(self, params: Optional[TCMParams] = None):
         super().__init__()
@@ -295,6 +296,18 @@ class TCMScheduler(Scheduler):
         else:
             rank = 0
         return (rank, row_hit, -request.arrival)
+
+    def explain_components(
+        self, request: MemoryRequest, row_hit: bool, now: int, key=None
+    ) -> dict:
+        components = super().explain_components(
+            request, row_hit, now, key
+        )
+        if self._clustering is not None:
+            components["cluster"] = self._clustering.contains(
+                request.thread_id
+            )
+        return components
 
     # ------------------------------------------------------------------
     # introspection helpers (used by tests and benches)

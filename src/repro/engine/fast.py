@@ -90,6 +90,7 @@ def bare_eligible(system) -> bool:
         or system._sampler is not None
         or system._prof is not None
         or system._probe is not None
+        or system._explain is not None
         or system.trace_recorder is not None
         or system.prefetchers is not None
         or system.config.model_writes
@@ -144,6 +145,7 @@ def _drive_observed(system, horizon: int) -> None:
     threads = system.threads
     scheduler = system.scheduler
     probe = system._probe
+    explain = system._explain
 
     def handler(time, kind, payload, aux):
         system.now = time
@@ -158,7 +160,11 @@ def _drive_observed(system, horizon: int) -> None:
         elif kind == _EV_QUANTUM:
             system._quantum_boundary()
         elif kind == _EV_TIMER:
-            scheduler.on_timer(time, payload)
+            # tuple payloads are shadow timers (repro.explain)
+            if explain is not None and type(payload) is tuple:
+                explain.on_shadow_timer(time, payload)
+            else:
+                scheduler.on_timer(time, payload)
         elif kind == _EV_PHIT:
             if threads[payload].on_request_completed(aux):
                 system._issue_miss(payload)

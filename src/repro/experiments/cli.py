@@ -460,11 +460,115 @@ def _cmd_telemetry(args, config):
 
     telemetry = Telemetry.in_memory(epoch_cycles=args.epoch_cycles,
                                     validate=False)
+    if args.explain:
+        # explain-augmented report: same run, with shadow-policy
+        # counterfactuals attached; the disagreement and margin tables
+        # append to the ordinary telemetry report
+        from repro.explain import explain_run, render_explain_report
+
+        _, collector = explain_run(
+            workload, scheduler, config=config, seed=args.seed,
+            shadows=_explain_shadow_specs(args, scheduler),
+            telemetry=telemetry,
+        )
+        print(f"workload {workload.name} under {scheduler}")
+        print(render_report(telemetry.samples,
+                            benchmarks=workload.benchmark_names))
+        print()
+        print(render_explain_report(collector.snapshot()))
+        return
     run_shared(workload, scheduler, config, seed=args.seed,
                telemetry=telemetry)
     print(f"workload {workload.name} under {scheduler}")
     print(render_report(telemetry.samples,
                         benchmarks=workload.benchmark_names))
+
+
+# ----------------------------------------------------------------------
+# explain subcommands
+# ----------------------------------------------------------------------
+
+
+def _explain_shadow_specs(args, primary: str):
+    """``--shadows`` list, or every evaluated policy except the primary."""
+    from repro.explain import canonical_policy_key
+    from repro.schedulers.registry import EVALUATED
+
+    if args.shadows:
+        return tuple(s for s in args.shadows.split(",") if s)
+    primary_key = canonical_policy_key(primary)
+    return tuple(
+        name for name in EVALUATED
+        if canonical_policy_key(name) != primary_key
+    )
+
+
+def _cmd_explain(args, config):
+    import json as json_mod
+    from pathlib import Path
+
+    from repro.explain import explain_run, render_explain_report
+    from repro.obs.dashboard import (
+        render_explain_dashboard,
+        write_dashboard,
+    )
+
+    action = args.action or "run"
+    if action not in ("run", "report", "dashboard"):
+        raise SystemExit(
+            f"explain: unknown action {action!r} (run|report|dashboard)"
+        )
+
+    if action in ("report", "dashboard") and args.json_in:
+        # render a saved snapshot: no simulation
+        snapshot = json_mod.loads(Path(args.json_in).read_text())
+        if action == "dashboard":
+            html = render_explain_dashboard(snapshot)
+            out = args.out or "explain.html"
+            print(f"wrote {write_dashboard(html, out)}")
+        else:
+            print(render_explain_report(snapshot))
+        return
+
+    workload = _telemetry_workload(args, config)
+    scheduler = args.scheduler or "tcm"
+    shadows = _explain_shadow_specs(args, scheduler)
+    telemetry = None
+    if args.trace_out:
+        from repro.telemetry import Telemetry
+
+        base = args.trace_out.rsplit(".", 1)[0]
+        telemetry = Telemetry.tracing(
+            jsonl_path=base + ".jsonl", perfetto_path=base + ".json",
+            epoch_cycles=args.epoch_cycles,
+        )
+    result, collector = explain_run(
+        workload, scheduler, config=config, seed=args.seed,
+        shadows=shadows, telemetry=telemetry,
+    )
+    if telemetry is not None:
+        telemetry.close()
+        base = args.trace_out.rsplit(".", 1)[0]
+        print(f"wrote {base}.jsonl and {base}.json "
+              f"({telemetry.tracer.events_emitted} events)")
+    snapshot = collector.snapshot()
+    if args.json_out:
+        out = Path(args.json_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json_mod.dumps(snapshot, indent=1))
+        print(f"wrote {out}")
+    if action == "dashboard":
+        html = render_explain_dashboard(
+            snapshot, title=f"{workload.name} under {scheduler}"
+        )
+        out = args.out or "explain.html"
+        print(f"wrote {write_dashboard(html, out)}")
+        return
+    print(f"workload {workload.name} under {scheduler} "
+          f"(seed {args.seed}, {result.cycles} cycles, "
+          f"{result.total_requests} requests)")
+    print()
+    print(render_explain_report(snapshot))
 
 
 # ----------------------------------------------------------------------
@@ -1195,6 +1299,7 @@ def _cmd_serve(args, config):
 _COMMANDS = {
     "campaign": _cmd_campaign,
     "diverge": _cmd_diverge,
+    "explain": _cmd_explain,
     "serve": _cmd_serve,
     "obs": _cmd_obs,
     "prof": _cmd_prof,
@@ -1233,6 +1338,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "telemetry action: report | trace; "
                              "validate action: run | goldens; "
                              "diverge action: run | bisect | report; "
+                             "explain action: run | report | dashboard; "
                              "obs action: report | attribution | dashboard; "
                              "prof action: run | flame | history | "
                              "compare | dashboard")
@@ -1344,7 +1450,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "baseline instead of a second live run")
     parser.add_argument("--json-in", default=None,
                         help="diverge report: forensic report JSON to "
-                             "render")
+                             "render; explain report|dashboard: saved "
+                             "snapshot JSON to render")
     parser.add_argument("--perfetto", default=None,
                         help="diverge: also export a Chrome trace_event "
                              "JSON with the divergence marked")
@@ -1408,13 +1515,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--serve", action="store_true",
                         help="telemetry report: pull /v1/metrics from a "
                              "running service instead of simulating")
+    parser.add_argument("--shadows", default=None,
+                        help="explain: comma-separated shadow policies "
+                             "(default: every evaluated policy except "
+                             "the primary)")
+    parser.add_argument("--explain", action="store_true",
+                        help="telemetry report: attach shadow-policy "
+                             "counterfactuals and append disagreement / "
+                             "margin tables")
     parser.add_argument("--slo-out", default=None,
                         help="serve submit/loadgen: write the service "
                              "SLO attainment report JSON here")
     parser.add_argument("--json-out", default=None,
                         help="serve submit/loadgen: write the full "
                              "loadgen report JSON here; diverge: write "
-                             "the forensic report JSON here")
+                             "the forensic report JSON here; explain: "
+                             "write the collector snapshot JSON here")
     add_log_level_argument(parser)
     return parser
 

@@ -1,0 +1,93 @@
+"""repro.explain — per-grant decision forensics and shadow-policy
+counterfactuals.
+
+The existing observability stack can say *what* a run did; this layer
+says *why each grant won* and *what a different policy would have done*:
+
+* **Decision records** (:mod:`repro.explain.records`): for every grant,
+  the candidate set with each candidate's full priority key decomposed
+  into named per-policy components, the winner's margin over the
+  runner-up, and tie-break provenance — feasible because ``priority``
+  is a pure decision function by policy contract.
+* **Shadow policies** (:mod:`repro.explain.shadow`): full instances of
+  other registry schedulers fed the same arrivals / grants /
+  completions, recording which request each would have granted, with
+  policy×policy disagreement matrices and per-thread
+  would-have-been-granted deltas.
+* **Collector** (:mod:`repro.explain.collector`): the ``system._explain``
+  observer seam — one ``is None`` branch per hook when detached,
+  bit-identical results either way — plus a starvation watch and the
+  TCM cluster-flip timeline.
+* **Surfaces**: ``explain`` / ``starvation`` telemetry events, Perfetto
+  counters and markers (:mod:`repro.telemetry.sinks`), text tables
+  (:mod:`repro.explain.report`), the no-JS HTML dashboard
+  (:func:`repro.obs.dashboard.render_explain_dashboard`) and the CLI
+  ``explain run|report|dashboard``.
+
+See docs/EXPLAIN.md for the record schema and the shadow fidelity
+contract (a self-shadow agrees with 100% of grants).
+"""
+
+from repro.explain.collector import (
+    KEEP_RECORDS,
+    STARVATION_THRESHOLD,
+    ExplainCollector,
+    attach_explain,
+    explain_run,
+)
+from repro.explain.records import (
+    CLASS_BIT,
+    TIE_ONLY,
+    TIE_PRIORITY,
+    TIE_QUEUE_ORDER,
+    CandidateRecord,
+    DecisionRecord,
+    Margin,
+    margin_of,
+    record_structure,
+)
+from repro.explain.report import (
+    cluster_flip_summary,
+    disagreement_table,
+    grant_delta_table,
+    margin_table,
+    render_explain_report,
+    shadow_table,
+    starvation_table,
+)
+from repro.explain.shadow import (
+    ShadowPARBS,
+    ShadowPolicy,
+    ShadowSystemView,
+    canonical_policy_key,
+    make_shadow,
+)
+
+__all__ = [
+    "CLASS_BIT",
+    "CandidateRecord",
+    "DecisionRecord",
+    "ExplainCollector",
+    "KEEP_RECORDS",
+    "Margin",
+    "STARVATION_THRESHOLD",
+    "ShadowPARBS",
+    "ShadowPolicy",
+    "ShadowSystemView",
+    "TIE_ONLY",
+    "TIE_PRIORITY",
+    "TIE_QUEUE_ORDER",
+    "attach_explain",
+    "canonical_policy_key",
+    "cluster_flip_summary",
+    "disagreement_table",
+    "explain_run",
+    "grant_delta_table",
+    "make_shadow",
+    "margin_of",
+    "margin_table",
+    "record_structure",
+    "render_explain_report",
+    "shadow_table",
+    "starvation_table",
+]

@@ -1,0 +1,140 @@
+"""Text reports over an explain snapshot.
+
+Table rendering rides the same aligned-table helper the telemetry
+reports use, so ``telemetry report --explain`` and ``explain run``
+print in the house style.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.telemetry.report import _table
+
+
+def disagreement_table(snapshot: dict) -> str:
+    """Policy×policy disagreement matrix (counts and rates)."""
+    dis = snapshot["disagreement"]
+    labels, matrix = dis["labels"], dis["matrix"]
+    decisions = snapshot["decisions"] or 1
+    if len(labels) < 2:
+        return "(no shadows attached — no disagreement matrix)"
+    headers = ["policy"] + list(labels)
+    rows = []
+    for i, label in enumerate(labels):
+        row: List[object] = [label]
+        for j in range(len(labels)):
+            if i == j:
+                row.append("-")
+            else:
+                row.append(
+                    f"{matrix[i][j]} ({matrix[i][j] / decisions:.1%})"
+                )
+        rows.append(row)
+    return ("disagreement matrix (pairwise disagreeing grants):\n"
+            + _table(headers, rows))
+
+
+def shadow_table(snapshot: dict) -> str:
+    """Per-shadow agreement summary."""
+    shadows = snapshot["shadows"]
+    if not shadows:
+        return "(no shadows attached)"
+    decisions = snapshot["decisions"] or 1
+    headers = ["shadow", "agreed", "disagreed", "agreement"]
+    rows = [
+        [s["label"], s["agreed"], s["disagreed"],
+         f"{s['agreed'] / decisions:.1%}"]
+        for s in shadows
+    ]
+    return _table(headers, rows)
+
+
+def grant_delta_table(snapshot: dict) -> str:
+    """Per-thread actual grants vs each shadow's counterfactual."""
+    actual = snapshot["actual_granted"]
+    shadows = snapshot["shadows"]
+    headers = ["tid", "granted"]
+    for s in shadows:
+        headers.extend([f"{s['policy']} would", f"{s['policy']} Δ"])
+    rows = []
+    for tid, count in enumerate(actual):
+        row: List[object] = [tid, count]
+        for s in shadows:
+            would = s["granted"][tid]
+            row.extend([would, would - count])
+        rows.append(row)
+    return _table(headers, rows)
+
+
+def margin_table(snapshot: dict) -> str:
+    """Which priority component decided grants, and by how much."""
+    margins = snapshot["margins"]
+    decided = margins["decided_by"]
+    decisions = snapshot["decisions"] or 1
+    rows = [
+        [component, count, f"{count / decisions:.1%}"]
+        for component, count in sorted(
+            decided.items(), key=lambda kv: -kv[1]
+        )
+    ]
+    rows.append(["(queue-order tie)", margins["ties"],
+                 f"{margins['ties'] / decisions:.1%}"])
+    rows.append(["(only candidate)", margins["only_candidate"],
+                 f"{margins['only_candidate'] / decisions:.1%}"])
+    return _table(["decided by", "grants", "share"], rows)
+
+
+def starvation_table(snapshot: dict) -> str:
+    """Oldest-pending-age watch: per-thread maxima plus events."""
+    starvation = snapshot["starvation"]
+    headers = ["tid", "max pending age"]
+    rows = [[tid, age] for tid, age in enumerate(starvation["max_age"])]
+    table = _table(headers, rows)
+    events = starvation["events"]
+    lines = [table, "",
+             f"threshold {starvation['threshold']} cycles: "
+             f"{len(events)} starvation event(s)"]
+    for event in events[:10]:
+        lines.append(
+            f"  cycle {event['now']}: thread {event['tid']} oldest "
+            f"pending {event['age']} cycles ({event['pending']} queued)"
+        )
+    if len(events) > 10:
+        lines.append(f"  ... {len(events) - 10} more")
+    return "\n".join(lines)
+
+
+def cluster_flip_summary(snapshot: dict) -> str:
+    """Cluster-flip timeline summary (when a clustering policy ran)."""
+    clusters = snapshot["clusters"]
+    if not clusters["timeline"]:
+        return "(no clustering policy in primary or shadows)"
+    timeline = clusters["timeline"]
+    return (
+        f"cluster timeline from {clusters['source']}: "
+        f"{len(timeline)} quanta, {clusters['flips_total']} cluster "
+        f"flip(s); latest latency cluster: {timeline[-1]['latency']}"
+    )
+
+
+def render_explain_report(snapshot: dict) -> str:
+    """The full ``explain run`` text output."""
+    parts = [
+        f"explain: {snapshot['primary']} primary, "
+        f"{len(snapshot['shadows'])} shadow(s), "
+        f"{snapshot['decisions']} decisions",
+        "",
+        shadow_table(snapshot),
+        "",
+        disagreement_table(snapshot),
+        "",
+        margin_table(snapshot),
+        "",
+        grant_delta_table(snapshot),
+        "",
+        starvation_table(snapshot),
+        "",
+        cluster_flip_summary(snapshot),
+    ]
+    return "\n".join(parts)

@@ -921,6 +921,267 @@ def render_diverge_dashboard(report: Dict) -> str:
     )
 
 
+# ----------------------------------------------------------------------
+# explain panel (repro.explain)
+# ----------------------------------------------------------------------
+
+def _disagree_heatmap(matrix: List[List[int]], labels: List[str],
+                      decisions: int) -> str:
+    """Policy×policy disagreement counts on the sequential blue ramp."""
+    n = len(matrix)
+    peak = max((matrix[a][b] for a in range(n) for b in range(n)
+                if a != b), default=0)
+    cell, gap, left, top = 76, 2, 130, 26
+    width = left + n * cell + 8
+    height = top + n * cell + 8
+    parts = [f'<svg width="{width}" height="{height}" role="img" '
+             f'aria-label="policy disagreement heatmap">']
+    for c in range(n):
+        x = left + c * cell + cell // 2
+        parts.append(f'<text x="{x}" y="{top - 8}" text-anchor="middle" '
+                     f'fill="var(--muted)">{escape(labels[c])}</text>')
+    for a in range(n):
+        y = top + a * cell
+        parts.append(f'<text x="{left - 8}" y="{y + cell // 2 + 4}" '
+                     f'text-anchor="end" fill="var(--muted)">'
+                     f"{escape(labels[a])}</text>")
+        for b in range(n):
+            x = left + b * cell
+            value = matrix[a][b]
+            if a == b or peak == 0 or value == 0:
+                fill = "var(--surface-1)"
+                ink = "var(--muted)"
+            else:
+                step = min(len(_RAMP) - 1,
+                           int((value / peak) * (len(_RAMP) - 1) + 0.5))
+                fill = _RAMP[step]
+                ink = "#ffffff" if step >= 6 else "#0b0b0b"
+            share = f" ({value / decisions:.1%})" if decisions else ""
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{cell - gap}" '
+                f'height="{cell - gap}" rx="3" fill="{fill}" '
+                f'stroke="var(--grid)" stroke-width="1">'
+                f"<title>{escape(labels[a])} vs {escape(labels[b])}: "
+                f"{value} grants chosen differently{share}</title></rect>"
+            )
+            parts.append(
+                f'<text x="{x + (cell - gap) // 2}" '
+                f'y="{y + cell // 2 + 3}" text-anchor="middle" '
+                f'fill="{ink}">{_fmt(value)}</text>'
+            )
+    parts.append("</svg>")
+    table = _details_table(
+        ["policy \\ policy"] + labels,
+        [[labels[a]] + [matrix[a][b] for b in range(n)]
+         for a in range(n)],
+    )
+    return ("<h2>Policy disagreement — grants chosen differently "
+            f"(of {decisions} decisions)</h2>" + "".join(parts) + table)
+
+
+def _margin_histograms(margins: Dict) -> str:
+    """Per-component winner-margin histograms as small multiples.
+
+    Buckets are power-of-two: bucket ``k`` covers deltas in
+    ``[2^(k-1), 2^k)`` (bucket 0 is ``(0, 1)``).
+    """
+    hist = margins.get("hist") or {}
+    decided = margins.get("decided_by") or {}
+    if not hist:
+        return ("<h2>Winner margin by deciding component</h2>"
+                '<p class="sub">(every decision was a tie or a '
+                "single-candidate queue)</p>")
+    facets, rows = [], []
+    h = 90
+    for slot, component in enumerate(
+            sorted(hist, key=lambda c: -decided.get(c, 0))):
+        buckets = {int(k): v for k, v in hist[component].items()}
+        lo, hi = min(buckets), max(buckets)
+        span = list(range(lo, hi + 1))
+        bar = max(10, min(34, 260 // len(span)))
+        peak = max(buckets.values()) or 1
+        bars = []
+        for i, b in enumerate(span):
+            count = buckets.get(b, 0)
+            label = "(0,1)" if b == 0 else f"[2^{b - 1},2^{b})"
+            rows.append([component, label, count])
+            if not count:
+                continue
+            bh = int((count / peak) * (h - 4))
+            bars.append(
+                f'<rect x="{i * bar}" y="{h - bh}" width="{bar - 2}" '
+                f'height="{max(2, bh)}" rx="2" '
+                f'fill="{_series_color(slot)}">'
+                f"<title>{escape(component)} margin {label}: {count} "
+                f"decisions</title></rect>"
+            )
+        w = len(span) * bar
+        facets.append(
+            f'<div class="facet"><div class="fl">{escape(component)} '
+            f"· decided {_fmt(decided.get(component, 0))}</div>"
+            f'<svg width="{max(w, 60)}" height="{h + 16}">'
+            f'{"".join(bars)}'
+            f'<line x1="0" y1="{h}" x2="{max(w, 60)}" y2="{h}" '
+            f'stroke="var(--baseline)"/>'
+            f'<text x="0" y="{h + 13}" fill="var(--muted)">'
+            f"2^{lo - 1}</text>"
+            f'<text x="{max(w, 60)}" y="{h + 13}" text-anchor="end" '
+            f'fill="var(--muted)">2^{hi}</text>'
+            f"</svg></div>"
+        )
+    table = _details_table(["component", "margin bucket", "decisions"],
+                           rows, left_cols=2)
+    extra = (f" · queue-order ties {_fmt(margins.get('ties', 0))}"
+             f" · single-candidate "
+             f"{_fmt(margins.get('only_candidate', 0))}")
+    return ("<h2>Winner margin by deciding component</h2>"
+            f'<div class="facets">{"".join(facets)}</div>'
+            f'<p class="sub">power-of-two margin buckets{extra}</p>'
+            + table)
+
+
+def _grant_share_bars(snapshot: Dict) -> str:
+    """Per-thread actual grants vs each shadow's counterfactual grants."""
+    actual = snapshot.get("actual_granted") or []
+    shadows = snapshot.get("shadows") or []
+    n = len(actual)
+    series = [(str(snapshot.get("primary", "actual")), actual)]
+    series += [(s["label"], s["granted"]) for s in shadows]
+    peak = max((v for _, g in series for v in g), default=0) or 1
+    w, bh, gap, left = 440, 12, 14, 120
+    per = bh * len(series) + 2 * (len(series) - 1)
+    height = n * (per + gap) + 4
+    parts = [f'<svg width="{w + left + 60}" height="{height}" role="img" '
+             f'aria-label="actual versus counterfactual grants">']
+    rows = []
+    for tid in range(n):
+        y0 = tid * (per + gap)
+        parts.append(f'<text x="{left - 8}" y="{y0 + per // 2 + 4}" '
+                     f'text-anchor="end" fill="var(--muted)">'
+                     f"t{tid}</text>")
+        for slot, (label, grants) in enumerate(series):
+            y = y0 + slot * (bh + 2)
+            bw = int((grants[tid] / peak) * w)
+            parts.append(
+                f'<rect x="{left}" y="{y}" width="{max(2, bw)}" '
+                f'height="{bh}" rx="3" fill="{_series_color(slot)}">'
+                f"<title>t{tid} under {escape(label)}: "
+                f"{grants[tid]} grants</title></rect>"
+            )
+        rows.append([f"t{tid}"] + [grants[tid] for _, grants in series])
+    parts.append("</svg>")
+    legend = _legend([(label, _series_color(slot))
+                      for slot, (label, _) in enumerate(series)])
+    table = _details_table(["thread"] + [label for label, _ in series],
+                           rows)
+    return ("<h2>Grants per thread — actual vs counterfactual</h2>"
+            + "".join(parts) + legend + table)
+
+
+def _flip_timeline(clusters: Dict, num_threads: int) -> str:
+    """Quantum-by-quantum cluster membership with flip highlights."""
+    timeline = clusters.get("timeline") or []
+    if not timeline or not num_threads:
+        return ""
+    stride = max(1, len(timeline) // 160)
+    picked = timeline[::stride]
+    cw = max(4, 680 // max(1, len(picked)))
+    ch, gap, left = 14, 3, 60
+    width = left + len(picked) * cw + 10
+    height = num_threads * (ch + gap) + 22
+    parts = [f'<svg width="{width}" height="{height}" role="img" '
+             f'aria-label="cluster flip timeline">']
+    for tid in range(num_threads):
+        y = tid * (ch + gap)
+        parts.append(f'<text x="{left - 8}" y="{y + ch - 2}" '
+                     f'text-anchor="end" fill="var(--muted)">'
+                     f"t{tid}</text>")
+        for i, entry in enumerate(picked):
+            latency = tid in entry["latency"]
+            flipped = tid in entry["flips"]
+            fill = "var(--s1)" if latency else "var(--s2)"
+            cluster = "latency" if latency else "bandwidth"
+            stroke = (' stroke="var(--critical)" stroke-width="2"'
+                      if flipped else "")
+            parts.append(
+                f'<rect x="{left + i * cw}" y="{y}" width="{cw - 1}" '
+                f'height="{ch}" fill="{fill}"{stroke}>'
+                f"<title>t{tid} @ quantum {entry['quantum']} "
+                f"(cycle {entry['now']}): {cluster}"
+                f"{' — flipped' if flipped else ''}</title></rect>"
+            )
+    first, last = picked[0], picked[-1]
+    parts.append(f'<text x="{left}" y="{height - 6}" '
+                 f'fill="var(--muted)">quantum {first["quantum"]}</text>')
+    parts.append(f'<text x="{width - 10}" y="{height - 6}" '
+                 f'text-anchor="end" fill="var(--muted)">'
+                 f'quantum {last["quantum"]}</text>')
+    parts.append("</svg>")
+    legend = _legend([("latency cluster", "var(--s1)"),
+                      ("bandwidth cluster", "var(--s2)"),
+                      ("flip", "var(--critical)")])
+    return (f"<h2>Cluster flips per quantum "
+            f"(source: {escape(str(clusters.get('source')))}, "
+            f"{clusters.get('flips_total', 0)} flips)</h2>"
+            + "".join(parts) + legend)
+
+
+def render_explain_dashboard(snapshot: Dict,
+                             title: str = "decision forensics") -> str:
+    """An explain-collector snapshot as a self-contained no-JS page.
+
+    ``snapshot`` is the dict built by
+    :meth:`repro.explain.ExplainCollector.snapshot`.
+    """
+    decisions = snapshot.get("decisions", 0)
+    shadows = snapshot.get("shadows") or []
+    margins = snapshot.get("margins") or {}
+    starvation = snapshot.get("starvation") or {}
+    disagreement = snapshot.get("disagreement") or {}
+    disagreed_any = sum(s["disagreed"] for s in shadows)
+    tiles = [
+        ("primary", str(snapshot.get("primary", "-"))),
+        ("decisions", _fmt(decisions)),
+        ("shadows", _fmt(len(shadows))),
+        ("shadow disagreements", _fmt(disagreed_any)),
+        ("queue-order ties", _fmt(margins.get("ties", 0))),
+        ("starvation events",
+         _fmt(len(starvation.get("events") or []))),
+    ]
+    body = [_tiles(tiles)]
+    matrix = disagreement.get("matrix") or []
+    labels = disagreement.get("labels") or []
+    if len(matrix) > 1:
+        body.append('<div class="card">'
+                    + _disagree_heatmap(matrix, labels, decisions)
+                    + "</div>")
+    body.append(f'<div class="card">{_margin_histograms(margins)}</div>')
+    if snapshot.get("actual_granted"):
+        body.append(f'<div class="card">{_grant_share_bars(snapshot)}'
+                    "</div>")
+    strip = _flip_timeline(snapshot.get("clusters") or {},
+                           len(snapshot.get("actual_granted") or []))
+    if strip:
+        body.append(f'<div class="card">{strip}</div>')
+    events = starvation.get("events") or []
+    if events:
+        rows = [[f"t{e['tid']}", e["now"], e["age"], e["pending"]]
+                for e in events[:50]]
+        body.append(
+            '<div class="card"><h2>Starvation watch — threshold '
+            f'crossings (age &gt; {_fmt(starvation.get("threshold"))} '
+            "cycles)</h2>"
+            + _details_table(["thread", "cycle", "age", "pending"], rows,
+                             summary=f"{len(events)} event(s)")
+            + "</div>")
+    return _page(
+        f"repro.explain — {title}",
+        f"{decisions} decisions · {len(shadows)} shadow policies · "
+        f"records kept {snapshot.get('records_kept', 0)}",
+        "".join(body),
+    )
+
+
 def write_dashboard(html: str, path) -> str:
     """Write a rendered dashboard to ``path`` (UTF-8); returns the path."""
     from pathlib import Path

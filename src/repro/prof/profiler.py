@@ -23,8 +23,10 @@ is exactly the shape a collapsed-stack flame graph wants
   re-evaluation, FQM's virtual-time scan);
 * ``dram.*`` — bank/channel service timing;
 * ``cpu.*`` — thread issue/retire and end-of-run finalize;
-* ``telemetry.*`` / ``obs.*`` — tracer emit, epoch sampling and span
-  collection overhead when those layers are attached.  (An invariant
+* ``telemetry.*`` / ``obs.*`` — tracer emit, epoch sampling, span
+  collection and explain forensics overhead (``obs.explain.*``, via
+  :meth:`repro.explain.ExplainCollector.prof_points`) when those
+  layers are attached.  (An invariant
   oracle attached *before* the profiler is folded into the component
   that invokes its checks; attach the profiler first to see oracle
   cost separated under the wrapped component's frame.)
@@ -303,6 +305,10 @@ class Profiler:
             ):
                 if hasattr(system._spans, method):
                     self._wrap(system._spans, method, label)
+        if system._explain is not None:
+            for label, method in system._explain.prof_points():
+                if hasattr(system._explain, method):
+                    self._wrap(system._explain, method, label)
         system._prof = self
         return self
 

@@ -27,6 +27,7 @@ class ATLASScheduler(Scheduler):
     """Least-attained-service scheduler with its own quantum length."""
 
     name = "ATLAS"
+    PRIORITY_COMPONENTS = ("starving", "rank", "row_hit", "age")
 
     def __init__(self, params: Optional[ATLASParams] = None):
         super().__init__()
@@ -110,6 +111,17 @@ class ATLASScheduler(Scheduler):
         self.system.schedule_timer(now + self.params.quantum_cycles, "atlas-quantum")
 
     # ------------------------------------------------------------------
+
+    def explain_components(
+        self, request: MemoryRequest, row_hit: bool, now: int, key=None
+    ) -> dict:
+        components = super().explain_components(
+            request, row_hit, now, key
+        )
+        tid = request.thread_id
+        if tid < len(self._attained):
+            components["attained"] = self._attained[tid]
+        return components
 
     def priority(
         self, request: MemoryRequest, row_hit: bool, now: int

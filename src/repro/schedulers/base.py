@@ -42,6 +42,12 @@ class Scheduler:
     #: expressed as a priority maximum sets it to False to opt out.
     SELECT_IS_PRIORITY_MAXIMAL = True
 
+    #: Names for the slots of the ``priority`` tuple, in order — the
+    #: vocabulary :mod:`repro.explain` uses to decompose a decision
+    #: into per-policy components ("rank", "row_hit", "age", ...).
+    #: Must have exactly one name per tuple slot.
+    PRIORITY_COMPONENTS: Tuple[str, ...] = ()
+
     def __init__(self):
         self.system: Optional["System"] = None
         #: False once the bound system is known to inject no prefetch
@@ -125,6 +131,32 @@ class Scheduler:
             (f"sched.quantum[{tag}]", "on_quantum"),
             (f"sched.timer[{tag}]", "on_timer"),
         ]
+
+    def explain_components(
+        self, request: MemoryRequest, row_hit: bool, now: int, key=None
+    ) -> dict:
+        """Named decomposition of ``priority(request, row_hit, now)``.
+
+        Consumed by :mod:`repro.explain` to label each candidate's
+        priority tuple in decision records.  The base implementation
+        zips :data:`PRIORITY_COMPONENTS` against the tuple; policies
+        with richer internal state (TCM cluster membership, ATLAS
+        attained service, STFM slowdown estimates) override this —
+        extending ``super()``'s dict — with the quantities behind the
+        slots.  ``key`` lets a caller that already evaluated the
+        priority tuple skip re-evaluating it (``priority`` is pure, so
+        the result is the same either way).  Must be side-effect-free
+        and JSON-able; nothing here runs unless explain is attached.
+        """
+        if key is None:
+            key = self.priority(request, row_hit, now)
+        names = self.PRIORITY_COMPONENTS
+        if len(names) != len(key):
+            names = tuple(f"slot{i}" for i in range(len(key)))
+        return {
+            name: (int(value) if isinstance(value, bool) else value)
+            for name, value in zip(names, key)
+        }
 
     def epoch_annotations(self, thread_id: int) -> dict:
         """Policy state the epoch sampler attaches to a thread's row.

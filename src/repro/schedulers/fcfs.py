@@ -18,6 +18,7 @@ class FCFSScheduler(Scheduler):
     """Oldest-first, oblivious to row-buffer state and threads."""
 
     name = "FCFS"
+    PRIORITY_COMPONENTS = ("age",)
 
     def priority(
         self, request: MemoryRequest, row_hit: bool, now: int

@@ -41,6 +41,7 @@ class FQMScheduler(Scheduler):
     """Fair queueing: earliest virtual time first."""
 
     name = "FQM"
+    PRIORITY_COMPONENTS = ("neg_virtual_time", "row_hit", "age")
 
     def __init__(self, params: Optional[FQMParams] = None):
         super().__init__()
@@ -111,6 +112,15 @@ class FQMScheduler(Scheduler):
         self._active[request.thread_id] -= 1
 
     # ------------------------------------------------------------------
+
+    def explain_components(
+        self, request: MemoryRequest, row_hit: bool, now: int, key=None
+    ) -> dict:
+        components = super().explain_components(
+            request, row_hit, now, key
+        )
+        components["virtual_time"] = self._virtual_time[request.thread_id]
+        return components
 
     def priority(
         self, request: MemoryRequest, row_hit: bool, now: int

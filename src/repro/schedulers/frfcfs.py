@@ -18,6 +18,7 @@ class FRFCFSScheduler(Scheduler):
     """Row-hit-first, then oldest-first. No parameters."""
 
     name = "FR-FCFS"
+    PRIORITY_COMPONENTS = ("row_hit", "age")
 
     def priority(
         self, request: MemoryRequest, row_hit: bool, now: int

@@ -27,6 +27,7 @@ class PARBSScheduler(Scheduler):
     """Batch scheduler: marked-first, row-hit, rank, oldest."""
 
     name = "PAR-BS"
+    PRIORITY_COMPONENTS = ("marked", "row_hit", "rank", "age")
 
     def __init__(self, params: Optional[PARBSParams] = None):
         super().__init__()

@@ -25,6 +25,7 @@ class StaticPriorityScheduler(Scheduler):
     """
 
     name = "static"
+    PRIORITY_COMPONENTS = ("rank", "row_hit", "age")
 
     def __init__(
         self, order: Optional[Sequence[int]] = None

@@ -37,6 +37,7 @@ class STFMScheduler(Scheduler):
     """Stall-time fair scheduler with heuristic slowdown estimation."""
 
     name = "STFM"
+    PRIORITY_COMPONENTS = ("is_victim", "row_hit", "age")
 
     def __init__(self, params: Optional[STFMParams] = None):
         super().__init__()
@@ -140,6 +141,16 @@ class STFMScheduler(Scheduler):
         self.trace("stfm_eval", now, unfairness=self.last_unfairness)
 
     # ------------------------------------------------------------------
+
+    def explain_components(
+        self, request: MemoryRequest, row_hit: bool, now: int, key=None
+    ) -> dict:
+        components = super().explain_components(
+            request, row_hit, now, key
+        )
+        components["slowdown"] = self.slowdown_estimate(request.thread_id)
+        components["unfairness"] = self.last_unfairness
+        return components
 
     def priority(
         self, request: MemoryRequest, row_hit: bool, now: int

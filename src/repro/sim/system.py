@@ -158,6 +158,9 @@ class System:
         # divergence probe (repro.diverge): bound via StateProbe.attach;
         # None costs one branch per dispatched event and per grant.
         self._probe = None
+        # explain collector (repro.explain): bound via attach_explain;
+        # None costs one branch per lifecycle hook and per grant.
+        self._explain = None
         self._started = False
         self._sample_period = 0
         self._register_metrics()
@@ -276,6 +279,8 @@ class System:
             self._spans.on_arrival(request, self.now)
         self.monitor.on_request_arrival(request, self.now)
         self.scheduler.on_request_arrival(request, self.now)
+        if self._explain is not None:
+            self._explain.on_arrival(request, self.now)
         if (
             self.config.model_writes
             and self._wb_rng.random() < self.config.writeback_ratio
@@ -309,6 +314,8 @@ class System:
             if self._spans is not None:
                 self._spans.on_arrival(prefetch, self.now)
             self.scheduler.on_request_arrival(prefetch, self.now)
+            if self._explain is not None:
+                self._explain.on_arrival(prefetch, self.now)
             self._try_schedule(p_channel, p_bank)
 
     def _try_schedule(self, channel_id: int, bank_id: int) -> None:
@@ -338,6 +345,9 @@ class System:
             return
         queued = len(channel.queues[bank_id])
         request = self.scheduler.select(channel, bank_id, self.now)
+        if self._explain is not None:
+            # before start_service: the candidate queue is still intact
+            self._explain.on_decision(channel, bank_id, request, self.now)
         access, completion = channel.start_service(request, self.now)
         busy_cycles = access.data_end - self.now
         self.sched_decisions += 1
@@ -365,6 +375,10 @@ class System:
         self.scheduler.on_request_scheduled(
             request, channel.queues[bank_id], busy_cycles, self.now
         )
+        if self._explain is not None:
+            self._explain.on_grant(
+                request, channel.queues[bank_id], busy_cycles, self.now
+            )
         self._push(access.data_end, _EV_BANK_FREE, channel_id, bank_id)
         self._push(completion, _EV_DONE, request)
 
@@ -378,6 +392,8 @@ class System:
             # prefetch fills go to the prefetch buffer, waking any
             # demand misses that merged with this prefetch
             self.scheduler.on_request_complete(request, self.now)
+            if self._explain is not None:
+                self._explain.on_complete(request, self.now)
             if self.prefetchers is not None:
                 woken = self.prefetchers[tid].fill(
                     (request.channel_id, request.bank_id, request.row)
@@ -388,6 +404,8 @@ class System:
             return
         self.monitor.on_request_complete(request, self.now)
         self.scheduler.on_request_complete(request, self.now)
+        if self._explain is not None:
+            self._explain.on_complete(request, self.now)
         self._latency_sum[tid] += self.now - request.arrival
         self._latency_count[tid] += 1
         if self.threads[tid].on_request_completed(request.episode_id):
@@ -417,6 +435,8 @@ class System:
             thread.stats.reset_quantum()
         self.quantum_count += 1
         self.scheduler.on_quantum(snapshot, self.now)
+        if self._explain is not None:
+            self._explain.on_quantum(snapshot, self.now)
         self._push(self.now + self.config.quantum_cycles, _EV_QUANTUM)
 
     # ------------------------------------------------------------------
@@ -484,7 +504,12 @@ class System:
                 elif kind == _EV_QUANTUM:
                     self._quantum_boundary()
                 elif kind == _EV_TIMER:
-                    self.scheduler.on_timer(self.now, payload)
+                    # tuple payloads are shadow timers (repro.explain);
+                    # plain keys go to the primary policy as always
+                    if self._explain is not None and type(payload) is tuple:
+                        self._explain.on_shadow_timer(self.now, payload)
+                    else:
+                        self.scheduler.on_timer(self.now, payload)
                 elif kind == _EV_PHIT:
                     if self.threads[payload].on_request_completed(aux):
                         self._issue_miss(payload)

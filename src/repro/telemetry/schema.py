@@ -56,6 +56,18 @@ EVENT_SCHEMA: Dict[str, Dict[str, Tuple[type, ...]]] = {
     "stfm_eval": {"unfairness": _NUM},
     # epoch sampler output: per-thread time-series row.
     "epoch": {"cycle": _INT, "threads": _LIST},
+    # decision forensics (repro.explain): one event per grant.
+    # ``tie`` is the tie-break provenance (priority | queue-order |
+    # only-candidate); ``component`` names the priority slot that
+    # decided the grant ("" for ties and single-candidate queues);
+    # ``disagree`` lists the shadow policies that would have granted a
+    # different request.
+    "explain": {"ch": _INT, "bank": _INT, "tid": _INT, "queued": _INT,
+                "tie": _STR, "tied": _INT, "component": _STR,
+                "delta": _NUM, "disagree": _LIST},
+    # starvation watch (repro.explain): a thread's oldest pending
+    # request crossed the age threshold.
+    "starvation": {"tid": _INT, "age": _INT, "pending": _INT},
 }
 
 _KIND_VALUES = {"hit", "closed", "conflict"}

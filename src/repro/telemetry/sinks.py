@@ -137,6 +137,8 @@ def events_to_perfetto(events: Iterable[dict],
     trace.extend(_meta(_PID_THREADS, "threads"))
     serve_meta_done = False
     shard_tracks: set = set()
+    # running explain counters: cumulative disagreements per shadow
+    disagreements: Dict[str, int] = {}
 
     def serve_pid() -> int:
         nonlocal serve_meta_done
@@ -201,6 +203,33 @@ def events_to_perfetto(events: Iterable[dict],
                             "ts": ts, "name": f"{metric} t{row['tid']}",
                             "args": {metric: row[metric]},
                         })
+        elif ev == "explain":
+            # disagreement instants on the granting bank's track, plus
+            # cumulative per-shadow disagreement counters on the policy
+            # process (Perfetto plots them as staircase time series)
+            if event["disagree"]:
+                trace.append({
+                    "ph": "i", "s": "t", "pid": _PID_DRAM,
+                    "tid": bank_tid(event["ch"], event["bank"]),
+                    "ts": ts, "name": "disagree",
+                    "args": {"thread": event["tid"],
+                             "shadows": event["disagree"],
+                             "component": event["component"]},
+                })
+            for label in event["disagree"]:
+                disagreements[label] = disagreements.get(label, 0) + 1
+                trace.append({
+                    "ph": "C", "pid": _PID_POLICY, "tid": 0, "ts": ts,
+                    "name": f"disagreements {label}",
+                    "args": {"count": disagreements[label]},
+                })
+        elif ev == "starvation":
+            trace.append({
+                "ph": "i", "s": "p", "pid": _PID_POLICY, "tid": 0,
+                "ts": ts, "name": f"starvation t{event['tid']}",
+                "args": {"tid": event["tid"], "age": event["age"],
+                         "pending": event["pending"]},
+            })
         elif ev in ("quantum", "shuffle", "rank", "batch", "stfm_eval",
                     "run_begin", "run_end"):
             args = {k: v for k, v in event.items() if k not in ("ev", "ts")}

@@ -28,6 +28,12 @@ guarantees the rest of the repo silently assumes:
   wait names the burst whose data occupied the channel until the wait
   ended, and a ``row`` wait names a thread that had been serviced at
   that bank earlier.
+* **Decision-record legality** — when the run carries a
+  :class:`repro.explain.ExplainCollector`, every grant must produce
+  exactly one decision record, the record's winner must be the request
+  actually granted, and the recorded candidate set must match the bank
+  queue's occupancy at select time; at the end of the run the record
+  count must equal the system's grant counter.
 * **Policy invariants** — the selected request must maximise the
   scheduler's own priority tuple over the queue (for every scheduler
   using the base ``select``); TCM must never service a
@@ -79,6 +85,9 @@ class OracleConfig:
     #: validate request-lifecycle spans against the oracle's own
     #: service log (no-op unless the run has a full span collector)
     check_spans: bool = True
+    #: validate explain decision records against the actual grant
+    #: stream (no-op unless the run has an explain collector)
+    check_decisions: bool = True
     starvation_cap: Optional[int] = None
     #: raise at the first violation (default) or collect them all into
     #: the report for post-mortem inspection.
@@ -245,6 +254,12 @@ class InvariantOracle:
                    self._make_select(scheduler, scheduler.select))
         self._wrap(scheduler, "on_request_complete",
                    self._make_complete(scheduler.on_request_complete))
+        explain = getattr(system, "_explain", None)
+        if explain is not None and self.config.check_decisions:
+            self._wrap(
+                explain, "on_decision",
+                self._make_explain_decision(explain, explain.on_decision),
+            )
         # subscribe to the telemetry event stream (creating a tracer if
         # the run is otherwise untraced) for stream-level checks
         self._sink = _OracleSink(self)
@@ -531,6 +546,59 @@ class InvariantOracle:
         )
 
     # ------------------------------------------------------------------
+    # explain decision records (grant-time + end-of-run)
+    # ------------------------------------------------------------------
+
+    def _make_explain_decision(self, collector, original):
+        def on_decision(channel, bank_id: int, winner, now: int) -> None:
+            # snapshot the queue before the collector runs: the record's
+            # candidate set must be exactly this occupancy
+            queued_ids = {
+                r.request_id for r in channel.queues[bank_id]
+            }
+            before = collector.decisions_total
+            original(channel, bank_id, winner, now)
+            self._expect(
+                collector.decisions_total == before + 1,
+                "decisions",
+                f"grant at {now} produced "
+                f"{collector.decisions_total - before} decision records, "
+                f"expected exactly 1",
+            )
+            record = collector.last_record
+            self._expect(
+                record is not None
+                and record.winner_request_id == winner.request_id,
+                "decisions",
+                f"decision record winner "
+                f"{record.winner_request_id if record else None} != "
+                f"granted request {winner.request_id}",
+            )
+            recorded = (
+                {c.request_id for c in record.candidates}
+                if record is not None else set()
+            )
+            self._expect(
+                recorded == queued_ids,
+                "decisions",
+                f"decision record candidates {sorted(recorded)} != bank "
+                f"ch{channel.channel_id}/b{bank_id} occupancy "
+                f"{sorted(queued_ids)}",
+            )
+        return on_decision
+
+    def _finish_decisions(self) -> None:
+        collector = getattr(self.system, "_explain", None)
+        if collector is None:
+            return
+        self._expect(
+            collector.decisions_total == self.system.sched_decisions,
+            "decisions",
+            f"explain recorded {collector.decisions_total} decisions, "
+            f"system granted {self.system.sched_decisions}",
+        )
+
+    # ------------------------------------------------------------------
     # span legality (end-of-run, against the oracle's own service log)
     # ------------------------------------------------------------------
 
@@ -750,6 +818,8 @@ class InvariantOracle:
                 )
         if self.config.check_spans:
             self._finish_spans()
+        if self.config.check_decisions:
+            self._finish_decisions()
         if self.config.starvation_cap is not None:
             for ch in system.channels:
                 for queue in ch.queues:
@@ -780,13 +850,18 @@ def checked_run(
     oracle_config: Optional[OracleConfig] = None,
     cycles: Optional[int] = None,
     spans: bool = False,
+    explain: bool = False,
+    shadows=(),
 ):
     """Run one oracle-checked simulation; returns (result, report).
 
     Raises :class:`InvariantViolation` if any invariant fails (unless
     ``oracle_config.raise_on_violation`` is False).  With ``spans`` a
     full :class:`repro.obs.spans.SpanCollector` is attached and every
-    completed span is validated against the oracle's service log.
+    completed span is validated against the oracle's service log.  With
+    ``explain`` an :class:`repro.explain.ExplainCollector` (carrying
+    ``shadows``) is attached and every grant's decision record is
+    cross-checked against the actual grant stream.
     """
     from repro.config import SimConfig
     from repro.schedulers import make_scheduler
@@ -802,6 +877,10 @@ def checked_run(
         from repro.obs.spans import attach_spans
 
         attach_spans(system)
+    if explain:
+        from repro.explain import attach_explain
+
+        attach_explain(system, shadows=shadows)
     oracle = attach_oracle(system, oracle_config)
     result = system.run(cycles)
     report = oracle.finish(result)

@@ -204,6 +204,47 @@ def test_span_tiling_parity():
     assert len(spans["reference"]) > 100
 
 
+def test_decision_record_parity():
+    """Explain decision records are structurally identical across
+    backends.
+
+    Attaching explain forces the fast engine's observed loop, and both
+    backends dispatch every grant through ``System._try_schedule`` — so
+    the forensics stream (candidate sets, winner keys, margins,
+    tie-break provenance) must match record for record.  Request ids
+    are process-global, so the comparison uses
+    :func:`record_structure`, which strips them.
+    """
+    from repro.explain import attach_explain
+    from repro.explain.records import record_structure
+
+    for scheduler, intensity in SMOKE_POINTS:
+        streams = {}
+        for backend in ("reference", "fast"):
+            config = SimConfig(
+                run_cycles=8_000,
+                num_threads=GOLDEN_THREADS,
+                backend=backend,
+            )
+            workload = make_intensity_workload(
+                intensity, num_threads=GOLDEN_THREADS, seed=GOLDEN_MIX_SEED
+            )
+            system = System(
+                workload, make_scheduler(scheduler), config, seed=RUN_SEED
+            )
+            collector = attach_explain(system, keep_records=None)
+            system.run()
+            streams[backend] = (
+                [record_structure(r) for r in collector.records],
+                dict(collector.decided_by),
+                collector.ties,
+                collector.actual_granted,
+            )
+        ref, fast = streams["reference"], streams["fast"]
+        assert len(ref[0]) > 0, f"{scheduler}: no decisions recorded"
+        assert ref == fast, f"{scheduler}@{intensity}: records diverge"
+
+
 def test_env_override_selects_fast(monkeypatch):
     """REPRO_BACKEND overrides the config default at System build."""
     monkeypatch.setenv("REPRO_BACKEND", "fast")
